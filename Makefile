@@ -1,0 +1,32 @@
+# Convenience targets for the CONFLuEnCE/STAFiLOS reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick bench-paper figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_BENCH_DURATION=120 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-paper:  # the paper's methodology: 600 s, three seeded runs averaged
+	REPRO_BENCH_SEEDS=3 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro table1
+	$(PYTHON) -m repro fig5
+	$(PYTHON) -m repro --seeds 1 fig8
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,66 @@
+"""Ablation: a user-written policy (EDF) inside the STAFiLOS framework.
+
+STAFiLOS's claim is that new policies plug in "in a plug-and-play manner".
+This bench runs a policy the paper never shipped — earliest-deadline-first
+with priority-scaled latency targets — head to head with QBS and RR on
+Linear Road and scores all three on a *deadline metric*: the fraction of
+toll notifications delivered within a 2-second target (the QoS framing of
+the paper's §4: "a specified fraction of results be produced under the
+delay target").
+"""
+
+from repro.harness import default_cost_model, make_scheduler, SchedulerSpec
+from repro.linearroad import build_linear_road, LinearRoadWorkload
+from repro.linearroad.generator import WorkloadConfig
+from repro.simulation import SimulationRuntime, VirtualClock
+from repro.stafilos import EarliestDeadlineScheduler, SCWFDirector
+
+# Just under saturation, where scheduling order starts to matter.
+WORKLOAD = WorkloadConfig(duration_s=300, peak_rate=180, seed=1)
+TARGET_US = 2_000_000
+
+
+def deadline_hit_rate(scheduler) -> tuple[float, int]:
+    workload = LinearRoadWorkload(WORKLOAD)
+    system = build_linear_road(workload.arrivals())
+    clock = VirtualClock()
+    director = SCWFDirector(scheduler, clock, default_cost_model())
+    director.attach(system.workflow)
+    SimulationRuntime(director, clock).run(WORKLOAD.duration_s)
+    samples = system.toll_response_times_us
+    if not samples:
+        return 0.0, 0
+    hits = sum(1 for _, response in samples if response <= TARGET_US)
+    return hits / len(samples), len(samples)
+
+
+def run_all():
+    return {
+        "QBS-q500": deadline_hit_rate(
+            make_scheduler(SchedulerSpec("QBS", 500))
+        ),
+        "RR-q40000": deadline_hit_rate(
+            make_scheduler(SchedulerSpec("RR", 40_000))
+        ),
+        "EDF": deadline_hit_rate(
+            EarliestDeadlineScheduler(default_target_us=TARGET_US)
+        ),
+    }
+
+
+def test_ablation_edf_policy(once):
+    results = once(run_all)
+    print()
+    print(f"Ablation: fraction of tolls within {TARGET_US // 1_000_000}s")
+    for label, (rate, count) in results.items():
+        print(f"  {label:<10} {rate:6.1%}  ({count} tolls)")
+    # All policies remain functional near saturation, and the plug-in EDF
+    # policy exposes a real trade: by always serving the most-overdue
+    # work it *delivers more tolls* than the quantum policies while a
+    # smaller fraction lands inside the 2 s target (the overdue events it
+    # rescues have already blown it).
+    for label, (rate, count) in results.items():
+        assert count > 1_000, label
+        assert rate > 0.6, (label, rate)
+    assert results["EDF"][1] >= results["QBS-q500"][1]
+    assert results["QBS-q500"][0] >= results["EDF"][0]

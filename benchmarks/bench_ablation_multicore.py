@@ -1,0 +1,67 @@
+"""Ablation: the §5 scale-up direction — multicore-aware SCWF.
+
+Runs Linear Road under the processor-sharing multicore model with 1, 2 and
+4 cores and locates each configuration's thrash onset: capacity should
+grow with cores and the gains should taper as the workflow's runnable
+breadth is exhausted.
+"""
+
+from repro.harness import default_cost_model
+from repro.linearroad import build_linear_road, LinearRoadWorkload
+from repro.linearroad.generator import WorkloadConfig
+from repro.linearroad.metrics import ResponseTimeSeries
+from repro.simulation import SimulationRuntime, VirtualClock
+from repro.stafilos import MulticoreSCWFDirector, QuantumPriorityScheduler
+
+WORKLOAD = WorkloadConfig(duration_s=300, peak_rate=420, seed=1)
+
+
+def run(cores):
+    workload = LinearRoadWorkload(WORKLOAD)
+    system = build_linear_road(workload.arrivals())
+    clock = VirtualClock()
+    director = MulticoreSCWFDirector(
+        QuantumPriorityScheduler(500),
+        clock,
+        default_cost_model(),
+        cores=cores,
+    )
+    director.attach(system.workflow)
+    SimulationRuntime(director, clock).run(WORKLOAD.duration_s)
+    series = ResponseTimeSeries.from_samples(
+        system.toll_response_times_us, 10, WORKLOAD.duration_s
+    )
+    thrash = series.thrash_time_s()
+    rate = None
+    if thrash is not None:
+        rate = WORKLOAD.peak_rate * thrash / WORKLOAD.duration_s
+    return {
+        "thrash_s": thrash,
+        "thrash_rate": rate,
+        "mean_parallelism": director.mean_parallelism(),
+        "tolls": len(system.toll_out.items),
+    }
+
+
+def test_ablation_multicore_scaling(once):
+    results = once(lambda: {c: run(c) for c in (1, 2, 4)})
+    print()
+    print("Ablation: multicore SCWF (processor-sharing model)")
+    for cores, stats in results.items():
+        rate = stats["thrash_rate"]
+        print(
+            f"  {cores} core(s): thrash at {stats['thrash_s']}s "
+            f"(~{rate:.0f}/s)" if rate is not None else
+            f"  {cores} core(s): no thrash",
+            f" mean parallelism {stats['mean_parallelism']:.2f}",
+        )
+    one, two, four = results[1], results[2], results[4]
+    assert one["thrash_s"] is not None
+    # Capacity grows with cores...
+    if two["thrash_s"] is not None:
+        assert two["thrash_s"] > one["thrash_s"]
+        assert two["thrash_rate"] > one["thrash_rate"] * 1.3
+    if two["thrash_s"] is not None and four["thrash_s"] is not None:
+        assert four["thrash_s"] >= two["thrash_s"]
+    # ...because the engine genuinely ran wider.
+    assert two["mean_parallelism"] > one["mean_parallelism"]

@@ -1,0 +1,72 @@
+"""Ablation: group-by hash queues in the windowed receiver.
+
+The paper's §4.3 notes that stream-optimized actors that "accumulate and
+compensate tokens which are added and expired from a sliding window" would
+help.  This micro-ablation measures the windowed receiver's formation
+throughput with and without group-by partitioning (pytest-benchmark timing,
+real wall time — this is a data-structure benchmark, not a simulation).
+"""
+
+import pytest
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowOperator, WindowSpec
+
+N_EVENTS = 20_000
+N_GROUPS = 512
+
+
+def make_events():
+    return [
+        CWEvent({"key": i % N_GROUPS, "v": i}, i, WaveTag.root(i + 1))
+        for i in range(N_EVENTS)
+    ]
+
+
+def drive(operator, events):
+    produced = 0
+    for event in events:
+        produced += len(operator.put(event))
+    return produced
+
+
+@pytest.fixture(scope="module")
+def events():
+    return make_events()
+
+
+def test_window_formation_ungrouped(benchmark, events):
+    def run():
+        return drive(
+            WindowOperator(WindowSpec.tokens(4, 1)), events
+        )
+
+    produced = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert produced == N_EVENTS - 3
+
+
+def test_window_formation_grouped(benchmark, events):
+    def run():
+        return drive(
+            WindowOperator(
+                WindowSpec.tokens(4, 1, group_by="key")
+            ),
+            events,
+        )
+
+    produced = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert produced == N_EVENTS - 3 * N_GROUPS
+
+
+def test_window_formation_time_grouped(benchmark, events):
+    def run():
+        return drive(
+            WindowOperator(
+                WindowSpec.time(1_000, group_by="key")
+            ),
+            events,
+        )
+
+    produced = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert produced > 0

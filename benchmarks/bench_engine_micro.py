@@ -1,0 +1,101 @@
+"""Microbenchmarks of the engine's hot paths (real wall time).
+
+These justify the virtual-time substitution quantitatively: they measure
+what one actor dispatch, one windowed put, and one parameterized toll query
+cost in *this* Python implementation, which is the per-event overhead any
+wall-clock run of the engine would pay.
+"""
+
+import pytest
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.linearroad.db import create_linear_road_database, TOLL_QUERY
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+
+
+def test_scheduler_dispatch_throughput(benchmark):
+    """End-to-end events/second through the SCWF director."""
+    n_events = 5_000
+
+    def run():
+        workflow = Workflow("micro")
+        source = SourceActor(
+            "src", arrivals=[(i, i) for i in range(n_events)]
+        )
+        source.add_output("out")
+        relay = MapActor("relay", lambda v: v)
+        sink = SinkActor("sink")
+        workflow.add_all([source, relay, sink])
+        workflow.connect(source, relay)
+        workflow.connect(relay, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(10.0, drain=True)
+        return len(sink.items)
+
+    processed = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert processed == n_events
+
+
+def test_windowed_put_cost(benchmark):
+    """Cost of one put through a grouped sliding window."""
+    from repro.core.windows import WindowOperator
+
+    operator = WindowOperator(
+        WindowSpec.tokens(4, 1, group_by=lambda e: e.value % 64)
+    )
+    events = [CWEvent(i, i, WaveTag.root(i + 1)) for i in range(10_000)]
+
+    def run():
+        total = 0
+        for event in events:
+            total += len(operator.put(event))
+        return total
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_toll_query_latency(benchmark):
+    """The paper's toll SELECT against a populated statistics table."""
+    db = create_linear_road_database()
+    for seg in range(100):
+        db.execute(
+            "INSERT INTO segmentStatistics VALUES (0, $seg, 0, $lav, $cars)",
+            {"seg": seg, "lav": 30.0 + seg % 30, "cars": 40 + seg % 30},
+        )
+    for seg in (10, 40, 70):
+        db.execute(
+            "INSERT INTO accidentInSegment VALUES (0, 0, $seg, 999, 500)",
+            {"seg": seg},
+        )
+    params = {"now": 520, "xway": 0, "segment": 41, "direction": 0}
+
+    def run():
+        return db.execute(TOLL_QUERY, params).scalar()
+
+    toll = benchmark(run)
+    assert toll == 0  # fresh accident at segment 41's horizon
+
+
+def test_sql_insert_or_replace_throughput(benchmark):
+    db = create_linear_road_database()
+    counter = iter(range(10_000_000))
+
+    def run():
+        seg = next(counter) % 100
+        db.execute(
+            "INSERT OR REPLACE INTO segmentStatistics "
+            "VALUES (0, $seg, 0, 30.0, 55)",
+            {"seg": seg},
+        )
+
+    benchmark(run)
+    assert len(db.table("segmentStatistics")) <= 100

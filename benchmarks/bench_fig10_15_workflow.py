@@ -1,0 +1,84 @@
+"""Figures 10-15: the Linear Road workflow structure.
+
+The paper's figures show the top-level workflow (Figure 10) and the
+sub-workflows for stopped-car detection, accident detection/notification,
+per-car averages and car counts (Figures 11-15).  This bench builds both
+the flat and the hierarchical (composite sub-workflow) variants, prints the
+wiring, and asserts the structure matches Appendix A.
+"""
+
+from repro.core.actors import CompositeActor
+from repro.core.windows import Measure
+from repro.linearroad import build_linear_road, LinearRoadWorkload, WorkloadConfig
+
+
+def build_both():
+    arrivals = LinearRoadWorkload(
+        WorkloadConfig(duration_s=1, peak_rate=1)
+    ).arrivals()
+    return (
+        build_linear_road(arrivals),
+        build_linear_road(arrivals, hierarchical=True),
+    )
+
+
+def describe(system):
+    lines = []
+    for channel in system.workflow.channels:
+        lines.append(
+            f"  {channel.source.full_name} -> {channel.sink.full_name}"
+        )
+    return "\n".join(sorted(lines))
+
+
+def test_fig10_15_workflow_structure(once):
+    flat, hierarchical = once(build_both)
+    print()
+    print("Figure 10: Linear Road top-level workflow (channels)")
+    print(describe(flat))
+    print()
+    print("Figures 11-15: hierarchical variant (composite sub-workflows)")
+    for actor in hierarchical.workflow.actors.values():
+        if isinstance(actor, CompositeActor):
+            inner = ", ".join(actor.subworkflow.actors)
+            director = type(actor.director).model_name
+            print(f"  {actor.name}: [{inner}] under {director}")
+
+    workflow = flat.workflow
+    # Three areas fan out of the single position-report feed (Figure 10).
+    source_out = workflow.actors["CarPositionReports"].output("reports")
+    destinations = {port.actor.name for port in source_out.destinations}
+    assert destinations == {
+        "StoppedCarDetector",
+        "AccidentNotification",
+        "Avgsv",
+        "cars",
+        "SegmentCrossing",
+    }
+
+    # Window semantics of Appendix A.
+    specs = {
+        "StoppedCarDetector": (4, 1, Measure.TOKENS),
+        "AccidentDetector": (2, 1, Measure.TOKENS),
+        "SegmentCrossing": (2, 1, Measure.TOKENS),
+        "Avgsv": (60_000_000, 60_000_000, Measure.TIME),
+        "Avgs": (60_000_000, 60_000_000, Measure.TIME),
+        "cars": (60_000_000, 60_000_000, Measure.TIME),
+    }
+    for name, (size, step, measure) in specs.items():
+        window = workflow.actors[name].input("in").window
+        assert (window.size, window.step, window.measure) == (
+            size,
+            step,
+            measure,
+        ), name
+
+    # The hierarchical variant exposes two composite sub-workflows.
+    composites = [
+        actor
+        for actor in hierarchical.workflow.actors.values()
+        if isinstance(actor, CompositeActor)
+    ]
+    assert {c.name for c in composites} == {"StoppedCarDetector", "Avgsv"}
+    directors = {type(c.director).model_name for c in composites}
+    assert directors == {"DDF", "SDF"}

@@ -1,0 +1,42 @@
+"""Figure 6: sensitivity analysis of RR — response time at TollNotification
+for basic quantum (time slice) values 5000/10000/20000/40000 us.
+
+Shape target (paper §4.2, Experiment 1): the scheduler behaves almost the
+same across slice values, holding low response times until the load
+approaches capacity, where every variant eventually thrashes.
+"""
+
+from conftest import tune
+from repro.harness import (
+    figure6_configs,
+    render_comparison_summary,
+    render_series_table,
+    run_experiment,
+)
+
+
+def test_fig6_rr_sensitivity(once):
+    configs = [tune(config) for config in figure6_configs()]
+    results = once(lambda: [run_experiment(c) for c in configs])
+    print()
+    print(
+        render_series_table(
+            results,
+            "Figure 6: Response Time at TollNotification (RR scheduler)",
+        )
+    )
+    summary = render_comparison_summary(results)
+
+    # All slice values behave similarly before saturation (<2s means).
+    for label, stats in summary.items():
+        assert stats["mean_pre_thrash_s"] < 2.0, (label, stats)
+
+    # The variants agree on roughly where capacity runs out: thrash times
+    # within a couple of buckets of each other (when they thrash at all).
+    thrash_times = [
+        stats["thrash_time_s"]
+        for stats in summary.values()
+        if stats["thrash_time_s"] is not None
+    ]
+    if len(thrash_times) >= 2:
+        assert max(thrash_times) - min(thrash_times) <= 120

@@ -1,0 +1,37 @@
+"""Figure 7: sensitivity analysis of QBS — response time at TollNotification
+for basic quantum values 500/1000/5000/10000/20000 us.
+
+Shape targets (paper §4.2, Experiment 2): b=500 performs best throughout;
+large quanta degrade toward a priority-FIFO; all variants hold low response
+times until capacity, then thrash.
+"""
+
+from conftest import tune
+from repro.harness import (
+    figure7_configs,
+    render_comparison_summary,
+    render_series_table,
+    run_experiment,
+)
+
+
+def test_fig7_qbs_sensitivity(once):
+    configs = [tune(config) for config in figure7_configs()]
+    results = once(lambda: [run_experiment(c) for c in configs])
+    print()
+    print(
+        render_series_table(
+            results,
+            "Figure 7: Response Time at TollNotification (QBS scheduler)",
+        )
+    )
+    summary = render_comparison_summary(results)
+    by_label = {label: stats for label, stats in summary.items()}
+
+    for label, stats in summary.items():
+        assert stats["mean_pre_thrash_s"] < 2.0, (label, stats)
+
+    # b=500 is the best (or tied-best) performer pre-thrash.
+    best = min(summary.values(), key=lambda s: s["mean_pre_thrash_s"])
+    b500 = by_label["QBS-q500"]
+    assert b500["mean_pre_thrash_s"] <= best["mean_pre_thrash_s"] * 1.35

@@ -1,0 +1,56 @@
+"""Figure 8: response times of all the main schedulers — the headline result.
+
+Paper shape (Experiment 3):
+
+* QBS-q500 and RR-q40000 exhibit the best response times (< 2 s) until
+  they thrash;
+* the thread-based PNCWF has much lower capacity — it thrashes when the
+  input rate is around 3/4 of what the STAFiLOS schedulers sustain
+  (paper: ~120 vs ~160 reports/s);
+* RB exhibits the worst pre-thrash response times because it neither
+  prioritizes nor interval-schedules the source actors.
+"""
+
+from conftest import tune
+from repro.harness import (
+    figure8_configs,
+    render_comparison_summary,
+    render_series_table,
+    run_experiment,
+)
+
+
+def test_fig8_all_schedulers(once):
+    configs = [tune(config) for config in figure8_configs()]
+    results = once(lambda: [run_experiment(c) for c in configs])
+    print()
+    print(
+        render_series_table(
+            results,
+            "Figure 8: Response Time at TollNotification (all schedulers)",
+        )
+    )
+    summary = render_comparison_summary(results)
+    qbs = summary["QBS-q500"]
+    rr = summary["RR-q40000"]
+    rb = summary["RB"]
+    pncwf = summary["PNCWF"]
+
+    # QBS and RR: best response times, under 2 s until thrash.
+    assert qbs["mean_pre_thrash_s"] < 2.0
+    assert rr["mean_pre_thrash_s"] < 2.0
+
+    # RB: worst pre-thrash response times of the STAFiLOS schedulers.
+    assert rb["mean_pre_thrash_s"] > qbs["mean_pre_thrash_s"]
+    assert rb["mean_pre_thrash_s"] > rr["mean_pre_thrash_s"]
+
+    # PNCWF: much lower capacity — it thrashes first, at a rate clearly
+    # below every STAFiLOS scheduler's thrash rate (paper ratio ~0.75).
+    assert pncwf["thrash_time_s"] is not None, "PNCWF must thrash"
+    for label in ("QBS-q500", "RR-q40000", "RB"):
+        stafilos_thrash = summary[label]["thrash_time_s"]
+        if stafilos_thrash is not None:
+            assert pncwf["thrash_time_s"] < stafilos_thrash
+            assert (
+                pncwf["thrash_rate"] < summary[label]["thrash_rate"] * 0.9
+            )

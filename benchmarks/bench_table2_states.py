@@ -1,0 +1,114 @@
+"""Table 2: state conditions for an actor A in the different schedulers.
+
+Regenerates the table by *executing* the state machines: for each scheduler
+and each condition combination, the bench drives a real scheduler instance
+into that situation and reads the resulting state.
+"""
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.events import CWEvent
+from repro.core.statistics import StatisticsRegistry
+from repro.core.waves import WaveTag
+from repro.core.workflow import Workflow
+from repro.stafilos.schedulers import (
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+)
+from repro.stafilos.states import ActorState
+
+_serial = iter(range(1, 1_000_000))
+
+
+def fresh(scheduler_factory):
+    workflow = Workflow(f"w{next(_serial)}")
+    source = SourceActor("src", arrivals=[(10, "x")])
+    source.add_output("out")
+    worker = MapActor("worker", lambda v: v)
+    sink = SinkActor("sink")
+    workflow.add_all([source, worker, sink])
+    workflow.connect(source, worker)
+    workflow.connect(worker, sink)
+    scheduler = scheduler_factory()
+    scheduler.initialize(workflow, StatisticsRegistry())
+    return scheduler, source, worker
+
+
+def give_event(scheduler, actor):
+    scheduler.enqueue(
+        actor, "in", CWEvent("v", 0, WaveTag.root(next(_serial)))
+    )
+
+
+def observe_states(scheduler_factory):
+    """Drive one scheduler through the Table 2 situations."""
+    observed = {}
+
+    scheduler, source, worker = fresh(scheduler_factory)
+    observed["internal, no events"] = scheduler.state_of(worker)
+
+    scheduler, source, worker = fresh(scheduler_factory)
+    give_event(scheduler, worker)
+    if isinstance(scheduler, RateBasedScheduler):
+        observed["internal, events buffered (next period)"] = (
+            scheduler.state_of(worker)
+        )
+        scheduler.on_iteration_end(0)
+        observed["internal, events in queue"] = scheduler.state_of(worker)
+    else:
+        observed["internal, events in queue"] = scheduler.state_of(worker)
+        scheduler.quantum[worker.name] = -1
+        scheduler.invalidate_state(worker)
+        observed["internal, events but exhausted quantum"] = (
+            scheduler.state_of(worker)
+        )
+
+    scheduler, source, worker = fresh(scheduler_factory)
+    observed["source, fresh"] = scheduler.state_of(source)
+    scheduler.on_actor_fire_end(source, 10, now=10)
+    observed["source, already fired this iteration/period"] = (
+        scheduler.state_of(source)
+    )
+    return observed
+
+
+def test_table2_state_conditions(once):
+    factories = {
+        "QBS": lambda: QuantumPriorityScheduler(500),
+        "RR": lambda: RoundRobinScheduler(10_000),
+        "RB": RateBasedScheduler,
+    }
+    results = once(
+        lambda: {name: observe_states(fn) for name, fn in factories.items()}
+    )
+    print()
+    print("Table 2: observed state conditions per scheduler")
+    for name, observed in results.items():
+        print(f"  {name}:")
+        for situation, state in observed.items():
+            print(f"    {situation:<45} -> {state.value}")
+
+    for name in ("QBS", "RR"):
+        observed = results[name]
+        assert observed["internal, no events"] is ActorState.INACTIVE
+        assert observed["internal, events in queue"] is ActorState.ACTIVE
+        assert (
+            observed["internal, events but exhausted quantum"]
+            is ActorState.WAITING
+        )
+        assert observed["source, fresh"] is ActorState.ACTIVE
+        assert (
+            observed["source, already fired this iteration/period"]
+            is ActorState.WAITING
+        )
+    rb = results["RB"]
+    assert rb["internal, no events"] is ActorState.INACTIVE
+    assert (
+        rb["internal, events buffered (next period)"] is ActorState.WAITING
+    )
+    assert rb["internal, events in queue"] is ActorState.ACTIVE
+    assert rb["source, fresh"] is ActorState.ACTIVE
+    assert (
+        rb["source, already fired this iteration/period"]
+        is ActorState.WAITING
+    )

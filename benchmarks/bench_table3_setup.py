@@ -1,0 +1,65 @@
+"""Table 3: the experimental setup.
+
+Prints the configuration matrix the harness actually uses and verifies it
+matches the paper's parameters.
+"""
+
+from repro.harness import (
+    EXPERIMENT_DURATION_S,
+    figure6_configs,
+    figure7_configs,
+    figure8_configs,
+    QBS_BASIC_QUANTA_US,
+    QBS_SOURCE_INTERVAL,
+    RR_BASIC_QUANTA_US,
+)
+from repro.linearroad import build_linear_road, LinearRoadWorkload
+from repro.linearroad.generator import WorkloadConfig
+
+
+def collect_setup():
+    workload = figure8_configs()[0].workload
+    system = build_linear_road(
+        LinearRoadWorkload(WorkloadConfig(duration_s=1, peak_rate=1)).arrivals()
+    )
+    priorities = {
+        actor.name: actor.priority
+        for actor in system.workflow.actors.values()
+    }
+    return workload, priorities
+
+
+def test_table3_setup(once):
+    workload, priorities = once(collect_setup)
+    print()
+    print("Table 3: Experimental setup")
+    print(f"  Workload L-rating              {workload.l_rating}")
+    print(f"  Workload rate                  {workload.peak_rate:.0f} input rate")
+    print(f"  Experiment duration            {workload.duration_s} sec")
+    print(f"  QBS source scheduling interval {QBS_SOURCE_INTERVAL} internal actor iterations")
+    print(f"  Basic Quantum (QBS) (us)       {', '.join(map(str, QBS_BASIC_QUANTA_US))}")
+    print(f"  Basic Quantum (RR) (us)        {', '.join(map(str, RR_BASIC_QUANTA_US))}")
+    used = sorted({p for p in priorities.values() if p != 20})
+    print(f"  Priorities used (QBS)          {', '.join(map(str, used))}")
+    print("  Actor priorities:")
+    for name, priority in sorted(priorities.items(), key=lambda kv: kv[1]):
+        print(f"    {name:<26} {priority}")
+
+    assert workload.l_rating == 0.5
+    assert workload.duration_s == EXPERIMENT_DURATION_S == 600
+    assert QBS_SOURCE_INTERVAL == 5
+    assert QBS_BASIC_QUANTA_US == (500, 1000, 5000, 10000, 20000)
+    assert RR_BASIC_QUANTA_US == (5000, 10000, 20000, 40000)
+    assert used == [5, 10]
+    # Priority 5: the output actors (tolls and accident notifications).
+    for name in (
+        "TollCalculation",
+        "TollNotification",
+        "AccidentNotification",
+        "AccidentNotificationOut",
+    ):
+        assert priorities[name] == 5
+    # Priority 10: statistics maintenance and accident detection.
+    for name in ("Avgsv", "Avgs", "cars", "StoppedCarDetector",
+                 "AccidentDetector", "InsertAccident"):
+        assert priorities[name] == 10

@@ -1,0 +1,47 @@
+"""Shared benchmark configuration.
+
+Environment knobs (all optional):
+
+``REPRO_BENCH_DURATION``
+    Virtual seconds of the Linear Road experiment (default 600, the
+    paper's duration).  Lower it for a faster smoke pass.
+``REPRO_BENCH_SEEDS``
+    Number of seeds averaged per configuration (default 1; the paper
+    averages 3 — set 3 to reproduce the methodology exactly).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import ExperimentConfig
+
+
+def bench_duration_s() -> int:
+    return int(os.environ.get("REPRO_BENCH_DURATION", "600"))
+
+
+def bench_seeds() -> tuple[int, ...]:
+    count = int(os.environ.get("REPRO_BENCH_SEEDS", "1"))
+    return tuple(range(1, count + 1))
+
+
+def tune(config: ExperimentConfig) -> ExperimentConfig:
+    """Apply the environment's duration/seed overrides to a config."""
+    return config.scaled_duration(bench_duration_s()).with_seeds(
+        bench_seeds()
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured callable exactly once (experiments are long)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,81 @@
+"""Quickstart: a continuous workflow in ~60 lines.
+
+A sensor pushes temperature readings; a windowed actor averages the last
+four readings per sensor (sliding by one); an alert actor flags averages
+above a threshold.  The workflow runs under the STAFiLOS Scheduled CWF
+director with the Round-Robin policy on a virtual clock, so the example
+is deterministic and instant.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    MapActor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+
+
+def build_readings():
+    """(arrival_us, reading) pairs: sensor A heats up, sensor B is fine."""
+    readings = []
+    for i in range(12):
+        readings.append((i * 500_000, {"sensor": "A", "temp": 20 + i * 1.5}))
+        readings.append((i * 500_000 + 1, {"sensor": "B", "temp": 21.0}))
+    return readings
+
+
+def main() -> None:
+    workflow = Workflow("temperature-monitor")
+
+    sensor_feed = SourceActor("sensors", arrivals=build_readings())
+    sensor_feed.add_output("out")
+
+    # Window semantics straight from the CWf model: {Size: 4 tokens,
+    # Step: 1 token, Group-by: sensor id}.
+    smoother = MapActor(
+        "smooth",
+        lambda readings: {
+            "sensor": readings[0]["sensor"],
+            "avg": sum(r["temp"] for r in readings) / len(readings),
+        },
+        window=WindowSpec.tokens(4, 1, group_by=lambda e: e.value["sensor"]),
+    )
+
+    alerts = MapActor(
+        "alert",
+        lambda smoothed: (
+            f"ALERT {smoothed['sensor']}: avg {smoothed['avg']:.1f}C"
+            if smoothed["avg"] > 28.0
+            else None  # returning None drops the token (selectivity < 1)
+        ),
+    )
+    alerts.priority = 5  # output actors get the urgent QBS/QoS priority
+
+    console = SinkActor("console")
+
+    workflow.add_all([sensor_feed, smoother, alerts, console])
+    workflow.connect(sensor_feed, smoother)
+    workflow.connect(smoother, alerts)
+    workflow.connect(alerts, console)
+
+    clock = VirtualClock()
+    director = SCWFDirector(
+        RoundRobinScheduler(slice_us=10_000), clock, CostModel()
+    )
+    director.attach(workflow)
+    SimulationRuntime(director, clock).run(until_s=10.0, drain=True)
+
+    print(f"processed in {clock.now_us / 1e6:.3f}s of virtual time")
+    print(f"windows formed: {director.statistics.get(smoother).invocations}")
+    for message in console.values:
+        print(" ", message)
+    assert console.values, "expected at least one alert"
+
+
+if __name__ == "__main__":
+    main()

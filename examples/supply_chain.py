@@ -1,0 +1,208 @@
+"""Supply-chain monitoring: the paper's business-domain application.
+
+The paper motivates CONFLuEnCE with a Supply Chain Management system.  This
+example models its monitoring core as a continuous workflow:
+
+* an **orders** stream (customer, item, quantity) and a **shipments**
+  stream arrive continuously;
+* per-minute windows aggregate demand per item;
+* an inventory table (the relational substrate) is debited by orders and
+  credited by shipments;
+* a reorder actor — the time-critical output, priority 5 — raises purchase
+  orders whenever projected stock drops below the safety threshold.
+
+Runs under QBS (the priority-aware scheduler) so reorder alerts stay
+responsive even while the aggregation actors chew through demand windows.
+
+Run:  python examples/supply_chain.py
+"""
+
+import random
+
+from repro.core import (
+    Actor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.sqldb import Database
+from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
+
+ITEMS = ("widget", "gear", "sprocket")
+SAFETY_STOCK = 40
+MINUTE_US = 60_000_000
+
+
+def build_streams(seed=11, minutes=10):
+    rng = random.Random(seed)
+    orders, shipments = [], []
+    t = 0
+    while t < minutes * MINUTE_US:
+        item = rng.choice(ITEMS)
+        orders.append((t, {"item": item, "qty": rng.randint(1, 6)}))
+        t += rng.randint(2_000_000, 6_000_000)
+    t = 0
+    while t < minutes * MINUTE_US:
+        shipments.append(
+            (t, {"item": rng.choice(ITEMS), "qty": rng.randint(10, 25)})
+        )
+        t += rng.randint(25_000_000, 60_000_000)
+    return orders, shipments
+
+
+class InventoryKeeper(Actor):
+    """Applies orders (debit) and shipments (credit) to the inventory."""
+
+    def __init__(self, db: Database):
+        super().__init__("inventory")
+        self.add_input("orders")
+        self.add_input("shipments")
+        self.add_output("levels")
+        self.db = db
+        self.priority = 10
+        self.nominal_cost_us = 400
+
+    def initialize(self, ctx):
+        self.db.execute(
+            "CREATE TABLE IF NOT EXISTS stock "
+            "(item TEXT, level INTEGER, PRIMARY KEY (item))"
+        )
+        for item in ITEMS:
+            self.db.execute(
+                "INSERT OR REPLACE INTO stock VALUES ($i, 80)", {"i": item}
+            )
+
+    def _apply(self, item: str, delta: int) -> int:
+        level = self.db.execute(
+            "SELECT level FROM stock WHERE item = $i", {"i": item}
+        ).scalar()
+        level = (level or 0) + delta
+        self.db.execute(
+            "INSERT OR REPLACE INTO stock VALUES ($i, $l)",
+            {"i": item, "l": level},
+        )
+        return level
+
+    def fire(self, ctx):
+        event = ctx.read("orders")
+        if event is not None:
+            level = self._apply(event.value["item"], -event.value["qty"])
+            ctx.send("levels", {"item": event.value["item"], "level": level})
+        event = ctx.read("shipments")
+        if event is not None:
+            level = self._apply(event.value["item"], event.value["qty"])
+            ctx.send("levels", {"item": event.value["item"], "level": level})
+
+
+class DemandAggregator(Actor):
+    """Per-minute demand per item (time window + group-by)."""
+
+    def __init__(self):
+        super().__init__("demand")
+        self.add_input(
+            "in",
+            WindowSpec.time(
+                MINUTE_US,
+                MINUTE_US,
+                group_by=lambda e: e.value["item"],
+                timeout=5_000_000,
+            ),
+        )
+        self.add_output("out")
+        self.priority = 10
+        self.nominal_cost_us = 600
+
+    def fire(self, ctx):
+        window = ctx.read("in")
+        if window is None or not len(window):
+            return
+        item = window.events[0].value["item"]
+        total = sum(e.value["qty"] for e in window)
+        ctx.send("out", {"item": item, "demand_per_min": total})
+
+
+class ReorderPlanner(Actor):
+    """Raises purchase orders when projected stock dips below safety."""
+
+    def __init__(self, db: Database):
+        super().__init__("reorder")
+        self.add_input("levels")
+        self.add_input("demand")
+        self.add_output("po")
+        self.db = db
+        self.priority = 5  # the time-critical output path
+        self.nominal_cost_us = 500
+        self._recent_demand: dict[str, int] = {}
+        self._open_po: set[str] = set()
+
+    def fire(self, ctx):
+        event = ctx.read("demand")
+        if event is not None:
+            self._recent_demand[event.value["item"]] = event.value[
+                "demand_per_min"
+            ]
+        event = ctx.read("levels")
+        if event is None:
+            return
+        item, level = event.value["item"], event.value["level"]
+        projected = level - self._recent_demand.get(item, 0)
+        if projected < SAFETY_STOCK and item not in self._open_po:
+            self._open_po.add(item)
+            qty = SAFETY_STOCK * 2 - level
+            ctx.send("po", {"item": item, "qty": qty, "level": level})
+        elif projected >= SAFETY_STOCK:
+            self._open_po.discard(item)
+
+
+def main() -> None:
+    orders, shipments = build_streams()
+    db = Database("scm")
+    workflow = Workflow("supply-chain")
+
+    order_feed = SourceActor("orders", arrivals=orders)
+    order_feed.add_output("out")
+    shipment_feed = SourceActor("shipments", arrivals=shipments)
+    shipment_feed.add_output("out")
+    keeper = InventoryKeeper(db)
+    demand = DemandAggregator()
+    planner = ReorderPlanner(db)
+    purchasing = SinkActor("purchasing")
+
+    workflow.add_all(
+        [order_feed, shipment_feed, keeper, demand, planner, purchasing]
+    )
+    workflow.connect(order_feed.output("out"), keeper.input("orders"))
+    workflow.connect(shipment_feed.output("out"), keeper.input("shipments"))
+    workflow.connect(order_feed.output("out"), demand.input("in"))
+    workflow.connect(keeper.output("levels"), planner.input("levels"))
+    workflow.connect(demand.output("out"), planner.input("demand"))
+    workflow.connect(planner.output("po"), purchasing.input("in"))
+
+    clock = VirtualClock()
+    director = SCWFDirector(
+        QuantumPriorityScheduler(basic_quantum_us=500), clock, CostModel()
+    )
+    director.attach(workflow)
+    SimulationRuntime(director, clock).run(until_s=600, drain=True)
+
+    print(f"orders processed:    {len(orders)}")
+    print(f"shipments processed: {len(shipments)}")
+    print("purchase orders raised:")
+    for time_us, po in purchasing.items:
+        value = po.value
+        print(
+            f"  t={time_us / 1e6:7.1f}s  {value['item']:<9} "
+            f"qty={value['qty']:>3}  (stock was {value['level']})"
+        )
+    print("closing stock levels:")
+    for item, level in db.execute(
+        "SELECT item, level FROM stock ORDER BY item"
+    ):
+        print(f"  {item:<9} {level}")
+    assert purchasing.items, "expected at least one purchase order"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: lets `pip install -e .` work offline (no wheel package)."""
+from setuptools import setup
+
+setup()

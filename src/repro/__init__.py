@@ -1,0 +1,30 @@
+"""repro: a reproduction of CONFLuEnCE + STAFiLOS.
+
+CONFLuEnCE is a CONtinuous workFLow ExeCution Engine: a workflow system
+whose workflows are always active, reacting to unbounded streams through
+windowed active queues and wave-tagged events.  STAFiLOS is its pluggable
+STreAm FLOw Scheduling framework (Neophytou, Chrysanthis, Labrinidis).
+
+Top-level layout:
+
+* :mod:`repro.core` — the continuous-workflow kernel (actors, ports,
+  windows, waves, directors, statistics);
+* :mod:`repro.directors` — models of computation (SDF, DDF, DE, PN and the
+  thread-based PNCWF continuous-workflow director);
+* :mod:`repro.stafilos` — the scheduled CWF director, TM windowed receiver,
+  abstract scheduler and the QBS/RR/RB policies;
+* :mod:`repro.simulation` — the virtual-time runtime and cost model used by
+  the benchmark harness;
+* :mod:`repro.sqldb` — the in-memory relational engine the Linear Road
+  workflow stores segment statistics and accidents in;
+* :mod:`repro.linearroad` — the Linear Road benchmark: generator, workflow
+  and validator;
+* :mod:`repro.harness` — experiment configurations and figure/table
+  renderers for the paper's evaluation.
+"""
+
+from . import core
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "__version__"]

@@ -1,0 +1,17 @@
+"""``python -m repro``: the reproduction's command-line interface."""
+
+import signal
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    # Die quietly when downstream pipes close early (e.g. `| head`).
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (AttributeError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # pragma: no cover - racing pipe teardown
+        sys.exit(0)

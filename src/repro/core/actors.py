@@ -1,0 +1,373 @@
+"""Actors: the independent components a workflow is composed of.
+
+Actors follow the Kepler/PtolemyII lifecycle that every director drives:
+
+``initialize`` → ( ``prefire`` → ``fire`` → ``postfire`` )* → ``wrapup``
+
+* ``prefire(ctx)`` returns ``True`` when the actor is willing to fire;
+* ``fire(ctx)`` consumes staged inputs via ``ctx.read`` and produces outputs
+  via ``ctx.send``;
+* ``postfire(ctx)`` returns ``False`` to ask the director to stop scheduling
+  this actor (streams normally never do).
+
+:class:`SourceActor` models push sources: the director asks it to ``pump``
+external arrivals into the workflow instead of staging inputs for it.
+:class:`CompositeActor` wraps a sub-workflow governed by its own (inner)
+director, mirroring Kepler's hierarchical workflows: the Linear Road
+top-level workflow is continuous while its sub-tasks run under SDF or DDF.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
+
+from .context import FiringContext
+from .exceptions import ActorError, PortError
+from .ports import InputPort, OutputPort
+from .windows import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .workflow import Workflow
+
+
+class Actor:
+    """Base class for all workflow activities."""
+
+    #: Directors treat sources specially (e.g. QBS regulates their firing).
+    is_source = False
+
+    def __init__(self, name: str):
+        if not name:
+            raise ActorError("actors need a non-empty name")
+        self.name = name
+        self.workflow: Optional["Workflow"] = None
+        self.input_ports: dict[str, InputPort] = {}
+        self.output_ports: dict[str, OutputPort] = {}
+        #: Designer-assigned priority (used by QBS; smaller = more urgent).
+        self.priority: int = 20
+        #: Nominal cost per invocation in microseconds for the simulation
+        #: cost model; ``None`` means "use the model's default".
+        self.nominal_cost_us: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Port declaration
+    # ------------------------------------------------------------------
+    def add_input(
+        self, name: str, window: Optional[WindowSpec] = None
+    ) -> InputPort:
+        if name in self.input_ports or name in self.output_ports:
+            raise PortError(f"{self.name} already has a port named {name!r}")
+        port = InputPort(self, name, window)
+        self.input_ports[name] = port
+        return port
+
+    def add_output(self, name: str) -> OutputPort:
+        if name in self.input_ports or name in self.output_ports:
+            raise PortError(f"{self.name} already has a port named {name!r}")
+        port = OutputPort(self, name)
+        self.output_ports[name] = port
+        return port
+
+    def input(self, name: str) -> InputPort:
+        try:
+            return self.input_ports[name]
+        except KeyError:
+            raise PortError(f"{self.name} has no input port {name!r}") from None
+
+    def output(self, name: str) -> OutputPort:
+        try:
+            return self.output_ports[name]
+        except KeyError:
+            raise PortError(f"{self.name} has no output port {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle (overridden by concrete actors)
+    # ------------------------------------------------------------------
+    def initialize(self, ctx: FiringContext) -> None:
+        """One-time setup before the workflow starts iterating."""
+
+    def prefire(self, ctx: FiringContext) -> bool:
+        """Return True when the actor is ready to fire."""
+        return True
+
+    def fire(self, ctx: FiringContext) -> None:
+        """Consume staged inputs, produce outputs."""
+        raise NotImplementedError
+
+    def postfire(self, ctx: FiringContext) -> bool:
+        """Return False to stop being scheduled (continuous actors: True)."""
+        return True
+
+    def wrapup(self, ctx: FiringContext) -> None:
+        """Teardown after the director stops the workflow."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class SourceActor(Actor):
+    """An actor that injects external events (push communication).
+
+    Directors call :meth:`pump` instead of staging inputs; the source emits
+    whatever external arrivals are due at engine time ``ctx.now`` via
+    ``ctx.send``.  Sub-classes either override :meth:`pump` or provide an
+    ``arrivals`` iterable of ``(timestamp_us, value)`` pairs.
+    """
+
+    is_source = True
+    #: Unbounded sources (live push connections) are never "done": an
+    #: empty pending queue means "nothing yet", not end-of-stream.
+    unbounded = False
+
+    def __init__(
+        self,
+        name: str,
+        arrivals: Optional[Iterable[tuple[int, Any]]] = None,
+        batch_limit: Optional[int] = None,
+    ):
+        super().__init__(name)
+        self._pending: list[tuple[int, Any]] = (
+            sorted(arrivals, key=lambda pair: pair[0]) if arrivals else []
+        )
+        self._cursor = 0
+        self.batch_limit = batch_limit
+
+    def load(self, arrivals: Iterable[tuple[int, Any]]) -> None:
+        """Replace the arrival schedule (before the workflow starts)."""
+        self._pending = sorted(arrivals, key=lambda pair: pair[0])
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def next_arrival_time(self) -> Optional[int]:
+        """Timestamp of the earliest undelivered arrival, if any."""
+        if self._cursor >= len(self._pending):
+            return None
+        return self._pending[self._cursor][0]
+
+    def pending_arrivals(self, now: int) -> int:
+        """How many arrivals are due (timestamp <= now) but undelivered."""
+        count = 0
+        index = self._cursor
+        while index < len(self._pending) and self._pending[index][0] <= now:
+            count += 1
+            index += 1
+        return count
+
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._pending)
+
+    def shed_due(self, now: int, max_pending: int) -> int:
+        """Drop the oldest due arrivals beyond *max_pending* (shedding).
+
+        Under overload, arrivals the engine has not pulled yet pile up at
+        the source; a load-shedding policy may discard the stalest ones —
+        their response-time targets are already unmeetable.  Returns how
+        many arrivals were dropped.
+        """
+        due = self.pending_arrivals(now)
+        excess = due - max_pending
+        if excess <= 0:
+            return 0
+        self._cursor += excess
+        return excess
+
+    def pump(self, ctx: FiringContext) -> int:
+        """Emit due arrivals (up to ``batch_limit``); returns how many."""
+        emitted = 0
+        limit = self.batch_limit
+        while self._cursor < len(self._pending):
+            timestamp, value = self._pending[self._cursor]
+            if timestamp > ctx.now:
+                break
+            self.emit_arrival(ctx, timestamp, value)
+            self._cursor += 1
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                break
+        return emitted
+
+    def emit_arrival(self, ctx: FiringContext, timestamp: int, value: Any) -> None:
+        """Emit one arrival; sub-classes may transform or fan out."""
+        port = self._sole_output()
+        ctx.send(port, value, timestamp=timestamp)
+
+    def _sole_output(self) -> str:
+        if len(self.output_ports) != 1:
+            raise ActorError(
+                f"source {self.name} must override emit_arrival when it "
+                f"has {len(self.output_ports)} output ports"
+            )
+        return next(iter(self.output_ports))
+
+    def fire(self, ctx: FiringContext) -> None:
+        self.pump(ctx)
+
+
+class FunctionActor(Actor):
+    """Wraps a plain function ``fn(ctx)`` as a full actor.
+
+    Convenience for tests, examples and sub-workflow plumbing where defining
+    a class per step would be noise.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[FiringContext], None],
+        inputs: Sequence[str | tuple[str, WindowSpec]] = ("in",),
+        outputs: Sequence[str] = ("out",),
+    ):
+        super().__init__(name)
+        self._fn = fn
+        for spec in inputs:
+            if isinstance(spec, tuple):
+                self.add_input(spec[0], spec[1])
+            else:
+                self.add_input(spec)
+        for out in outputs:
+            self.add_output(out)
+
+    def fire(self, ctx: FiringContext) -> None:
+        self._fn(ctx)
+
+
+class MapActor(Actor):
+    """One-in/one-out transform: ``out = fn(value)`` per consumed item.
+
+    When the input carries windows, ``fn`` receives the window's payload
+    list; when it carries single events, ``fn`` receives the payload.
+    Returning ``None`` drops the item (selectivity < 1); returning a list
+    fans out (selectivity > 1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any], Any],
+        window: Optional[WindowSpec] = None,
+    ):
+        super().__init__(name)
+        self._fn = fn
+        self.add_input("in", window)
+        self.add_output("out")
+
+    def fire(self, ctx: FiringContext) -> None:
+        item = ctx.read("in")
+        if item is None:
+            return
+        payload = item.values if hasattr(item, "values") else item.value
+        result = self._fn(payload)
+        if result is None:
+            return
+        if isinstance(result, list):
+            for part in result:
+                ctx.send("out", part)
+        else:
+            ctx.send("out", result)
+
+
+class SinkActor(Actor):
+    """Collects everything it consumes; the terminal probe of a workflow.
+
+    Records ``(engine_time_us, item)`` pairs, and, when items are events or
+    windows, response-time samples ``engine_time - external_timestamp``.
+    """
+
+    def __init__(self, name: str, callback: Optional[Callable] = None):
+        super().__init__(name)
+        self.add_input("in")
+        self.items: list[tuple[int, Any]] = []
+        self.response_times_us: list[tuple[int, int]] = []
+        self._callback = callback
+
+    def fire(self, ctx: FiringContext) -> None:
+        while True:
+            item = ctx.read("in")
+            if item is None:
+                break
+            self.items.append((ctx.now, item))
+            timestamp = getattr(item, "timestamp", None)
+            if timestamp is not None:
+                self.response_times_us.append((ctx.now, ctx.now - timestamp))
+            if self._callback is not None:
+                self._callback(ctx, item)
+
+    @property
+    def values(self) -> list:
+        out = []
+        for _, item in self.items:
+            if hasattr(item, "values"):
+                out.append(item.values)
+            elif hasattr(item, "value"):
+                out.append(item.value)
+            else:
+                out.append(item)
+        return out
+
+
+class CompositeActor(Actor):
+    """An actor whose behaviour is a sub-workflow run by an inner director.
+
+    The outer director fires the composite like any opaque actor; the
+    composite transfers its staged inputs onto the sub-workflow's boundary
+    source ports, runs the inner director to quiescence, and forwards
+    whatever reached the sub-workflow's boundary sinks to its own outputs.
+
+    Boundary mapping: ``bind_input(outer_name, inner_actor, inner_port)``
+    routes staged items into the inner graph; ``bind_output(outer_name,
+    inner_sink)`` declares which inner sink feeds which outer output port.
+    """
+
+    def __init__(self, name: str, subworkflow: "Workflow", director):
+        super().__init__(name)
+        self.subworkflow = subworkflow
+        self.director = director
+        self._input_bindings: dict[str, tuple[Actor, str]] = {}
+        self._output_bindings: dict[str, SinkActor] = {}
+        self._initialized = False
+
+    def bind_input(
+        self, outer_name: str, inner_actor: Actor, inner_port: str = "in"
+    ) -> None:
+        if outer_name not in self.input_ports:
+            raise PortError(f"{self.name} has no input port {outer_name!r}")
+        inner_actor.input(inner_port).boundary = True
+        self._input_bindings[outer_name] = (inner_actor, inner_port)
+
+    def bind_output(self, outer_name: str, inner_sink: SinkActor) -> None:
+        if outer_name not in self.output_ports:
+            raise PortError(f"{self.name} has no output port {outer_name!r}")
+        self._output_bindings[outer_name] = inner_sink
+
+    # ------------------------------------------------------------------
+    def initialize(self, ctx: FiringContext) -> None:
+        self.director.attach(self.subworkflow)
+        self.director.initialize_all()
+        self._initialized = True
+
+    def fire(self, ctx: FiringContext) -> None:
+        if not self._initialized:
+            raise ActorError(
+                f"composite {self.name} fired before initialization"
+            )
+        for outer_name in list(self.input_ports):
+            binding = self._input_bindings.get(outer_name)
+            if binding is None:
+                continue
+            inner_actor, inner_port = binding
+            while True:
+                item = ctx.read(outer_name)
+                if item is None:
+                    break
+                self.director.inject(inner_actor, inner_port, item, ctx.now)
+        self.director.run_to_quiescence(ctx.now)
+        for outer_name, sink in self._output_bindings.items():
+            for _, item in sink.items:
+                value = item.value if hasattr(item, "value") else item
+                ctx.send(outer_name, value)
+            sink.items.clear()
+            sink.response_times_us.clear()
+
+    def wrapup(self, ctx: FiringContext) -> None:
+        if self._initialized:
+            self.director.wrapup_all()

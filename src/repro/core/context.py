@@ -1,0 +1,175 @@
+"""Firing contexts: how an actor reads inputs and emits outputs.
+
+A director never lets actors touch receivers directly.  Instead, before each
+invocation it *stages* the data the actor may consume (a window, an event, a
+batch of arrivals) into a :class:`FiringContext`, and the actor's lifecycle
+methods interact only with that context:
+
+``ctx.read(port)``
+    pop the next staged item for the named input port (or ``None``);
+``ctx.send(port, value)``
+    emit a value on the named output port — the context wraps it into a
+    timestamped, wave-stamped :class:`~repro.core.events.CWEvent` and routes
+    it through the director's emission hook;
+``ctx.now``
+    the current engine time in microseconds (virtual or wall, depending on
+    the runtime).
+
+Wave bookkeeping happens here: outputs of a firing become children of the
+wave of the item that triggered the firing, and the last output of the
+firing is marked ``last_in_wave`` when the context closes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .events import CWEvent
+from .exceptions import ActorError
+from .tokens import as_token
+from .waves import WaveGenerator, WaveScope, WaveTag
+from .windows import Window
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .actors import Actor
+
+EmitHook = Callable[["Actor", str, CWEvent], None]
+
+
+class FiringContext:
+    """Mutable per-invocation staging area and emission gateway."""
+
+    def __init__(
+        self,
+        actor: "Actor",
+        now: int,
+        emit_hook: EmitHook,
+        wave_generator: Optional[WaveGenerator] = None,
+    ):
+        self.actor = actor
+        self.now = now
+        self._emit_hook = emit_hook
+        self._wave_generator = wave_generator
+        self._staged: dict[str, deque] = {}
+        self._scope: Optional[WaveScope] = None
+        self._trigger_timestamp: Optional[int] = None
+        #: Emissions buffered until ``close()``: the last event of a firing
+        #: must carry its ``last_in_wave`` mark *before* downstream
+        #: receivers see it, so nothing is broadcast mid-firing.
+        self._pending: list[tuple[str, CWEvent]] = []
+        #: Emission counters for the statistics module.
+        self.inputs_consumed = 0
+        self.outputs_produced = 0
+
+    # ------------------------------------------------------------------
+    # Staging (director side)
+    # ------------------------------------------------------------------
+    def stage(self, port_name: str, item: Window | CWEvent) -> None:
+        """Make *item* available to the actor's next ``read`` on the port."""
+        self._staged.setdefault(port_name, deque()).append(item)
+
+    def staged_count(self, port_name: str) -> int:
+        return len(self._staged.get(port_name, ()))
+
+    def has_staged(self, port_name: Optional[str] = None) -> bool:
+        if port_name is not None:
+            return bool(self._staged.get(port_name))
+        return any(self._staged.values())
+
+    # ------------------------------------------------------------------
+    # Reading (actor side)
+    # ------------------------------------------------------------------
+    def read(self, port_name: str) -> Window | CWEvent | None:
+        """Pop the next staged window/event for *port_name*, or ``None``."""
+        if port_name not in self.actor.input_ports:
+            raise ActorError(
+                f"{self.actor.name} has no input port {port_name!r}"
+            )
+        queue = self._staged.get(port_name)
+        if not queue:
+            return None
+        item = queue.popleft()
+        self.inputs_consumed += 1
+        self._adopt_wave(item)
+        return item
+
+    def read_value(self, port_name: str) -> Any:
+        """Like :meth:`read` but unwraps single events to their payload."""
+        item = self.read(port_name)
+        if isinstance(item, CWEvent):
+            return item.value
+        return item
+
+    def _adopt_wave(self, item: Window | CWEvent) -> None:
+        """Outputs of this firing descend from the consumed item's wave."""
+        if isinstance(item, Window):
+            if not item.events:
+                return
+            newest = max(item.events)
+            wave, timestamp = newest.wave, newest.timestamp
+        else:
+            wave, timestamp = item.wave, item.timestamp
+        if self._scope is not None:
+            # Reading a second item: the previous sub-wave is complete.
+            self._scope.close()
+        self._scope = WaveScope(wave)
+        self._trigger_timestamp = timestamp
+
+    # ------------------------------------------------------------------
+    # Emission (actor side)
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        port_name: str,
+        value: Any,
+        timestamp: Optional[int] = None,
+    ) -> CWEvent:
+        """Emit *value* on *port_name* as a wave-stamped CWEvent."""
+        if port_name not in self.actor.output_ports:
+            raise ActorError(
+                f"{self.actor.name} has no output port {port_name!r}"
+            )
+        event = self._make_event(value, timestamp)
+        self.outputs_produced += 1
+        self._pending.append((port_name, event))
+        return event
+
+    def _make_event(self, value: Any, timestamp: Optional[int]) -> CWEvent:
+        if self._scope is not None:
+            wave = self._scope.tag_for_output()
+            ts = timestamp if timestamp is not None else self._trigger_timestamp
+            event = CWEvent(as_token(value), ts, wave)
+            self._scope.note_event(event)
+            return event
+        # Source emission: a brand-new external event starts a new wave.
+        if self._wave_generator is None:
+            raise ActorError(
+                f"{self.actor.name} emitted without a consumed event and "
+                "without a wave generator (source actors need one)"
+            )
+        wave = self._wave_generator.next_root()
+        ts = timestamp if timestamp is not None else self.now
+        event = CWEvent(as_token(value), ts, wave)
+        event.last_in_wave = True  # a root external event is its own wave head
+        return event
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """End of firing: mark the sub-wave's last event, then flush.
+
+        Emissions buffered during the firing are broadcast here, after the
+        wave marks are final, in production order.  A firing that raises
+        never flushes — its partial output is discarded, not half-applied.
+        """
+        if self._scope is not None:
+            self._scope.close()
+            self._scope = None
+        pending, self._pending = self._pending, []
+        for port_name, event in pending:
+            self._emit_hook(self.actor, port_name, event)
+
+    def abort(self) -> None:
+        """Discard buffered emissions: the firing failed mid-way."""
+        self._pending.clear()
+        self._scope = None

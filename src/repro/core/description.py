@@ -1,0 +1,225 @@
+"""Declarative workflow descriptions.
+
+Kepler separates the *specification* of a workflow from the model of
+computation that runs it; this module gives the reproduction the same
+property: a workflow is described as plain data (a dict, trivially
+JSON/YAML-serializable apart from callables) and built into a live
+:class:`~repro.core.workflow.Workflow` that any director can attach to.
+
+Example::
+
+    spec = {
+        "name": "monitor",
+        "actors": [
+            {"name": "feed", "type": "source",
+             "arrivals": [(0, 1.0), (1000, 2.0)]},
+            {"name": "avg", "type": "map",
+             "function": lambda values: sum(values) / len(values),
+             "window": {"size": 4, "step": 1},
+             "priority": 10},
+            {"name": "out", "type": "sink"},
+        ],
+        "connections": [["feed", "avg"], ["avg", "out"]],
+    }
+    workflow = build_workflow(spec)
+
+Custom actor classes register by name in an :class:`ActorRegistry` (or use
+``"type": "class"`` with a ``class`` entry holding the actor class or its
+dotted path).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Optional
+
+from .actors import Actor, FunctionActor, MapActor, SinkActor, SourceActor
+from .exceptions import WorkflowError
+from .windows import Measure, WindowSpec
+from .workflow import Workflow
+
+_MEASURES = {
+    "tokens": Measure.TOKENS,
+    "time": Measure.TIME,
+    "waves": Measure.WAVES,
+}
+
+
+def window_from_spec(spec: dict[str, Any]) -> WindowSpec:
+    """Build a :class:`WindowSpec` from its dict form."""
+    try:
+        size = spec["size"]
+    except KeyError:
+        raise WorkflowError("window spec needs a 'size'") from None
+    measure_name = spec.get("measure", "tokens")
+    measure = _MEASURES.get(measure_name)
+    if measure is None:
+        raise WorkflowError(
+            f"unknown window measure {measure_name!r} "
+            f"(expected one of {sorted(_MEASURES)})"
+        )
+    return WindowSpec(
+        size=size,
+        step=spec.get("step", size if measure is Measure.TIME else 1),
+        measure=measure,
+        timeout=spec.get("timeout"),
+        group_by=spec.get("group_by"),
+        delete_used_events=spec.get("delete_used_events", False),
+    )
+
+
+class ActorRegistry:
+    """Maps ``type`` names in actor specs to builder callables."""
+
+    def __init__(self):
+        self._builders: dict[str, Callable[[dict], Actor]] = {}
+        self.register("source", self._build_source)
+        self.register("map", self._build_map)
+        self.register("function", self._build_function)
+        self.register("sink", self._build_sink)
+        self.register("class", self._build_class)
+
+    def register(self, name: str, builder: Callable[[dict], Actor]) -> None:
+        self._builders[name] = builder
+
+    def build(self, spec: dict[str, Any]) -> Actor:
+        type_name = spec.get("type")
+        builder = self._builders.get(type_name)
+        if builder is None:
+            raise WorkflowError(
+                f"unknown actor type {type_name!r} "
+                f"(registered: {sorted(self._builders)})"
+            )
+        actor = builder(spec)
+        if "priority" in spec:
+            actor.priority = int(spec["priority"])
+        if "cost_us" in spec:
+            actor.nominal_cost_us = int(spec["cost_us"])
+        return actor
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _name_of(spec: dict[str, Any]) -> str:
+        try:
+            return spec["name"]
+        except KeyError:
+            raise WorkflowError("every actor spec needs a 'name'") from None
+
+    def _build_source(self, spec: dict[str, Any]) -> Actor:
+        source = SourceActor(
+            self._name_of(spec),
+            arrivals=spec.get("arrivals", []),
+            batch_limit=spec.get("batch_limit"),
+        )
+        source.add_output(spec.get("output", "out"))
+        return source
+
+    def _window_of(self, spec: dict[str, Any]) -> Optional[WindowSpec]:
+        window = spec.get("window")
+        if window is None:
+            return None
+        if isinstance(window, WindowSpec):
+            return window
+        return window_from_spec(window)
+
+    def _build_map(self, spec: dict[str, Any]) -> Actor:
+        function = spec.get("function")
+        if not callable(function):
+            raise WorkflowError(
+                f"map actor {spec.get('name')!r} needs a callable 'function'"
+            )
+        return MapActor(
+            self._name_of(spec), function, window=self._window_of(spec)
+        )
+
+    def _build_function(self, spec: dict[str, Any]) -> Actor:
+        function = spec.get("function")
+        if not callable(function):
+            raise WorkflowError(
+                f"function actor {spec.get('name')!r} needs a callable "
+                "'function'"
+            )
+        inputs = []
+        for entry in spec.get("inputs", ["in"]):
+            if isinstance(entry, dict):
+                inputs.append(
+                    (entry["name"], window_from_spec(entry["window"]))
+                )
+            else:
+                inputs.append(entry)
+        return FunctionActor(
+            self._name_of(spec),
+            function,
+            inputs=tuple(inputs),
+            outputs=tuple(spec.get("outputs", ["out"])),
+        )
+
+    def _build_sink(self, spec: dict[str, Any]) -> Actor:
+        return SinkActor(self._name_of(spec), callback=spec.get("callback"))
+
+    def _build_class(self, spec: dict[str, Any]) -> Actor:
+        target = spec.get("class")
+        if isinstance(target, str):
+            module_name, _, class_name = target.rpartition(".")
+            target = getattr(
+                importlib.import_module(module_name), class_name
+            )
+        if not (isinstance(target, type) and issubclass(target, Actor)):
+            raise WorkflowError(
+                f"'class' actor {spec.get('name')!r} needs an Actor "
+                "subclass or its dotted path"
+            )
+        kwargs = dict(spec.get("kwargs", {}))
+        return target(self._name_of(spec), **kwargs)
+
+
+def _parse_endpoint(endpoint: Any) -> tuple[str, Optional[str]]:
+    """'actor' or 'actor.port' -> (actor, port or None)."""
+    if isinstance(endpoint, (list, tuple)) and len(endpoint) == 2:
+        return str(endpoint[0]), str(endpoint[1])
+    text = str(endpoint)
+    actor, _, port = text.partition(".")
+    return actor, port or None
+
+
+def build_workflow(
+    spec: dict[str, Any],
+    registry: Optional[ActorRegistry] = None,
+) -> Workflow:
+    """Build and validate a workflow from its declarative description."""
+    registry = registry or ActorRegistry()
+    workflow = Workflow(spec.get("name", "workflow"))
+    for actor_spec in spec.get("actors", []):
+        workflow.add(registry.build(actor_spec))
+
+    def actor_of(name: str) -> Actor:
+        actor = workflow.actors.get(name)
+        if actor is None:
+            raise WorkflowError(f"connection references unknown actor {name!r}")
+        return actor
+
+    for connection in spec.get("connections", []):
+        if isinstance(connection, dict):
+            source, sink = connection["from"], connection["to"]
+        else:
+            source, sink = connection
+        src_name, src_port = _parse_endpoint(source)
+        dst_name, dst_port = _parse_endpoint(sink)
+        workflow.connect(
+            actor_of(src_name),
+            actor_of(dst_name),
+            source_port=src_port,
+            sink_port=dst_port,
+        )
+    for route in spec.get("expired", []):
+        source, handler = route
+        src_name, src_port = _parse_endpoint(source)
+        dst_name, dst_port = _parse_endpoint(handler)
+        workflow.connect_expired(
+            actor_of(src_name),
+            actor_of(dst_name),
+            windowed_port=src_port,
+            handler_port=dst_port,
+        )
+    workflow.validate()
+    return workflow

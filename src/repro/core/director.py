@@ -1,0 +1,138 @@
+"""The director abstraction: execution + communication model of a workflow.
+
+As in Kepler/PtolemyII, the *director* — not the actor — decides how actors
+communicate (it supplies the receivers) and when they execute.  Concrete
+models of computation live in :mod:`repro.directors`; the STAFiLOS scheduled
+director lives in :mod:`repro.stafilos`.
+
+Directors share a small common surface so composites can nest any director
+under any other:
+
+* ``attach(workflow)`` — bind to a workflow and create receivers;
+* ``initialize_all()`` / ``wrapup_all()`` — actor lifecycle bracketing;
+* ``inject(actor, port, item, now)`` — push a boundary item into the graph;
+* ``run_to_quiescence(now)`` — fire enabled actors until nothing can fire
+  (what a composite actor invokes when the outer director fires it).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional
+
+from .actors import Actor
+from .context import FiringContext
+from .events import CWEvent
+from .exceptions import DirectorError
+from .ports import InputPort
+from .receivers import FIFOReceiver, Receiver
+from .statistics import StatisticsRegistry
+from .tokens import as_token
+from .windows import Window
+from .workflow import Workflow
+
+
+class Director(ABC):
+    """Base class for all models of computation."""
+
+    #: Human-readable name used by the Table 1 taxonomy and reprs.
+    model_name = "abstract"
+
+    def __init__(self):
+        self.workflow: Optional[Workflow] = None
+        self.statistics = StatisticsRegistry()
+        self._attached = False
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Binding
+    # ------------------------------------------------------------------
+    def attach(self, workflow: Workflow) -> None:
+        """Bind to *workflow*, validate it, and install receivers."""
+        if self._attached and self.workflow is not workflow:
+            raise DirectorError("director is already attached to a workflow")
+        workflow.validate()
+        self.workflow = workflow
+        for actor in workflow.actors.values():
+            for port in actor.input_ports.values():
+                port.attach_receiver(self.create_receiver(port))
+        self._attached = True
+
+    def create_receiver(self, port: InputPort) -> Receiver:
+        """Receiver factory; the default model ignores window declarations."""
+        return FIFOReceiver(port)
+
+    def _require_attached(self) -> Workflow:
+        if self.workflow is None:
+            raise DirectorError("director is not attached to a workflow")
+        return self.workflow
+
+    # ------------------------------------------------------------------
+    # Lifecycle bracketing
+    # ------------------------------------------------------------------
+    def initialize_all(self) -> None:
+        workflow = self._require_attached()
+        for actor in workflow.actors.values():
+            ctx = self.make_context(actor, now=0)
+            actor.initialize(ctx)
+            ctx.close()
+            self.statistics.register(actor)
+        self._initialized = True
+
+    def wrapup_all(self) -> None:
+        workflow = self._require_attached()
+        for actor in workflow.actors.values():
+            ctx = self.make_context(actor, now=self.current_time())
+            actor.wrapup(ctx)
+            ctx.close()
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Context plumbing
+    # ------------------------------------------------------------------
+    def make_context(self, actor: Actor, now: int) -> FiringContext:
+        workflow = self._require_attached()
+        return FiringContext(
+            actor,
+            now,
+            emit_hook=self.on_emit,
+            wave_generator=workflow.wave_generator,
+        )
+
+    def on_emit(self, actor: Actor, port_name: str, event: CWEvent) -> None:
+        """Route a produced event to the connected receivers."""
+        actor.output(port_name).broadcast(event)
+        self.statistics.record_output(actor, 1, event.timestamp)
+
+    @abstractmethod
+    def current_time(self) -> int:
+        """Engine time in microseconds."""
+
+    # ------------------------------------------------------------------
+    # Composite-boundary protocol
+    # ------------------------------------------------------------------
+    def inject(
+        self, actor: Actor, port_name: str, item: Any, now: int
+    ) -> None:
+        """Deposit a boundary item into *actor*'s input receiver.
+
+        Windows crossing a composite boundary are flattened to a single
+        event whose payload is the window's value list (documented composite
+        semantics: the inner graph sees one token per outer window).
+        """
+        port = actor.input(port_name)
+        if isinstance(item, Window):
+            newest = max(item.events)
+            event = CWEvent(
+                as_token(item.values), item.timestamp, newest.wave
+            )
+        elif isinstance(item, CWEvent):
+            event = item
+        else:
+            event = CWEvent(as_token(item), now, self._require_attached()
+                            .wave_generator.next_root())
+        port.put(event)
+
+    @abstractmethod
+    def run_to_quiescence(self, now: int) -> int:
+        """Fire enabled actors until none can fire; returns firing count."""

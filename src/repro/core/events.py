@@ -1,0 +1,86 @@
+"""Continuous-workflow events (``CWEvent``).
+
+CONFLuEnCE encapsulates every token into a *CWEvent* carrying:
+
+* the external-event **timestamp** (microseconds of virtual or wall time) of
+  the wave the event belongs to — this is what response-time metrics and
+  time-based windows are computed against;
+* the **wave-tag** describing the event's lineage (see
+  :mod:`repro.core.waves`);
+* a ``last_in_wave`` mark set on the final event a firing produces, so
+  downstream actors can synchronize complete waves.
+
+Events are totally ordered by ``(timestamp, wave, seq)`` which makes the
+per-actor ready queues of the STAFiLOS abstract scheduler well-defined.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from .tokens import Token, as_token
+from .waves import WaveTag
+
+_EVENT_SEQ = itertools.count(1)
+
+
+class CWEvent:
+    """A timestamped, wave-stamped token travelling through the workflow."""
+
+    __slots__ = (
+        "token",
+        "timestamp",
+        "wave",
+        "last_in_wave",
+        "enqueue_time",
+        "seq",
+    )
+
+    def __init__(
+        self,
+        token: Token | Any,
+        timestamp: int,
+        wave: WaveTag,
+        last_in_wave: bool = False,
+    ):
+        self.token = as_token(token)
+        self.timestamp = int(timestamp)
+        self.wave = wave
+        self.last_in_wave = last_in_wave
+        #: Set by receivers when the event is enqueued; used by statistics.
+        self.enqueue_time: Optional[int] = None
+        #: Global admission order; tie-breaker for deterministic ordering.
+        self.seq = next(_EVENT_SEQ)
+
+    # ------------------------------------------------------------------
+    # Value access
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """The raw payload carried by the event's token."""
+        return self.token.value
+
+    def field(self, name: str) -> Any:
+        """Field access on the payload (used by group-by clauses)."""
+        return self.token.field(name)
+
+    def derive(self, token: Token | Any, wave: WaveTag) -> "CWEvent":
+        """Create a descendant event that inherits this event's timestamp."""
+        return CWEvent(token, self.timestamp, wave)
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (self.timestamp, self.wave, self.seq)
+
+    def __lt__(self, other: "CWEvent") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "CWEvent") -> bool:
+        return self._key() <= other._key()
+
+    def __repr__(self) -> str:
+        mark = "!" if self.last_in_wave else ""
+        return f"CWEvent(t={self.timestamp}, w={self.wave}{mark}, {self.token!r})"

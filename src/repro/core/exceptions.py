@@ -1,0 +1,45 @@
+"""Exception hierarchy for the CONFLuEnCE reproduction.
+
+All library errors derive from :class:`ConfluenceError` so applications can
+catch engine failures with a single ``except`` clause while still
+distinguishing model errors (bad workflow graphs), runtime errors (director
+misuse) and window-semantics errors.
+"""
+
+from __future__ import annotations
+
+
+class ConfluenceError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class WorkflowError(ConfluenceError):
+    """The workflow graph is malformed (dangling ports, duplicate names...)."""
+
+
+class ActorError(ConfluenceError):
+    """An actor was used outside of its legal lifecycle."""
+
+
+class PortError(ConfluenceError):
+    """A port was connected or accessed illegally."""
+
+
+class ReceiverError(ConfluenceError):
+    """A receiver was read while empty or otherwise misused."""
+
+
+class WindowError(ConfluenceError):
+    """A window specification is invalid or window formation failed."""
+
+
+class DirectorError(ConfluenceError):
+    """A director was driven through an illegal state transition."""
+
+
+class SchedulerError(ConfluenceError):
+    """A STAFiLOS scheduler violated the abstract-scheduler contract."""
+
+
+class SimulationError(ConfluenceError):
+    """The virtual-time simulation runtime was misconfigured."""

@@ -1,0 +1,119 @@
+"""Ports and channels: the communication interfaces between actors.
+
+Communication in the CWf model happens between an actor's *output port* and
+the *input ports* of downstream actors.  An input port owns exactly one
+receiver (provided by the director — that is how the director controls the
+communication model); when several upstream channels feed the same input
+port, their events merge into that single receiver's queue, which matches
+the "active queue on the input of the activity" picture of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .events import CWEvent
+from .exceptions import PortError
+from .receivers import Receiver
+from .windows import WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .actors import Actor
+
+
+class Port:
+    """Common state shared by input and output ports."""
+
+    def __init__(self, actor: "Actor", name: str):
+        self.actor = actor
+        self.name = name
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.actor.name}.{self.name}"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name})"
+
+
+class InputPort(Port):
+    """An input port: owns the active queue (receiver) feeding its actor.
+
+    ``window`` declares the window semantics the director should configure
+    on this queue; directors that do not understand windows (plain SDF/DDF)
+    reject ports that declare one.
+    """
+
+    def __init__(
+        self,
+        actor: "Actor",
+        name: str,
+        window: Optional[WindowSpec] = None,
+    ):
+        super().__init__(actor, name)
+        self.window = window
+        self.receiver: Optional[Receiver] = None
+        #: Channels terminating here (for graph introspection only).
+        self.incoming: list["Channel"] = []
+        #: True when a composite boundary feeds this port via injection,
+        #: so validation accepts it without an incoming channel.
+        self.boundary = False
+        #: Optional destination for events expiring out of this port's
+        #: window ("pushed to an expired items queue which are optionally
+        #: handled by another workflow activity", paper §2.1).
+        self.expired_to: Optional["InputPort"] = None
+
+    def attach_receiver(self, receiver: Receiver) -> None:
+        receiver.port = self
+        self.receiver = receiver
+
+    def put(self, event: CWEvent) -> None:
+        if self.receiver is None:
+            raise PortError(
+                f"input port {self.full_name} has no receiver; "
+                "was the workflow initialized by a director?"
+            )
+        self.receiver.put(event)
+
+    def has_token(self) -> bool:
+        return self.receiver is not None and self.receiver.has_token()
+
+    def get(self):
+        if self.receiver is None:
+            raise PortError(f"input port {self.full_name} has no receiver")
+        return self.receiver.get()
+
+
+class OutputPort(Port):
+    """An output port: broadcasts produced events to all remote receivers."""
+
+    def __init__(self, actor: "Actor", name: str):
+        super().__init__(actor, name)
+        self.outgoing: list["Channel"] = []
+
+    def broadcast(self, event: CWEvent) -> None:
+        """Deliver *event* to the receiver of every connected input port."""
+        for channel in self.outgoing:
+            channel.sink.put(event)
+
+    @property
+    def destinations(self) -> list[InputPort]:
+        return [channel.sink for channel in self.outgoing]
+
+
+class Channel:
+    """A directed connection from an output port to an input port."""
+
+    def __init__(self, source: OutputPort, sink: InputPort):
+        if isinstance(source, InputPort) or isinstance(sink, OutputPort):
+            raise PortError(
+                "channels connect an OutputPort to an InputPort "
+                f"(got {source!r} -> {sink!r})"
+            )
+        self.source = source
+        self.sink = sink
+        source.outgoing.append(self)
+        sink.incoming.append(self)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.source.full_name} -> {self.sink.full_name})"

@@ -1,0 +1,30 @@
+"""Punctuation semantics for continuous streams.
+
+The paper's related machinery (its ref [30], Tucker et al.) lets a stream
+carry *punctuations*: assertions that no future event will precede a given
+timestamp.  A punctuation lets time-based windows close **exactly** — not
+by a wall-clock timeout guess, but because the producer guaranteed the
+window's content is complete.
+
+A :class:`Punctuation` travels as an ordinary event payload; windowed
+receivers intercept it (see
+:meth:`repro.core.receivers.WindowedReceiver.put`): every time-based group
+whose right boundary lies at or before the punctuation closes and
+produces, and the punctuation itself is consumed by the queue (it is a
+control item, never staged for the actor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """"No event with timestamp < ``up_to_us`` will ever arrive here.""" ""
+
+    up_to_us: int
+
+    def __post_init__(self) -> None:
+        if self.up_to_us < 0:
+            raise ValueError("punctuation timestamps cannot be negative")

@@ -1,0 +1,179 @@
+"""Receivers: the queue objects sitting at the receiving end of a channel.
+
+In Kepler/PtolemyII the *receiver* is supplied by the director, not by the
+actor — the director thereby controls the communication model.  This module
+defines the director-agnostic receivers:
+
+* :class:`FIFOReceiver` — a plain buffered queue (used by SDF/DDF/PN/DE);
+* :class:`WindowedReceiver` — the CONFLuEnCE receiver: every ``put`` stamps
+  the token into a :class:`~repro.core.events.CWEvent`, routes it through a
+  :class:`~repro.core.windows.WindowOperator`, and any produced windows are
+  stored on an output queue that the owning actor's ``get`` drains.
+
+The STAFiLOS ``TMWindowedReceiver`` (in :mod:`repro.stafilos.tm_receiver`)
+extends :class:`WindowedReceiver` so produced windows are handed to the
+scheduler instead of buffered locally.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Any, Optional
+
+from .events import CWEvent
+from .exceptions import ReceiverError
+from .windows import Window, WindowOperator, WindowSpec
+
+
+class Receiver(ABC):
+    """Abstract receiver: the director-provided end point of a channel."""
+
+    def __init__(self, port=None):
+        #: The input port this receiver belongs to (set on attachment).
+        self.port = port
+
+    @abstractmethod
+    def put(self, event: CWEvent) -> None:
+        """Accept an event arriving over the channel."""
+
+    @abstractmethod
+    def get(self) -> Any:
+        """Return the next readable item (event or window)."""
+
+    @abstractmethod
+    def has_token(self) -> bool:
+        """True when :meth:`get` would succeed."""
+
+    def size(self) -> int:
+        """Number of readable items currently buffered."""
+        return 1 if self.has_token() else 0
+
+    def clear(self) -> None:
+        """Discard all buffered content."""
+
+
+class FIFOReceiver(Receiver):
+    """An unbounded first-in/first-out event queue."""
+
+    def __init__(self, port=None):
+        super().__init__(port)
+        self._queue: deque[CWEvent] = deque()
+
+    def put(self, event: CWEvent) -> None:
+        self._queue.append(event)
+
+    def get(self) -> CWEvent:
+        if not self._queue:
+            raise ReceiverError(
+                f"get() on empty FIFO receiver of port {self.port!r}"
+            )
+        return self._queue.popleft()
+
+    def has_token(self) -> bool:
+        return bool(self._queue)
+
+    def size(self) -> int:
+        return len(self._queue)
+
+    def peek(self) -> CWEvent:
+        if not self._queue:
+            raise ReceiverError("peek() on empty FIFO receiver")
+        return self._queue[0]
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+
+class WindowedReceiver(Receiver):
+    """The CONFLuEnCE windowed receiver.
+
+    ``put`` inserts the event into the appropriate group-by queue of the
+    window operator and, within the same call, checks whether a new window
+    is produced; produced windows are stored on the output queue returned by
+    ``get``.  Expired events accumulate on :attr:`expired` until drained
+    (optionally by a dedicated workflow activity).
+    """
+
+    def __init__(self, spec: WindowSpec, port=None):
+        super().__init__(port)
+        self.spec = spec
+        self.operator = WindowOperator(spec)
+        self._windows: deque[Window] = deque()
+
+    # ------------------------------------------------------------------
+    def put(self, event: CWEvent) -> None:
+        from .punctuation import Punctuation
+
+        if isinstance(event.value, Punctuation):
+            # Control item: close every time window the assertion
+            # completes.  Count/wave windows are unaffected — their
+            # completeness does not depend on timestamps.
+            from .windows import Measure
+
+            if self.spec.measure is Measure.TIME:
+                for window in self.operator.force_timeout(
+                    now=event.value.up_to_us
+                ):
+                    self._deliver(window)
+                self._route_expired()
+            return
+        for window in self.operator.put(event):
+            self._deliver(window)
+        self._route_expired()
+
+    def _deliver(self, window: Window) -> None:
+        """Route a produced window; subclasses override to hand it off."""
+        self._windows.append(window)
+
+    def _route_expired(self) -> None:
+        """Forward expired events to the declared handler port, if any."""
+        target = self.port.expired_to if self.port is not None else None
+        if target is None or not self.operator.expired:
+            return
+        for event in self.operator.drain_expired():
+            target.put(event)
+
+    def get(self) -> Window:
+        if not self._windows:
+            raise ReceiverError(
+                f"get() on windowed receiver of port {self.port!r} "
+                "with no produced window"
+            )
+        return self._windows.popleft()
+
+    def has_token(self) -> bool:
+        return bool(self._windows)
+
+    def size(self) -> int:
+        return len(self._windows)
+
+    # ------------------------------------------------------------------
+    # Timeouts and maintenance
+    # ------------------------------------------------------------------
+    def next_deadline(self) -> Optional[int]:
+        """Event-time deadline of the earliest pending time window."""
+        return self.operator.next_deadline()
+
+    def force_timeout(self, now: Optional[int] = None) -> int:
+        """Force-close pending windows; returns how many were produced."""
+        produced = self.operator.force_timeout(now)
+        for window in produced:
+            self._deliver(window)
+        self._route_expired()
+        return len(produced)
+
+    @property
+    def expired(self) -> deque[CWEvent]:
+        return self.operator.expired
+
+    def drain_expired(self) -> list[CWEvent]:
+        return self.operator.drain_expired()
+
+    def pending_events(self) -> int:
+        """Events buffered inside the operator, not yet in any window."""
+        return self.operator.pending_count()
+
+    def clear(self) -> None:
+        self._windows.clear()
+        self.operator = WindowOperator(self.spec)

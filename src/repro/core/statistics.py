@@ -1,0 +1,200 @@
+"""Runtime actor statistics — the feed for QoS-aware schedulers.
+
+STAFiLOS exposes runtime statistics to the abstract scheduler: the cost of
+each actor (time per invocation), actor input and output rates, and the
+derived selectivity.  These are updated on every invocation and consumed by
+policies such as the Rate-Based scheduler, which needs *global* (downstream
+path-aggregated) selectivity and cost in the style of Sharaf et al.'s
+Highest Rate scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .actors import Actor
+    from .workflow import Workflow
+
+#: Horizon (µs) over which input/output rates are measured.
+RATE_HORIZON_US = 10_000_000
+#: Smoothing factor of the exponentially weighted per-invocation cost.
+EWMA_ALPHA = 0.2
+
+
+class ActorStats:
+    """Online statistics for one actor."""
+
+    __slots__ = (
+        "invocations",
+        "total_cost_us",
+        "ewma_cost_us",
+        "inputs_total",
+        "outputs_total",
+        "_input_times",
+        "_output_times",
+    )
+
+    def __init__(self):
+        self.invocations = 0
+        self.total_cost_us = 0
+        self.ewma_cost_us: Optional[float] = None
+        self.inputs_total = 0
+        self.outputs_total = 0
+        self._input_times: deque[int] = deque()
+        self._output_times: deque[int] = deque()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_invocation(self, cost_us: int) -> None:
+        self.invocations += 1
+        self.total_cost_us += cost_us
+        if self.ewma_cost_us is None:
+            self.ewma_cost_us = float(cost_us)
+        else:
+            self.ewma_cost_us += EWMA_ALPHA * (cost_us - self.ewma_cost_us)
+
+    def record_input(self, count: int, now_us: int) -> None:
+        self.inputs_total += count
+        for _ in range(count):
+            self._input_times.append(now_us)
+        self._trim(self._input_times, now_us)
+
+    def record_output(self, count: int, now_us: int) -> None:
+        self.outputs_total += count
+        for _ in range(count):
+            self._output_times.append(now_us)
+        self._trim(self._output_times, now_us)
+
+    @staticmethod
+    def _trim(times: deque[int], now_us: int) -> None:
+        horizon = now_us - RATE_HORIZON_US
+        while times and times[0] < horizon:
+            times.popleft()
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def avg_cost_us(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.total_cost_us / self.invocations
+
+    @property
+    def selectivity(self) -> float:
+        """Output tokens per input token; 1.0 until evidence accumulates."""
+        if self.inputs_total == 0:
+            return 1.0
+        return self.outputs_total / self.inputs_total
+
+    def input_rate_per_s(self, now_us: int) -> float:
+        self._trim(self._input_times, now_us)
+        span = min(now_us, RATE_HORIZON_US)
+        if span <= 0:
+            return 0.0
+        return len(self._input_times) * 1_000_000 / span
+
+    def output_rate_per_s(self, now_us: int) -> float:
+        self._trim(self._output_times, now_us)
+        span = min(now_us, RATE_HORIZON_US)
+        if span <= 0:
+            return 0.0
+        return len(self._output_times) * 1_000_000 / span
+
+
+class StatisticsRegistry:
+    """Per-workflow statistics store keyed by actor name."""
+
+    def __init__(self):
+        self._stats: dict[str, ActorStats] = {}
+
+    def register(self, actor: "Actor") -> ActorStats:
+        return self._stats.setdefault(actor.name, ActorStats())
+
+    def get(self, actor: "Actor") -> ActorStats:
+        return self.register(actor)
+
+    def record_invocation(self, actor: "Actor", cost_us: int) -> None:
+        self.get(actor).record_invocation(cost_us)
+
+    def record_input(self, actor: "Actor", count: int, now_us: int) -> None:
+        self.get(actor).record_input(count, now_us)
+
+    def record_output(self, actor: "Actor", count: int, now_us: int) -> None:
+        self.get(actor).record_output(count, now_us)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """A plain-dict view for logs, debugging and tests."""
+        return {
+            name: {
+                "invocations": stats.invocations,
+                "avg_cost_us": stats.avg_cost_us,
+                "selectivity": stats.selectivity,
+            }
+            for name, stats in self._stats.items()
+        }
+
+
+def global_rate_metrics(
+    workflow: "Workflow",
+    registry: StatisticsRegistry,
+    default_cost_us: float = 100.0,
+) -> dict[str, tuple[float, float]]:
+    """Global (path-aggregated) selectivity and cost per actor.
+
+    Follows the Highest Rate construction: for a terminal actor *A*,
+    ``GS(A) = s_A`` and ``GC(A) = c_A``.  For an internal actor with
+    downstream actors ``D``::
+
+        GS(A) = s_A * sum(GS(d) for d in D)
+        GC(A) = c_A + s_A * sum(GC(d) for d in D)
+
+    When an actor is shared among multiple workflow paths the per-path
+    contributions are summed, as the paper specifies.  Actors inside cycles
+    fall back to their local selectivity and cost.  Actors that have never
+    fired use *default_cost_us* so priorities are defined from the start.
+    """
+    import networkx as nx
+
+    graph = workflow.graph()
+    metrics: dict[str, tuple[float, float]] = {}
+
+    def local(name: str) -> tuple[float, float]:
+        stats = registry.register(workflow.actors[name])
+        cost = stats.avg_cost_us if stats.invocations else default_cost_us
+        return stats.selectivity, max(cost, 1e-9)
+
+    try:
+        order = list(nx.topological_sort(graph))
+    except nx.NetworkXUnfeasible:
+        # Cyclic workflow: everyone uses local metrics.
+        for name in graph.nodes:
+            metrics[name] = local(name)
+        return metrics
+
+    for name in reversed(order):
+        s_local, c_local = local(name)
+        successors = list(graph.successors(name))
+        if not successors:
+            metrics[name] = (s_local, c_local)
+            continue
+        gs_down = sum(metrics[succ][0] for succ in successors)
+        gc_down = sum(metrics[succ][1] for succ in successors)
+        metrics[name] = (s_local * gs_down, c_local + s_local * gc_down)
+    return metrics
+
+
+def rate_priorities(
+    workflow: "Workflow",
+    registry: StatisticsRegistry,
+    default_cost_us: float = 100.0,
+) -> dict[str, float]:
+    """``Pr(A) = GS(A) / GC(A)`` for every actor (higher = more urgent)."""
+    metrics = global_rate_metrics(workflow, registry, default_cost_us)
+    return {
+        name: gs / gc if gc > 0 else 0.0
+        for name, (gs, gc) in metrics.items()
+    }

@@ -1,0 +1,93 @@
+"""Tokens: the data items flowing over workflow channels.
+
+Kepler propagates *tokens* between actor ports.  In this reproduction a
+token is a thin, immutable wrapper around an arbitrary Python payload; the
+wrapper exists so records can be addressed by field (the group-by clauses of
+windowed receivers reference token fields) and so tokens can be compared and
+hashed regardless of payload type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class Token:
+    """An immutable value container propagated between ports.
+
+    ``Token`` compares and hashes by payload so tests and group-by logic can
+    treat tokens as values.  Use :class:`RecordToken` when the payload has
+    named fields.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Any):
+        object.__setattr__(self, "_value", value)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("tokens are immutable")
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def field(self, name: str) -> Any:
+        """Return the named field of the payload.
+
+        Works for mappings, dataclass-like objects, and named tuples; raises
+        ``KeyError`` when the payload has no such field.
+        """
+        value = self._value
+        if isinstance(value, Mapping):
+            if name in value:
+                return value[name]
+            raise KeyError(name)
+        if hasattr(value, name):
+            return getattr(value, name)
+        raise KeyError(name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Token):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Token", self._value)) if _hashable(self._value) else id(self)
+
+    def __repr__(self) -> str:
+        return f"Token({self._value!r})"
+
+
+class RecordToken(Token):
+    """A token whose payload is a mapping of field name to value."""
+
+    __slots__ = ()
+
+    def __init__(self, **fields: Any):
+        super().__init__(dict(fields))
+
+    def field(self, name: str) -> Any:
+        return self.value[name]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.value.items())
+        return f"RecordToken({inner})"
+
+    def __hash__(self) -> int:
+        return hash(("RecordToken", tuple(sorted(self.value.items()))))
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def as_token(value: Any) -> Token:
+    """Coerce *value* into a token (idempotent for existing tokens)."""
+    if isinstance(value, Token):
+        return value
+    return Token(value)

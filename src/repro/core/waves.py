@@ -1,0 +1,149 @@
+"""Wave tags: hierarchical lineage identifiers for continuous-workflow events.
+
+A *wave* is the set of internal events that descend from one external event.
+When the external event ``e_i`` (with timestamp ``t_i``) enters the system it
+receives the root wave-tag ``t_i``.  If processing an event with wave-tag
+``w`` produces ``n`` new events, those events receive the wave-tags
+``w.1, w.2, ..., w.n`` and the last one is *marked* as the final event of its
+(sub-)wave.  Downstream actors can use the marks to synchronize every event
+belonging to a single wave (wave-based windows).
+
+Wave-tags are therefore paths in a tree rooted at the external event.  We
+represent them as immutable tuples of integers: ``(serial,)`` for a root tag
+and ``(serial, 3, 1)`` for the tag the paper writes as ``t_i.3.1``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True, order=True)
+class WaveTag:
+    """An immutable, totally ordered wave-tag.
+
+    Ordering is lexicographic on the underlying path, which matches the
+    paper's semantics: events of earlier external events order before later
+    ones, and within a wave the production order is preserved.
+    """
+
+    path: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("a wave-tag path must have at least one element")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls, serial: int) -> "WaveTag":
+        """The wave-tag of an external event with serial number *serial*."""
+        return cls((serial,))
+
+    def child(self, index: int) -> "WaveTag":
+        """The tag of the *index*-th (1-based) event produced from this one."""
+        if index < 1:
+            raise ValueError("wave child indices are 1-based")
+        return WaveTag(self.path + (index,))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def serial(self) -> int:
+        """Serial number of the originating external event."""
+        return self.path[0]
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth: 0 for a root tag, 1 for ``t.k``, and so on."""
+        return len(self.path) - 1
+
+    @property
+    def parent(self) -> Optional["WaveTag"]:
+        """The tag this one descends from, or ``None`` for a root tag."""
+        if len(self.path) == 1:
+            return None
+        return WaveTag(self.path[:-1])
+
+    @property
+    def root_tag(self) -> "WaveTag":
+        """The root tag of the wave this tag belongs to."""
+        return WaveTag((self.path[0],))
+
+    def is_root(self) -> bool:
+        return len(self.path) == 1
+
+    def is_ancestor_of(self, other: "WaveTag") -> bool:
+        """True when *other* descends (strictly) from this tag."""
+        return (
+            len(other.path) > len(self.path)
+            and other.path[: len(self.path)] == self.path
+        )
+
+    def same_wave(self, other: "WaveTag") -> bool:
+        """True when both tags descend from the same external event."""
+        return self.path[0] == other.path[0]
+
+    def ancestors(self) -> Iterator["WaveTag"]:
+        """Yield every proper ancestor, nearest first."""
+        tag = self.parent
+        while tag is not None:
+            yield tag
+            tag = tag.parent
+
+    def __str__(self) -> str:
+        return ".".join(str(part) for part in self.path)
+
+    def __repr__(self) -> str:
+        return f"WaveTag({self})"
+
+
+@dataclass
+class WaveGenerator:
+    """Allocates root wave-tags for external events entering the system.
+
+    One generator is shared per workflow so root serials are globally unique
+    and monotone in admission order.
+    """
+
+    _counter: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    def next_root(self) -> WaveTag:
+        return WaveTag.root(next(self._counter))
+
+
+class WaveScope:
+    """Tracks child-tag allocation while one actor firing is in progress.
+
+    A scope is opened by the firing context with the wave-tag of the event
+    (or window) being consumed; every produced event asks the scope for its
+    child tag.  When the firing ends, :meth:`close` marks the most recently
+    produced event as the last of its sub-wave, which is what downstream
+    wave-windows key on.
+    """
+
+    def __init__(self, consumed: WaveTag):
+        self.consumed = consumed
+        self._next_index = 1
+        self._last_event = None  # type: ignore[assignment]
+
+    def tag_for_output(self) -> WaveTag:
+        tag = self.consumed.child(self._next_index)
+        self._next_index += 1
+        return tag
+
+    def note_event(self, event) -> None:
+        """Remember the most recent event so it can be marked on close."""
+        self._last_event = event
+
+    @property
+    def produced(self) -> int:
+        return self._next_index - 1
+
+    def close(self) -> None:
+        if self._last_event is not None:
+            self._last_event.last_in_wave = True

@@ -1,0 +1,506 @@
+"""Window semantics on the active queues of continuous workflows.
+
+The CWf model attaches *windows* to the event queues feeding each activity
+input.  A window turns an unbounded stream into "a finite, yet ever-changing
+set of events".  Following the paper, a window operator is configured by five
+parameters:
+
+``size``
+    The window extent, in one of three measures: a number of **tokens**, a
+    span of **time** (microseconds of event time) or a number of **waves**.
+``step``
+    How far the window advances after production (same measure as ``size``).
+``window_formation_timeout``
+    An optional engine-time bound after which a partial window is forced out
+    (used to close time-based windows when the stream goes quiet).
+``group_by``
+    An optional clause partitioning the queue into per-key sub-queues; each
+    sub-queue forms windows independently (e.g. "last 4 reports *per car*").
+``delete_used_events``
+    When true, events that participated in a produced window are *consumed*
+    and can never appear in a later window (the "continuous" consumption mode
+    of Adaikkalavan & Chakravarthy); when false the window slides by ``step``
+    and events that fall behind the window are moved to the *expired items
+    queue* where another activity may optionally process them.
+
+Window operators are pure data-structure logic: they never look at a clock.
+Timeout decisions are made by whichever director owns the receiver, which
+calls :meth:`WindowOperator.force_timeout`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from .events import CWEvent
+from .exceptions import WindowError
+
+GroupKey = Any
+_WINDOW_SEQ = itertools.count(1)
+
+
+class Measure(Enum):
+    """The unit a window ``size``/``step`` is expressed in."""
+
+    TOKENS = "tokens"
+    TIME = "time"
+    WAVES = "waves"
+
+
+class ConsumptionMode(Enum):
+    """Hybrid window/consumption modes (Adaikkalavan & Chakravarthy).
+
+    ``UNRESTRICTED``
+        events may participate in any number of windows (slide, no delete);
+    ``RECENT``
+        like unrestricted but only the most recent window is retained when
+        production falls behind (bursts collapse to the newest window);
+    ``CONTINUOUS``
+        every event participates in exactly one window (delete-used).
+    """
+
+    UNRESTRICTED = "unrestricted"
+    RECENT = "recent"
+    CONTINUOUS = "continuous"
+
+
+def _normalize_group_by(
+    group_by: None | str | Sequence[str] | Callable[[CWEvent], GroupKey],
+) -> Optional[Callable[[CWEvent], GroupKey]]:
+    """Turn the user-facing group-by clause into a key function."""
+    if group_by is None:
+        return None
+    if callable(group_by):
+        return group_by
+    if isinstance(group_by, str):
+        name = group_by
+        return lambda event: event.field(name)
+    names = tuple(group_by)
+    return lambda event: tuple(event.field(name) for name in names)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Declarative description of the window semantics on one input queue."""
+
+    size: int
+    step: int
+    measure: Measure = Measure.TOKENS
+    timeout: Optional[int] = None
+    group_by: None | str | Sequence[str] | Callable[[CWEvent], GroupKey] = None
+    delete_used_events: bool = False
+    mode: Optional[ConsumptionMode] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WindowError(f"window size must be positive, got {self.size}")
+        if self.step <= 0:
+            raise WindowError(f"window step must be positive, got {self.step}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise WindowError("window_formation_timeout must be positive")
+        if self.mode is ConsumptionMode.CONTINUOUS and not self.delete_used_events:
+            object.__setattr__(self, "delete_used_events", True)
+        if self.mode is None:
+            mode = (
+                ConsumptionMode.CONTINUOUS
+                if self.delete_used_events
+                else ConsumptionMode.UNRESTRICTED
+            )
+            object.__setattr__(self, "mode", mode)
+
+    @classmethod
+    def tokens(
+        cls,
+        size: int,
+        step: int = 1,
+        group_by=None,
+        delete_used_events: bool = False,
+        timeout: Optional[int] = None,
+    ) -> "WindowSpec":
+        """A tuple-based window of *size* tokens advancing by *step* tokens."""
+        return cls(size, step, Measure.TOKENS, timeout, group_by, delete_used_events)
+
+    @classmethod
+    def time(
+        cls,
+        size_us: int,
+        step_us: Optional[int] = None,
+        group_by=None,
+        delete_used_events: bool = False,
+        timeout: Optional[int] = None,
+    ) -> "WindowSpec":
+        """A time-based window of *size_us* microseconds of event time."""
+        return cls(
+            size_us,
+            step_us if step_us is not None else size_us,
+            Measure.TIME,
+            timeout,
+            group_by,
+            delete_used_events,
+        )
+
+    @classmethod
+    def waves(
+        cls,
+        size: int = 1,
+        step: int = 1,
+        group_by=None,
+        delete_used_events: bool = True,
+        timeout: Optional[int] = None,
+    ) -> "WindowSpec":
+        """A wave-based window of *size* complete waves."""
+        return cls(size, step, Measure.WAVES, timeout, group_by, delete_used_events)
+
+    def key_function(self) -> Optional[Callable[[CWEvent], GroupKey]]:
+        return _normalize_group_by(self.group_by)
+
+
+class Window:
+    """A produced window: an immutable bundle of events for one group key."""
+
+    __slots__ = ("events", "group_key", "start", "end", "forced", "seq")
+
+    def __init__(
+        self,
+        events: Sequence[CWEvent],
+        group_key: GroupKey = None,
+        start: Optional[int] = None,
+        end: Optional[int] = None,
+        forced: bool = False,
+    ):
+        self.events = tuple(events)
+        self.group_key = group_key
+        self.start = start
+        self.end = end
+        self.forced = forced
+        self.seq = next(_WINDOW_SEQ)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __getitem__(self, index):
+        return self.events[index]
+
+    @property
+    def values(self) -> list:
+        """The raw payloads of the window's events, in order."""
+        return [event.value for event in self.events]
+
+    @property
+    def timestamp(self) -> int:
+        """The timestamp the window inherits: its newest event's timestamp."""
+        if not self.events:
+            raise WindowError("an empty window has no timestamp")
+        return max(event.timestamp for event in self.events)
+
+    @property
+    def oldest_timestamp(self) -> int:
+        if not self.events:
+            raise WindowError("an empty window has no timestamp")
+        return min(event.timestamp for event in self.events)
+
+    def __repr__(self) -> str:
+        key = f", key={self.group_key!r}" if self.group_key is not None else ""
+        return f"Window(n={len(self.events)}{key})"
+
+
+class _TokenGroupState:
+    """Per-group formation state for tuple-based windows."""
+
+    __slots__ = ("queue", "skip_debt")
+
+    def __init__(self) -> None:
+        self.queue: deque[CWEvent] = deque()
+        #: Events still owed to a past advance (only when step > size).
+        self.skip_debt = 0
+
+
+class _TimeGroupState:
+    """Per-group formation state for time-based windows."""
+
+    __slots__ = ("queue", "window_start")
+
+    def __init__(self) -> None:
+        self.queue: deque[CWEvent] = deque()
+        self.window_start: Optional[int] = None
+
+
+class _WaveGroupState:
+    """Per-group formation state for wave-based windows."""
+
+    __slots__ = ("events_by_root", "closed_roots", "open_order")
+
+    def __init__(self) -> None:
+        self.events_by_root: "OrderedDict[int, list[CWEvent]]" = OrderedDict()
+        self.closed_roots: list[int] = []
+        self.open_order: list[int] = []
+
+
+class WindowOperator:
+    """Runs the window-formation logic for one windowed input queue.
+
+    The operator owns one formation state per group-by key, an *expired
+    items* queue, and exposes three entry points:
+
+    * :meth:`put` — insert an event; returns any windows it completed;
+    * :meth:`force_timeout` — close the pending window of a group on the
+      director's timeout signal; returns the forced window, if any;
+    * :meth:`next_deadline` — the earliest event-time boundary at which a
+      time-based group could produce, so directors can register timeouts.
+    """
+
+    def __init__(self, spec: WindowSpec):
+        self.spec = spec
+        self._key_fn = spec.key_function()
+        self._groups: "OrderedDict[GroupKey, Any]" = OrderedDict()
+        self._last_seen: dict[GroupKey, int] = {}
+        self.expired: deque[CWEvent] = deque()
+        self.total_events = 0
+        self.total_windows = 0
+
+    # ------------------------------------------------------------------
+    # Group management
+    # ------------------------------------------------------------------
+    def _group_key(self, event: CWEvent) -> GroupKey:
+        if self._key_fn is None:
+            return None
+        return self._key_fn(event)
+
+    def _state(self, key: GroupKey):
+        state = self._groups.get(key)
+        if state is None:
+            if self.spec.measure is Measure.TOKENS:
+                state = _TokenGroupState()
+            elif self.spec.measure is Measure.TIME:
+                state = _TimeGroupState()
+            else:
+                state = _WaveGroupState()
+            self._groups[key] = state
+        return state
+
+    @property
+    def group_keys(self) -> list[GroupKey]:
+        return list(self._groups.keys())
+
+    def pending_count(self) -> int:
+        """Number of events buffered and not yet part of a produced window."""
+        total = 0
+        for state in self._groups.values():
+            if isinstance(state, _WaveGroupState):
+                total += sum(len(evts) for evts in state.events_by_root.values())
+            else:
+                total += len(state.queue)
+        return total
+
+    # ------------------------------------------------------------------
+    # Event admission
+    # ------------------------------------------------------------------
+    def put(self, event: CWEvent) -> list[Window]:
+        """Insert *event* and return every window its arrival completed."""
+        self.total_events += 1
+        key = self._group_key(event)
+        self._last_seen[key] = event.timestamp
+        state = self._state(key)
+        if self.spec.measure is Measure.TOKENS:
+            produced = self._put_tokens(state, key, event)
+        elif self.spec.measure is Measure.TIME:
+            produced = self._put_time(state, key, event)
+        else:
+            produced = self._put_waves(state, key, event)
+        self.total_windows += len(produced)
+        return produced
+
+    # -- tuple-based ----------------------------------------------------
+    def _put_tokens(
+        self, state: _TokenGroupState, key: GroupKey, event: CWEvent
+    ) -> list[Window]:
+        if state.skip_debt > 0:
+            # A previous advance (step > size) owes skipped positions.
+            state.skip_debt -= 1
+            self.expired.append(event)
+            return []
+        state.queue.append(event)
+        produced: list[Window] = []
+        size, step = self.spec.size, self.spec.step
+        while len(state.queue) >= size:
+            window_events = list(itertools.islice(state.queue, 0, size))
+            produced.append(Window(window_events, key))
+            if self.spec.delete_used_events:
+                for _ in range(size):
+                    state.queue.popleft()
+            else:
+                dropped = min(step, len(state.queue))
+                for _ in range(dropped):
+                    self.expired.append(state.queue.popleft())
+                state.skip_debt += step - dropped
+        if self.spec.mode is ConsumptionMode.RECENT and len(produced) > 1:
+            produced = [produced[-1]]
+        return produced
+
+    # -- time-based -----------------------------------------------------
+    def _put_time(
+        self, state: _TimeGroupState, key: GroupKey, event: CWEvent
+    ) -> list[Window]:
+        if state.window_start is None:
+            state.window_start = event.timestamp
+        produced: list[Window] = []
+        size, step = self.spec.size, self.spec.step
+        # Close every window whose right boundary the new event has crossed.
+        while event.timestamp >= state.window_start + size:
+            produced.extend(self._close_time_window(state, key, forced=False))
+        state.queue.append(event)
+        if self.spec.mode is ConsumptionMode.RECENT and len(produced) > 1:
+            produced = [produced[-1]]
+        return produced
+
+    def _close_time_window(
+        self, state: _TimeGroupState, key: GroupKey, forced: bool
+    ) -> list[Window]:
+        size, step = self.spec.size, self.spec.step
+        start = state.window_start
+        assert start is not None
+        end = start + size
+        window_events = [e for e in state.queue if start <= e.timestamp < end]
+        produced = []
+        if window_events:
+            produced.append(Window(window_events, key, start, end, forced))
+        if self.spec.delete_used_events:
+            used = set(id(e) for e in window_events)
+            state.queue = deque(e for e in state.queue if id(e) not in used)
+        state.window_start = start + step
+        # Expire events that can no longer belong to any future window.
+        while state.queue and state.queue[0].timestamp < state.window_start:
+            self.expired.append(state.queue.popleft())
+        return produced
+
+    # -- wave-based -----------------------------------------------------
+    def _put_waves(
+        self, state: _WaveGroupState, key: GroupKey, event: CWEvent
+    ) -> list[Window]:
+        root = event.wave.serial
+        if root not in state.events_by_root:
+            state.events_by_root[root] = []
+            state.open_order.append(root)
+        state.events_by_root[root].append(event)
+        if event.last_in_wave and root not in state.closed_roots:
+            state.closed_roots.append(root)
+        produced: list[Window] = []
+        size, step = self.spec.size, self.spec.step
+        while len(state.closed_roots) >= size:
+            roots = state.closed_roots[:size]
+            window_events: list[CWEvent] = []
+            for r in roots:
+                window_events.extend(state.events_by_root[r])
+            window_events.sort()
+            produced.append(Window(window_events, key))
+            consumed = roots if self.spec.delete_used_events else roots[:step]
+            for r in consumed:
+                events = state.events_by_root.pop(r, [])
+                if not self.spec.delete_used_events:
+                    self.expired.extend(events)
+                state.open_order.remove(r)
+            state.closed_roots = [
+                r for r in state.closed_roots if r not in set(consumed)
+            ]
+        return produced
+
+    # ------------------------------------------------------------------
+    # Timeouts
+    # ------------------------------------------------------------------
+    def next_deadline(self) -> Optional[int]:
+        """Earliest event-time right boundary of any pending time window."""
+        if self.spec.measure is not Measure.TIME:
+            return None
+        deadlines = [
+            state.window_start + self.spec.size
+            for state in self._groups.values()
+            if isinstance(state, _TimeGroupState)
+            and state.window_start is not None
+            and state.queue
+        ]
+        if not deadlines:
+            return None
+        return min(deadlines)
+
+    def force_timeout(self, now: Optional[int] = None) -> list[Window]:
+        """Force-close pending windows (director-driven timeout).
+
+        For time-based windows, every group whose right boundary is at or
+        before *now* (or every non-empty group when *now* is ``None``) closes
+        and produces its partial window.  For token/wave windows the current
+        partial content of every group is flushed — this is how a director
+        drains windows at workflow shutdown.
+        """
+        produced: list[Window] = []
+        if self.spec.measure is Measure.TIME:
+            for key, state in self._groups.items():
+                if not isinstance(state, _TimeGroupState) or not state.queue:
+                    continue
+                while state.queue and (
+                    now is None or state.window_start + self.spec.size <= now
+                ):
+                    windows = self._close_time_window(state, key, forced=True)
+                    produced.extend(windows)
+                    if not windows and now is None:
+                        # Nothing left inside a boundary; stop flushing.
+                        break
+        elif self.spec.measure is Measure.TOKENS:
+            for key, state in self._groups.items():
+                if state.queue:
+                    produced.append(Window(list(state.queue), key, forced=True))
+                    state.queue.clear()
+        else:
+            for key, state in self._groups.items():
+                if not isinstance(state, _WaveGroupState):
+                    continue
+                leftovers: list[CWEvent] = []
+                for events in state.events_by_root.values():
+                    leftovers.extend(events)
+                if leftovers:
+                    leftovers.sort()
+                    produced.append(Window(leftovers, key, forced=True))
+                state.events_by_root.clear()
+                state.closed_roots.clear()
+                state.open_order.clear()
+        self.total_windows += len(produced)
+        return produced
+
+    def drain_expired(self) -> list[CWEvent]:
+        """Remove and return everything in the expired-items queue."""
+        items = list(self.expired)
+        self.expired.clear()
+        return items
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def evict_idle_groups(self, before_ts: int) -> int:
+        """Drop *empty* group states last touched before *before_ts*.
+
+        Group-by clauses over unbounded key domains (e.g. car ids) would
+        otherwise grow forever: every key keeps a formation state even
+        after its events have all been consumed.  Only groups with no
+        buffered events are eligible — nothing observable changes, memory
+        is reclaimed.  Returns the number of groups evicted.
+        """
+        doomed = []
+        for key, state in self._groups.items():
+            if self._last_seen.get(key, 0) >= before_ts:
+                continue
+            if isinstance(state, _WaveGroupState):
+                busy = bool(state.events_by_root)
+            else:
+                busy = bool(state.queue)
+            if not busy:
+                doomed.append(key)
+        for key in doomed:
+            del self._groups[key]
+            self._last_seen.pop(key, None)
+        return len(doomed)

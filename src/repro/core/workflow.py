@@ -1,0 +1,263 @@
+"""The workflow graph: actors wired by channels, plus validation helpers.
+
+A :class:`Workflow` is purely structural — it knows nothing about execution.
+Directors attach to a workflow, create receivers for its input ports and
+drive the actors.  The graph helpers (``graph()``, ``downstream_of`` ...) are
+what the Rate-Based scheduler uses to aggregate global selectivity/cost
+along output paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import networkx as nx
+
+from .actors import Actor, SourceActor
+from .exceptions import WorkflowError
+from .ports import Channel, InputPort, OutputPort
+from .waves import WaveGenerator
+
+
+class Workflow:
+    """A named, validated graph of actors and channels."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.actors: dict[str, Actor] = {}
+        self.channels: list[Channel] = []
+        self.expired_routes: list[tuple[InputPort, InputPort]] = []
+        self.wave_generator = WaveGenerator()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, actor: Actor) -> Actor:
+        """Register *actor*; returns it so construction chains read well."""
+        if actor.name in self.actors:
+            raise WorkflowError(
+                f"workflow {self.name!r} already has an actor named "
+                f"{actor.name!r}"
+            )
+        if actor.workflow is not None and actor.workflow is not self:
+            raise WorkflowError(
+                f"actor {actor.name!r} already belongs to workflow "
+                f"{actor.workflow.name!r}"
+            )
+        actor.workflow = self
+        self.actors[actor.name] = actor
+        return actor
+
+    def add_all(self, actors: Iterable[Actor]) -> None:
+        for actor in actors:
+            self.add(actor)
+
+    def connect(
+        self,
+        source: Actor | OutputPort,
+        sink: Actor | InputPort,
+        source_port: Optional[str] = None,
+        sink_port: Optional[str] = None,
+    ) -> Channel:
+        """Wire an output port to an input port.
+
+        Accepts either explicit ports or actors; when an actor is given with
+        no port name, it must have exactly one port of the right direction.
+        """
+        out_port = self._resolve_output(source, source_port)
+        in_port = self._resolve_input(sink, sink_port)
+        for actor in (out_port.actor, in_port.actor):
+            if actor.workflow is not self:
+                raise WorkflowError(
+                    f"actor {actor.name!r} is not part of workflow "
+                    f"{self.name!r}; add it first"
+                )
+        channel = Channel(out_port, in_port)
+        self.channels.append(channel)
+        return channel
+
+    @staticmethod
+    def _resolve_output(source, port_name: Optional[str]) -> OutputPort:
+        if isinstance(source, OutputPort):
+            return source
+        if isinstance(source, Actor):
+            if port_name is not None:
+                return source.output(port_name)
+            if len(source.output_ports) == 1:
+                return next(iter(source.output_ports.values()))
+            raise WorkflowError(
+                f"{source.name} has {len(source.output_ports)} output "
+                "ports; name one explicitly"
+            )
+        raise WorkflowError(f"cannot connect from {source!r}")
+
+    def connect_expired(
+        self,
+        windowed: Actor | InputPort,
+        handler: Actor | InputPort,
+        windowed_port: Optional[str] = None,
+        handler_port: Optional[str] = None,
+    ) -> None:
+        """Route events expiring from a windowed input to a handler actor.
+
+        The paper's expired-items queue: events that slide out of a window
+        are optionally processed by another workflow activity.  The handler
+        port receives them as ordinary events (through its own receiver),
+        so any downstream semantics — including further windows — apply.
+        """
+        source_port = self._resolve_input(windowed, windowed_port)
+        target_port = self._resolve_input(handler, handler_port)
+        if source_port.window is None:
+            raise WorkflowError(
+                f"{source_port.full_name} has no window; nothing expires"
+            )
+        if target_port is source_port:
+            raise WorkflowError("cannot route expired events to themselves")
+        source_port.expired_to = target_port
+        target_port.boundary = True  # fed by routing, not by a channel
+        self.expired_routes.append((source_port, target_port))
+
+    @staticmethod
+    def _resolve_input(sink, port_name: Optional[str]) -> InputPort:
+        if isinstance(sink, InputPort):
+            return sink
+        if isinstance(sink, Actor):
+            if port_name is not None:
+                return sink.input(port_name)
+            if len(sink.input_ports) == 1:
+                return next(iter(sink.input_ports.values()))
+            raise WorkflowError(
+                f"{sink.name} has {len(sink.input_ports)} input ports; "
+                "name one explicitly"
+            )
+        raise WorkflowError(f"cannot connect to {sink!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> list[SourceActor]:
+        return [a for a in self.actors.values() if a.is_source]
+
+    @property
+    def internal_actors(self) -> list[Actor]:
+        return [a for a in self.actors.values() if not a.is_source]
+
+    @property
+    def sinks(self) -> list[Actor]:
+        """Actors with no outgoing channels (workflow outputs)."""
+        return [
+            actor
+            for actor in self.actors.values()
+            if not any(port.outgoing for port in actor.output_ports.values())
+        ]
+
+    def graph(self) -> nx.DiGraph:
+        """The actor-level connection graph (one node per actor)."""
+        g = nx.DiGraph()
+        for actor in self.actors.values():
+            g.add_node(actor.name, actor=actor)
+        for channel in self.channels:
+            g.add_edge(channel.source.actor.name, channel.sink.actor.name)
+        return g
+
+    def downstream_of(self, actor: Actor) -> list[Actor]:
+        """Actors directly connected downstream of *actor*."""
+        names = {
+            channel.sink.actor.name
+            for port in actor.output_ports.values()
+            for channel in port.outgoing
+        }
+        return [self.actors[name] for name in sorted(names)]
+
+    def upstream_of(self, actor: Actor) -> list[Actor]:
+        names = {
+            channel.source.actor.name
+            for port in actor.input_ports.values()
+            for channel in port.incoming
+        }
+        return [self.actors[name] for name in sorted(names)]
+
+    def to_dot(self) -> str:
+        """Graphviz DOT text for the workflow (sources/sinks shaped).
+
+        Windowed inputs annotate their edge with the window clause, and
+        expired-item routes render as dashed edges — enough to eyeball a
+        workflow the way the paper's Figures 10-15 draw theirs.
+        """
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for actor in self.actors.values():
+            if actor.is_source:
+                shape = "invhouse"
+            elif actor in self.sinks:
+                shape = "house"
+            else:
+                shape = "box"
+            label = actor.name
+            if actor.priority != 20:
+                label += f"\\np={actor.priority}"
+            lines.append(
+                f'  "{actor.name}" [shape={shape}, label="{label}"];'
+            )
+        for channel in self.channels:
+            sink_port = channel.sink
+            attributes = []
+            if sink_port.window is not None:
+                spec = sink_port.window
+                attributes.append(
+                    f'label="{{{spec.size},{spec.step},'
+                    f'{spec.measure.value}}}"'
+                )
+            suffix = f" [{', '.join(attributes)}]" if attributes else ""
+            lines.append(
+                f'  "{channel.source.actor.name}" -> '
+                f'"{sink_port.actor.name}"{suffix};'
+            )
+        for source_port, target_port in self.expired_routes:
+            lines.append(
+                f'  "{source_port.actor.name}" -> '
+                f'"{target_port.actor.name}" '
+                '[style=dashed, label="expired"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`WorkflowError` when the graph is malformed."""
+        if not self.actors:
+            raise WorkflowError(f"workflow {self.name!r} has no actors")
+        problems: list[str] = []
+        for actor in self.actors.values():
+            for port in actor.input_ports.values():
+                if not port.incoming and not actor.is_source and not port.boundary:
+                    problems.append(
+                        f"input port {port.full_name} is not connected"
+                    )
+        graph = self.graph()
+        routed = {
+            port.actor.name
+            for pair in self.expired_routes
+            for port in pair
+        }
+        isolated = [
+            name
+            for name in graph.nodes
+            if graph.degree(name) == 0
+            and name not in routed
+            and len(self.actors) > 1
+        ]
+        for name in isolated:
+            problems.append(f"actor {name} is isolated")
+        if problems:
+            raise WorkflowError(
+                f"workflow {self.name!r} is malformed: " + "; ".join(problems)
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Workflow({self.name!r}, actors={len(self.actors)}, "
+            f"channels={len(self.channels)})"
+        )

@@ -1,0 +1,29 @@
+"""Models of computation: the director implementations.
+
+This package reproduces the Kepler/PtolemyII directors the Linear Road
+workflow relies on (SDF and DDF for sub-workflows, DE and PN as classic
+references) plus CONFLuEnCE's thread-based PNCWF continuous-workflow
+director.  The full Table 1 taxonomy lives in
+:mod:`repro.directors.taxonomy`.
+"""
+
+from .ddf import DDFDirector
+from .de import DEDirector
+from .pn import BlockingReceiver, PNDirector
+from .pncwf import BlockingWindowedReceiver, PNCWFDirector
+from .sdf import SDFDirector
+from .taxonomy import TAXONOMY, DirectorTaxon, implemented_directors, render_table
+
+__all__ = [
+    "BlockingReceiver",
+    "BlockingWindowedReceiver",
+    "DDFDirector",
+    "DEDirector",
+    "DirectorTaxon",
+    "implemented_directors",
+    "PNCWFDirector",
+    "PNDirector",
+    "render_table",
+    "SDFDirector",
+    "TAXONOMY",
+]

@@ -1,0 +1,108 @@
+"""Discrete Event (DE) director.
+
+DE maintains a single global event queue ordered by timestamp; the actor
+whose input port holds the globally earliest event is fired next ("Director:
+Event Queue / Event-driven / Event Order" in the paper's Table 1).  Model
+time advances to the timestamp of each processed event, which gives DE the
+global notion of time the taxonomy lists.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Optional
+
+from ..core.director import Director
+from ..core.events import CWEvent
+from ..core.exceptions import DirectorError
+from ..core.ports import InputPort
+from ..core.receivers import Receiver
+
+
+class _DEReceiver(Receiver):
+    """Receiver that forwards arrivals to the director's global calendar."""
+
+    def __init__(self, director: "DEDirector", port: InputPort):
+        super().__init__(port)
+        self._director = director
+        self._staged: list[CWEvent] = []
+
+    def put(self, event: CWEvent) -> None:
+        self._director._post(event, self)
+
+    def stage(self, event: CWEvent) -> None:
+        self._staged.append(event)
+
+    def get(self) -> CWEvent:
+        if not self._staged:
+            raise DirectorError("DE receiver read outside a firing")
+        return self._staged.pop(0)
+
+    def has_token(self) -> bool:
+        return bool(self._staged)
+
+
+class DEDirector(Director):
+    """Globally timestamp-ordered event execution."""
+
+    model_name = "DE"
+
+    def __init__(self):
+        super().__init__()
+        self._calendar: list[tuple[int, int, CWEvent, _DEReceiver]] = []
+        self._tiebreak = itertools.count()
+        self._now = 0
+
+    def create_receiver(self, port: InputPort) -> Receiver:
+        if port.window is not None:
+            raise DirectorError(
+                "the DE director has no window semantics; use a continuous "
+                f"director for port {port.full_name}"
+            )
+        return _DEReceiver(self, port)
+
+    def current_time(self) -> int:
+        return self._now
+
+    def _post(self, event: CWEvent, receiver: _DEReceiver) -> None:
+        if event.timestamp < self._now:
+            raise DirectorError(
+                f"DE causality violation: event stamped {event.timestamp} "
+                f"posted at model time {self._now}"
+            )
+        heapq.heappush(
+            self._calendar,
+            (event.timestamp, next(self._tiebreak), event, receiver),
+        )
+
+    # ------------------------------------------------------------------
+    def run_to_quiescence(self, now: int) -> int:
+        return self.run_until(None)
+
+    def run_until(self, horizon: Optional[int]) -> int:
+        """Process calendar events with timestamp <= *horizon* (or all)."""
+        firings = 0
+        while self._calendar:
+            timestamp, _, event, receiver = self._calendar[0]
+            if horizon is not None and timestamp > horizon:
+                break
+            heapq.heappop(self._calendar)
+            self._now = max(self._now, timestamp)
+            actor = receiver.port.actor
+            ctx = self.make_context(actor, self._now)
+            receiver.stage(event)
+            ctx.stage(receiver.port.name, event)
+            receiver._staged.clear()
+            self.statistics.record_input(actor, 1, self._now)
+            if actor.prefire(ctx):
+                actor.fire(ctx)
+                actor.postfire(ctx)
+                ctx.close()
+                self.statistics.record_invocation(actor, 0)
+                firings += 1
+        return firings
+
+    @property
+    def pending(self) -> int:
+        return len(self._calendar)

@@ -1,0 +1,215 @@
+"""Process Network (PN) director — Kahn process networks on OS threads.
+
+Every actor runs on its own thread and blocks when its inputs are empty;
+resource allocation is delegated entirely to the operating system, exactly
+the execution model the paper's PNCWF director generalizes (and the model
+whose lack of QoS control motivates STAFiLOS).  This director is the plain
+(window-free) PN; :mod:`repro.directors.pncwf` adds windowed receivers and
+timed-window timeouts on top of the same threading skeleton.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from ..core.actors import Actor
+from ..core.director import Director
+from ..core.events import CWEvent
+from ..core.exceptions import DirectorError
+from ..core.ports import InputPort
+from ..core.receivers import Receiver
+
+
+class BlockingReceiver(Receiver):
+    """A thread-safe FIFO whose ``get`` blocks until a token arrives.
+
+    With a finite *capacity*, ``put`` blocks while the queue is full —
+    the bounded-buffer Kahn-network discipline (Parks scheduling): fast
+    producers experience backpressure instead of unbounded memory growth.
+    """
+
+    def __init__(self, port=None, capacity: Optional[int] = None):
+        super().__init__(port)
+        self._queue: deque[CWEvent] = deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._space = threading.Condition(self._lock)
+        self._capacity = capacity
+        self._closed = False
+        #: Number of times a writer had to wait for space (telemetry).
+        self.backpressure_waits = 0
+
+    def put(self, event: CWEvent) -> None:
+        with self._available:
+            if self._capacity is not None:
+                while (
+                    len(self._queue) >= self._capacity
+                    and not self._closed
+                ):
+                    self.backpressure_waits += 1
+                    self._space.wait(timeout=0.1)
+            self._queue.append(event)
+            self._available.notify_all()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[CWEvent]:
+        with self._available:
+            deadline_hit = not self._available.wait_for(
+                lambda: self._queue or self._closed, timeout=timeout
+            )
+            if deadline_hit or (self._closed and not self._queue):
+                return None
+            event = self._queue.popleft()
+            self._space.notify_all()
+            return event
+
+    def has_token(self) -> bool:
+        with self._lock:
+            return bool(self._queue)
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def close(self) -> None:
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+            self._space.notify_all()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._queue.clear()
+
+
+class _ActorThread(threading.Thread):
+    """Drives one actor through repeated prefire/fire/postfire iterations."""
+
+    def __init__(self, director: "PNDirector", actor: Actor):
+        super().__init__(name=f"pn-{actor.name}", daemon=True)
+        self.director = director
+        self.actor = actor
+
+    def run(self) -> None:
+        while not self.director._stopping.is_set():
+            if not self.director._iterate_actor(self.actor):
+                break
+
+
+class PNDirector(Director):
+    """Thread-per-actor Kahn process network execution."""
+
+    model_name = "PN"
+
+    def __init__(
+        self,
+        poll_timeout_s: float = 0.05,
+        queue_capacity: Optional[int] = None,
+    ):
+        super().__init__()
+        self._threads: list[_ActorThread] = []
+        self._stopping = threading.Event()
+        self._poll_timeout_s = poll_timeout_s
+        #: Bounded Kahn buffers when set (backpressure on producers).
+        self.queue_capacity = queue_capacity
+        self._time_lock = threading.Lock()
+        self._now = 0
+
+    def create_receiver(self, port: InputPort) -> Receiver:
+        if port.window is not None:
+            raise DirectorError(
+                "plain PN has no window semantics; use PNCWF for port "
+                f"{port.full_name}"
+            )
+        return BlockingReceiver(port, capacity=self.queue_capacity)
+
+    def current_time(self) -> int:
+        with self._time_lock:
+            return self._now
+
+    def _advance_time(self, timestamp: int) -> None:
+        with self._time_lock:
+            self._now = max(self._now, timestamp)
+
+    # ------------------------------------------------------------------
+    def _iterate_actor(self, actor: Actor) -> bool:
+        """One blocking iteration; returns False when the actor retires."""
+        ctx = self.make_context(actor, self.current_time())
+        staged = 0
+        ports = list(actor.input_ports.values())
+        if ports:
+            first = ports[0].receiver
+            assert isinstance(first, BlockingReceiver)
+            event = first.get(timeout=self._poll_timeout_s)
+            if event is None:
+                return not self._stopping.is_set()
+            ctx.stage(ports[0].name, event)
+            self._advance_time(event.timestamp)
+            staged += 1
+            for port in ports[1:]:
+                receiver = port.receiver
+                while receiver is not None and receiver.has_token():
+                    ctx.stage(port.name, receiver.get(timeout=0))
+                    staged += 1
+        if staged:
+            self.statistics.record_input(actor, staged, ctx.now)
+        if not actor.prefire(ctx):
+            return True
+        actor.fire(ctx)
+        alive = actor.postfire(ctx)
+        ctx.close()
+        self.statistics.record_invocation(actor, 0)
+        return alive
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        workflow = self._require_attached()
+        if self._threads:
+            raise DirectorError("PN director already started")
+        self._stopping.clear()
+        for actor in workflow.internal_actors:
+            thread = _ActorThread(self, actor)
+            self._threads.append(thread)
+            thread.start()
+
+    def pump_sources(self) -> int:
+        """Emit every source arrival (finite streams) from this thread."""
+        workflow = self._require_attached()
+        emitted = 0
+        for source in workflow.sources:
+            ctx = self.make_context(source, now=2**62)
+            emitted += source.pump(ctx)
+            ctx.close()
+        return emitted
+
+    def stop(self, join_timeout_s: float = 2.0) -> None:
+        self._stopping.set()
+        for actor in self._require_attached().actors.values():
+            for port in actor.input_ports.values():
+                if isinstance(port.receiver, BlockingReceiver):
+                    port.receiver.close()
+        for thread in self._threads:
+            thread.join(timeout=join_timeout_s)
+        self._threads.clear()
+
+    def drain(self, idle_checks: int = 3, poll_s: float = 0.02) -> None:
+        """Wait until every receiver has been empty *idle_checks* times."""
+        import time
+
+        workflow = self._require_attached()
+        consecutive_idle = 0
+        while consecutive_idle < idle_checks:
+            busy = any(
+                port.receiver is not None and port.receiver.has_token()
+                for actor in workflow.actors.values()
+                for port in actor.input_ports.values()
+            )
+            consecutive_idle = 0 if busy else consecutive_idle + 1
+            time.sleep(poll_s)
+
+    def run_to_quiescence(self, now: int) -> int:
+        raise DirectorError(
+            "PN runs free-running threads; use start()/drain()/stop() "
+            "instead of run_to_quiescence"
+        )

@@ -1,0 +1,259 @@
+"""PNCWF: the thread-based Continuous Workflow director.
+
+This is CONFLuEnCE's original execution model (before STAFiLOS): the
+director wraps **every actor in its own OS thread**, allowing pipelined
+concurrent execution, and blocks a thread whenever it has no data to
+consume.  Input queues are *windowed receivers*; a thread reading a timed
+window waits only up to the window's timeout and then "raises the timeout
+flag on the receiver and forces it to produce a window".
+
+Resource allocation is delegated entirely to the operating system — which is
+exactly the property the paper's evaluation holds against it: no margin for
+QoS-based optimization.  The virtual-time analogue used by the benchmark
+harness lives in :mod:`repro.simulation.threaded` (same policy, simulated
+preemptive OS scheduling); this module is the *live* wall-clock engine used
+by the runnable examples.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from ..core.actors import Actor, SourceActor
+from ..core.director import Director
+from ..core.events import CWEvent
+from ..core.exceptions import DirectorError
+from ..core.ports import InputPort
+from ..core.receivers import Receiver, WindowedReceiver
+from ..core.timekeeper import US_PER_S
+from ..core.windows import Window, WindowSpec
+
+
+class BlockingWindowedReceiver(WindowedReceiver):
+    """Thread-safe windowed receiver with blocking, timeout-forcing reads."""
+
+    def __init__(self, spec: Optional[WindowSpec], port=None):
+        # A port without a declared window behaves as a 1-token window,
+        # i.e. a plain event queue with blocking semantics.
+        effective = spec if spec is not None else WindowSpec.tokens(
+            1, 1, delete_used_events=True
+        )
+        super().__init__(effective, port)
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._closed = False
+        self._passthrough = spec is None
+
+    def put(self, event: CWEvent) -> None:
+        with self._available:
+            super().put(event)
+            if self.has_token():
+                self._available.notify_all()
+
+    def get_blocking(
+        self,
+        timeout_s: Optional[float],
+        now_us: Optional[int] = None,
+    ) -> Optional[Window]:
+        """Block until a window forms.
+
+        Only receivers whose spec declares a ``window_formation_timeout``
+        force a partial window when the wait expires (the paper: the
+        blocked thread "raises the timeout flag on the receiver and
+        forces it to produce a window") — and only windows whose
+        boundary-plus-timeout has passed in event time (*now_us*).  Plain
+        count/wave windows simply report "nothing yet" so the actor
+        thread re-polls.
+        """
+        with self._available:
+            self._available.wait_for(
+                lambda: self.has_token() or self._closed, timeout=timeout_s
+            )
+            if self.has_token():
+                return super().get()
+            if self._closed:
+                return None
+            if self.spec.timeout is not None:
+                horizon = (
+                    now_us - self.spec.timeout
+                    if now_us is not None
+                    else None
+                )
+                self.force_timeout(horizon)
+                if self.has_token():
+                    return super().get()
+            return None
+
+    def close(self) -> None:
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class _CWActorThread(threading.Thread):
+    """The per-actor thread controller of the PNCWF director."""
+
+    def __init__(self, director: "PNCWFDirector", actor: Actor):
+        super().__init__(name=f"pncwf-{actor.name}", daemon=True)
+        self.director = director
+        self.actor = actor
+
+    def run(self) -> None:
+        actor, director = self.actor, self.director
+        while not director._stopping.is_set():
+            fired = director._iterate_internal(actor)
+            if fired is None:
+                break
+
+
+class _SourceThread(threading.Thread):
+    """Replays a source's arrival schedule against the wall clock."""
+
+    def __init__(self, director: "PNCWFDirector", source: SourceActor):
+        super().__init__(name=f"pncwf-src-{source.name}", daemon=True)
+        self.director = director
+        self.source = source
+
+    def run(self) -> None:
+        director, source = self.director, self.source
+        while not director._stopping.is_set():
+            next_at = source.next_arrival_time()
+            if next_at is None:
+                if not source.unbounded:
+                    return  # finite replay: end of stream
+                if director._stopping.wait(timeout=0.01):
+                    return
+                continue
+            delay_s = (next_at - director.current_time()) / US_PER_S
+            if delay_s > 0:
+                if director._stopping.wait(
+                    timeout=min(delay_s, 0.05) / director.time_scale
+                ):
+                    return
+                continue
+            ctx = director.make_context(source, director.current_time())
+            source.pump(ctx)
+            ctx.close()
+
+
+class PNCWFDirector(Director):
+    """Thread-per-actor continuous workflow execution (the paper baseline).
+
+    ``time_scale`` compresses event time against the wall clock: with
+    ``time_scale=100`` a workload described over 600 seconds replays in 6
+    wall seconds.  Window/timeout semantics operate on event time, so the
+    scale changes only how long the live run takes.
+    """
+
+    model_name = "PNCWF"
+
+    def __init__(self, time_scale: float = 1.0, poll_timeout_s: float = 0.05):
+        super().__init__()
+        self.time_scale = time_scale
+        self._poll_timeout_s = poll_timeout_s
+        self._threads: list[threading.Thread] = []
+        self._stopping = threading.Event()
+        self._epoch: Optional[float] = None
+
+    def create_receiver(self, port: InputPort) -> Receiver:
+        return BlockingWindowedReceiver(port.window, port)
+
+    def current_time(self) -> int:
+        """Event-time 'now': scaled wall-clock since start()."""
+        if self._epoch is None:
+            return 0
+        elapsed = time.monotonic() - self._epoch
+        return int(elapsed * self.time_scale * US_PER_S)
+
+    # ------------------------------------------------------------------
+    def _iterate_internal(self, actor: Actor) -> Optional[bool]:
+        """One thread iteration; None tells the thread to retire."""
+        ports = list(actor.input_ports.values())
+        if not ports:
+            return None
+        primary = ports[0].receiver
+        assert isinstance(primary, BlockingWindowedReceiver)
+        timeout_s = self._read_timeout_s(primary)
+        window = primary.get_blocking(timeout_s, now_us=self.current_time())
+        if window is None:
+            if primary.closed:
+                return None
+            return False
+        ctx = self.make_context(actor, self.current_time())
+        self._stage(ctx, ports[0], window)
+        for port in ports[1:]:
+            receiver = port.receiver
+            while receiver is not None and receiver.has_token():
+                self._stage(ctx, port, receiver.get())
+        self.statistics.record_input(actor, 1, ctx.now)
+        started = time.perf_counter_ns()
+        if actor.prefire(ctx):
+            actor.fire(ctx)
+            actor.postfire(ctx)
+        ctx.close()
+        cost_us = (time.perf_counter_ns() - started) // 1_000
+        self.statistics.record_invocation(actor, int(cost_us))
+        return True
+
+    def _stage(self, ctx, port: InputPort, item) -> None:
+        receiver = port.receiver
+        unwrap = (
+            isinstance(receiver, BlockingWindowedReceiver)
+            and receiver._passthrough
+            and isinstance(item, Window)
+            and len(item) == 1
+        )
+        ctx.stage(port.name, item[0] if unwrap else item)
+
+    def _read_timeout_s(
+        self, receiver: BlockingWindowedReceiver
+    ) -> Optional[float]:
+        spec_timeout = receiver.spec.timeout
+        if spec_timeout is None:
+            return self._poll_timeout_s
+        return max(spec_timeout / US_PER_S / self.time_scale, 0.001)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        workflow = self._require_attached()
+        if self._threads:
+            raise DirectorError("PNCWF director already started")
+        self._stopping.clear()
+        self._epoch = time.monotonic()
+        for actor in workflow.internal_actors:
+            thread = _CWActorThread(self, actor)
+            self._threads.append(thread)
+            thread.start()
+        for source in workflow.sources:
+            thread = _SourceThread(self, source)
+            self._threads.append(thread)
+            thread.start()
+
+    def run_for(self, event_time_s: float) -> None:
+        """Block the calling thread until event time reaches the horizon."""
+        wall_s = event_time_s / self.time_scale
+        self._stopping.wait(timeout=wall_s)
+
+    def stop(self, join_timeout_s: float = 2.0) -> None:
+        self._stopping.set()
+        workflow = self._require_attached()
+        for actor in workflow.actors.values():
+            for port in actor.input_ports.values():
+                if isinstance(port.receiver, BlockingWindowedReceiver):
+                    port.receiver.close()
+        for thread in self._threads:
+            thread.join(timeout=join_timeout_s)
+        self._threads.clear()
+
+    def run_to_quiescence(self, now: int) -> int:
+        raise DirectorError(
+            "PNCWF runs free-running threads; use start()/run_for()/stop()"
+        )

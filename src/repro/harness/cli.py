@@ -1,0 +1,179 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+::
+
+    python -m repro table1               # director taxonomy
+    python -m repro table3               # experimental setup
+    python -m repro fig5                 # workload ramp
+    python -m repro fig8 --duration 300 --seeds 1   # scheduler face-off
+    python -m repro run QBS --quantum 500 --duration 300
+
+Everything prints to stdout; durations and seed counts default to the
+paper's (600 s, averaged over three runs takes a while — the default here
+is one seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..directors.taxonomy import render_table
+from ..linearroad.generator import LinearRoadWorkload, WorkloadConfig
+from .configs import (
+    ExperimentConfig,
+    figure6_configs,
+    figure7_configs,
+    figure8_configs,
+    QBS_BASIC_QUANTA_US,
+    QBS_SOURCE_INTERVAL,
+    RR_BASIC_QUANTA_US,
+    SchedulerSpec,
+)
+from .experiment import run_experiment
+from .reporting import render_series_table, render_workload_figure
+
+
+def _tune(config: ExperimentConfig, args) -> ExperimentConfig:
+    config = config.scaled_duration(args.duration)
+    return config.with_seeds(tuple(range(1, args.seeds + 1)))
+
+
+def _cmd_table1(args) -> int:
+    print(render_table())
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    print("Experimental setup (Table 3)")
+    print(f"  Workload                        0.5 highways")
+    print(f"  Experiment duration             {args.duration} sec")
+    print(f"  QBS source scheduling interval  {QBS_SOURCE_INTERVAL}")
+    print(f"  Basic Quantum (QBS) (us)        {QBS_BASIC_QUANTA_US}")
+    print(f"  Basic Quantum (RR) (us)         {RR_BASIC_QUANTA_US}")
+    print(f"  Priorities used (QBS)           5, 10")
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    workload = LinearRoadWorkload(WorkloadConfig(duration_s=args.duration))
+    print(render_workload_figure(workload.rate_series(bucket_s=30)))
+    return 0
+
+
+def _run_family(configs, title: str, args) -> int:
+    results = [run_experiment(_tune(config, args)) for config in configs]
+    print(render_series_table(results, title))
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    return _run_family(
+        figure6_configs(),
+        "Figure 6: Response Time at TollNotification (RR)",
+        args,
+    )
+
+
+def _cmd_fig7(args) -> int:
+    return _run_family(
+        figure7_configs(),
+        "Figure 7: Response Time at TollNotification (QBS)",
+        args,
+    )
+
+
+def _cmd_fig8(args) -> int:
+    return _run_family(
+        figure8_configs(),
+        "Figure 8: Response Time at TollNotification (all schedulers)",
+        args,
+    )
+
+
+def _cmd_dot(args) -> int:
+    from ..linearroad.generator import LinearRoadWorkload
+    from ..linearroad.workflow import build_linear_road
+
+    system = build_linear_road(
+        LinearRoadWorkload(
+            WorkloadConfig(duration_s=1, peak_rate=1)
+        ).arrivals()
+    )
+    print(system.workflow.to_dot())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    spec = SchedulerSpec(
+        args.scheduler.upper(),
+        quantum_us=args.quantum,
+        source_interval=args.source_interval,
+    )
+    config = _tune(ExperimentConfig(spec), args)
+    result = run_experiment(config)
+    print(
+        render_series_table(
+            [result], f"Linear Road under {result.label}"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree of ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CONFLuEnCE/STAFiLOS reproduction: regenerate the paper's "
+            "tables and figures"
+        ),
+    )
+    parser.add_argument(
+        "--duration",
+        type=int,
+        default=600,
+        help="virtual seconds of the Linear Road experiment (default 600)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=1,
+        help="seeded runs to average (the paper used 3; default 1)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="director taxonomy").set_defaults(
+        fn=_cmd_table1
+    )
+    sub.add_parser("table3", help="experimental setup").set_defaults(
+        fn=_cmd_table3
+    )
+    sub.add_parser("fig5", help="workload ramp").set_defaults(fn=_cmd_fig5)
+    sub.add_parser("fig6", help="RR sensitivity").set_defaults(fn=_cmd_fig6)
+    sub.add_parser("fig7", help="QBS sensitivity").set_defaults(fn=_cmd_fig7)
+    sub.add_parser("fig8", help="all schedulers").set_defaults(fn=_cmd_fig8)
+    sub.add_parser(
+        "dot", help="the Linear Road workflow as Graphviz DOT"
+    ).set_defaults(fn=_cmd_dot)
+    run = sub.add_parser("run", help="one scheduler configuration")
+    run.add_argument(
+        "scheduler", choices=["qbs", "rr", "rb", "fifo", "pncwf", "QBS",
+                              "RR", "RB", "FIFO", "PNCWF"]
+    )
+    run.add_argument("--quantum", type=int, default=None,
+                     help="basic quantum / slice in microseconds")
+    run.add_argument("--source-interval", type=int,
+                     default=QBS_SOURCE_INTERVAL)
+    run.set_defaults(fn=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    raise SystemExit(main())

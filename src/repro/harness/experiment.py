@@ -1,0 +1,173 @@
+"""Experiment runner: one config -> averaged response-time series.
+
+Builds the Linear Road workflow over the configured workload, runs it under
+the configured scheduler (SCWF director for the STAFiLOS policies, the
+simulated thread-based director for PNCWF) on a fresh virtual clock per
+seed, and returns the bucketed "Response Time at TollNotification" series
+the paper's figures plot — averaged over the seeds, as the paper averages
+its three runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..core.exceptions import SimulationError
+from ..linearroad.generator import LinearRoadWorkload
+from ..linearroad.metrics import ResponseTimeSeries
+from ..linearroad.workflow import build_linear_road, LinearRoadSystem
+from ..simulation.clock import VirtualClock
+from ..simulation.runtime import SimulationRuntime
+from ..simulation.threaded import ThreadedCWFDirector
+from ..stafilos.abstract_scheduler import AbstractScheduler
+from ..stafilos.schedulers import (
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+)
+from ..stafilos.scwf_director import SCWFDirector
+from .configs import default_cost_model, ExperimentConfig, SchedulerSpec
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single seed's run."""
+
+    series: ResponseTimeSeries
+    tolls: int
+    alerts: int
+    accidents_recorded: int
+    internal_firings: int
+    backlog_at_end: int
+
+
+@dataclass
+class ExperimentResult:
+    """Averaged outcome of one experiment configuration."""
+
+    config: ExperimentConfig
+    series: ResponseTimeSeries
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return self.config.label
+
+    @property
+    def thrash_time_s(self) -> Optional[int]:
+        return self.series.thrash_time_s()
+
+    def thrash_input_rate(self) -> Optional[float]:
+        """Input reports/s at the thrash point (None = never thrashed)."""
+        thrash = self.thrash_time_s
+        if thrash is None:
+            return None
+        workload = self.config.workload
+        ramp_s = workload.duration_s * workload.ramp_fraction
+        fraction = min(thrash / ramp_s, 1.0)
+        return workload.peak_rate * fraction
+
+    def mean_pre_thrash_s(self) -> float:
+        return self.series.mean_before(self.thrash_time_s)
+
+
+def make_scheduler(spec: SchedulerSpec) -> AbstractScheduler:
+    """Instantiate the STAFiLOS policy described by *spec*."""
+    if spec.kind == "QBS":
+        return QuantumPriorityScheduler(
+            basic_quantum_us=spec.quantum_us or 500,
+            source_interval=spec.source_interval,
+        )
+    if spec.kind == "RR":
+        return RoundRobinScheduler(
+            slice_us=spec.quantum_us or 10_000,
+            source_interval=spec.source_interval,
+        )
+    if spec.kind == "RB":
+        return RateBasedScheduler()
+    if spec.kind == "FIFO":
+        return FIFOScheduler()
+    raise SimulationError(f"unknown scheduler kind {spec.kind!r}")
+
+
+def run_once(config: ExperimentConfig, seed: int) -> RunResult:
+    """One seed: build workload + workflow, simulate, collect the series."""
+    workload = LinearRoadWorkload(replace(config.workload, seed=seed))
+    system: LinearRoadSystem = build_linear_road(workload.arrivals())
+    clock = VirtualClock()
+    cost_model = default_cost_model(seed=config.cost_seed + seed)
+    if config.scheduler.kind == "PNCWF":
+        director = ThreadedCWFDirector(clock, cost_model)
+    else:
+        director = SCWFDirector(
+            make_scheduler(config.scheduler), clock, cost_model
+        )
+    director.attach(system.workflow)
+    runtime = SimulationRuntime(director, clock)
+    runtime.run(config.workload.duration_s)
+    series = ResponseTimeSeries.from_samples(
+        system.toll_response_times_us,
+        config.bucket_s,
+        config.workload.duration_s,
+    )
+    return RunResult(
+        series=series,
+        tolls=len(system.toll_out.items),
+        alerts=len(system.accident_out.items),
+        accidents_recorded=system.recorder.inserted,
+        internal_firings=director.total_internal_firings,
+        backlog_at_end=director.backlog(),
+    )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """All seeds of one configuration, averaged bucket-wise."""
+    runs = [run_once(config, seed) for seed in config.seeds]
+    merged = runs[0].series.merged_with(*(run.series for run in runs[1:]))
+    return ExperimentResult(config, merged, runs)
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable record of one experiment (artifact dumps)."""
+    return {
+        "label": result.label,
+        "scheduler": {
+            "kind": result.config.scheduler.kind,
+            "quantum_us": result.config.scheduler.quantum_us,
+            "source_interval": result.config.scheduler.source_interval,
+        },
+        "workload": {
+            "duration_s": result.config.workload.duration_s,
+            "peak_rate": result.config.workload.peak_rate,
+            "l_rating": result.config.workload.l_rating,
+        },
+        "seeds": list(result.config.seeds),
+        "series": [
+            {"t_s": t, "mean_response_s": r, "samples": n}
+            for t, r, n in result.series.points
+        ],
+        "thrash_time_s": result.thrash_time_s,
+        "thrash_input_rate": result.thrash_input_rate(),
+        "mean_pre_thrash_s": result.mean_pre_thrash_s(),
+        "runs": [
+            {
+                "tolls": run.tolls,
+                "alerts": run.alerts,
+                "accidents_recorded": run.accidents_recorded,
+                "internal_firings": run.internal_firings,
+                "backlog_at_end": run.backlog_at_end,
+            }
+            for run in result.runs
+        ],
+    }
+
+
+def save_results(results: list[ExperimentResult], path) -> None:
+    """Dump experiment results as JSON (regeneratable evaluation record)."""
+    import json
+    from pathlib import Path
+
+    payload = [result_to_dict(result) for result in results]
+    Path(path).write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,45 @@
+"""The Linear Road benchmark as a continuous workflow.
+
+Linear Road (Arasu et al., VLDB'04) simulates variable tolling on the
+expressways of a fictional metropolis; the paper evaluates STAFiLOS on a
+continuous-workflow implementation of its stream-processing core (accident
+detection/notification, per-minute segment statistics, toll calculation and
+notification — historical queries excluded, as in the paper).
+"""
+
+from .db import create_linear_road_database, TOLL_QUERY
+from .generator import AccidentScript, LinearRoadWorkload, WorkloadConfig
+from .metrics import ResponseTimeSeries
+from .types import (
+    Accident,
+    AccidentAlert,
+    Lane,
+    PositionReport,
+    SegmentCrossing,
+    SegmentStat,
+    StoppedCar,
+    TollNotification,
+)
+from .validator import LinearRoadValidator, ValidationReport
+from .workflow import build_linear_road, LinearRoadSystem
+
+__all__ = [
+    "Accident",
+    "AccidentAlert",
+    "AccidentScript",
+    "build_linear_road",
+    "create_linear_road_database",
+    "Lane",
+    "LinearRoadSystem",
+    "LinearRoadValidator",
+    "LinearRoadWorkload",
+    "PositionReport",
+    "ResponseTimeSeries",
+    "SegmentCrossing",
+    "SegmentStat",
+    "StoppedCar",
+    "TOLL_QUERY",
+    "TollNotification",
+    "ValidationReport",
+    "WorkloadConfig",
+]

@@ -1,0 +1,264 @@
+"""The Linear Road workload generator.
+
+The paper used the MIT/Brandeis traffic simulator's pre-generated traces
+("0.5 expressways", Figure 5).  Offline, we generate an equivalent
+deterministic synthetic trace with the same schema and the same load
+envelope:
+
+* cars enter the (single, L=0.5) expressway at a constant rate, so the
+  aggregate report rate — each car reports every 30 s — ramps linearly
+  from 0 to ``peak_rate`` reports/s over the scenario (Figure 5 ramps to
+  ≈200 reports/s at 600 s);
+* every car drives at a per-car cruising speed with small per-report
+  jitter, crossing segments as its absolute position advances;
+* scripted *accidents*: at scheduled times, two cars halt at the same spot
+  in a travel lane for several minutes (producing the ≥4 identical reports
+  the detector needs), then clear and resume.
+
+Everything derives from one seed, so "three runs" in the harness are three
+seeds and every figure is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core.timekeeper import US_PER_S
+from .types import (
+    Lane,
+    PositionReport,
+    REPORT_INTERVAL_S,
+    SEGMENT_LENGTH_FT,
+    SEGMENTS_PER_XWAY,
+    segment_of,
+)
+
+MPH_TO_FTPS = 5280.0 / 3600.0
+
+
+@dataclass(frozen=True)
+class AccidentScript:
+    """A scripted incident: two cars stop at one spot for a while."""
+
+    at_s: int  # when the cars halt
+    clear_s: int  # when they resume
+    segment: int
+    lane: int = Lane.TRAVEL_2
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs of the synthetic Linear Road workload."""
+
+    l_rating: float = 0.5
+    duration_s: int = 600
+    #: Aggregate report rate reached at the end of the ramp (reports/s).
+    peak_rate: float = 200.0
+    #: Fraction of the duration spent ramping up (1.0 = ramp to the end).
+    ramp_fraction: float = 1.0
+    seed: int = 1
+    direction: int = 0
+    xway: int = 0
+    accidents: tuple[AccidentScript, ...] = (
+        AccidentScript(at_s=120, clear_s=300, segment=40),
+        AccidentScript(at_s=260, clear_s=420, segment=70),
+        AccidentScript(at_s=400, clear_s=560, segment=25),
+    )
+    #: Segments where slow commuter traffic concentrates (congestion —
+    #: the precondition of non-zero tolls: > 50 cars and LAV < 40 mph).
+    congestion_segments: tuple[int, ...] = ()
+    #: Fraction of cars routed into the congested segments.
+    congestion_share: float = 0.0
+
+    def scaled(self, rate_factor: float) -> "WorkloadConfig":
+        """A copy with the load envelope scaled (sensitivity sweeps)."""
+        return WorkloadConfig(
+            self.l_rating,
+            self.duration_s,
+            self.peak_rate * rate_factor,
+            self.ramp_fraction,
+            self.seed,
+            self.direction,
+            self.xway,
+            self.accidents,
+            self.congestion_segments,
+            self.congestion_share,
+        )
+
+
+@dataclass
+class _Car:
+    car_id: int
+    entry_s: float
+    speed_mph: float
+    position_ft: float
+    direction: int = 0
+    xway: int = 0
+    stopped_until: Optional[int] = None
+
+
+class LinearRoadWorkload:
+    """Generates the full, time-sorted position-report trace."""
+
+    def __init__(self, config: Optional[WorkloadConfig] = None):
+        self.config = config or WorkloadConfig()
+        self._reports: Optional[list[PositionReport]] = None
+
+    # ------------------------------------------------------------------
+    def reports(self) -> list[PositionReport]:
+        """The complete trace, generated once and cached."""
+        if self._reports is None:
+            self._reports = self._generate()
+        return self._reports
+
+    def arrivals(self) -> list[tuple[int, PositionReport]]:
+        """(arrival_us, report) pairs for a :class:`SourceActor`."""
+        return [
+            (report.time * US_PER_S + index % 1000, report)
+            for index, report in enumerate(self.reports())
+        ]
+
+    def rate_series(self, bucket_s: int = 10) -> list[tuple[int, float]]:
+        """(bucket_start_s, reports_per_second) — regenerates Figure 5."""
+        counts: dict[int, int] = {}
+        for report in self.reports():
+            counts[report.time // bucket_s] = (
+                counts.get(report.time // bucket_s, 0) + 1
+            )
+        return [
+            (bucket * bucket_s, counts.get(bucket, 0) / bucket_s)
+            for bucket in range(self.config.duration_s // bucket_s)
+        ]
+
+    # ------------------------------------------------------------------
+    def _generate(self) -> list[PositionReport]:
+        config = self.config
+        rng = random.Random(config.seed)
+        # Steady car inflow: each car contributes 1/30 reports/s, so to
+        # ramp to peak_rate at the end of the ramp we admit
+        # peak_rate*30 cars spread uniformly over the ramp.
+        ramp_s = max(config.duration_s * config.ramp_fraction, 1.0)
+        total_cars = int(config.peak_rate * REPORT_INTERVAL_S)
+        cars: list[_Car] = []
+        for car_id in range(total_cars):
+            entry = (car_id + rng.random()) * ramp_s / total_cars
+            congested = (
+                config.congestion_segments
+                and rng.random() < config.congestion_share
+            )
+            if congested:
+                speed = rng.uniform(18.0, 32.0)  # crawling: LAV < 40
+                start_seg = rng.choice(config.congestion_segments)
+            else:
+                speed = rng.uniform(45.0, 65.0)
+                start_seg = rng.randrange(SEGMENTS_PER_XWAY)
+            start_pos = start_seg * SEGMENT_LENGTH_FT + rng.randrange(
+                SEGMENT_LENGTH_FT
+            )
+            car = _Car(car_id, entry, speed, float(start_pos))
+            car.direction = self._assign_direction(car_id, rng)
+            car.xway = self._assign_xway(car_id, rng)
+            cars.append(car)
+
+        crash_pairs = self._assign_accident_cars(cars)
+        reports: list[PositionReport] = []
+        for car in cars:
+            reports.extend(self._drive(car, crash_pairs.get(car.car_id), rng))
+        reports.sort(key=lambda r: (r.time, r.car_id))
+        return reports
+
+    def _assign_direction(self, car_id: int, rng: random.Random) -> int:
+        """L-rating semantics: L=0.5 is one direction; L>=1 uses both."""
+        if self.config.l_rating < 1.0:
+            return self.config.direction
+        return rng.randrange(2)
+
+    def _assign_xway(self, car_id: int, rng: random.Random) -> int:
+        """L expressways: cars spread over ceil(L) expressways for L>1."""
+        expressways = max(1, int(self.config.l_rating))
+        if expressways == 1:
+            return self.config.xway
+        return rng.randrange(expressways)
+
+    def _assign_accident_cars(
+        self, cars: list[_Car]
+    ) -> dict[int, AccidentScript]:
+        """Pick two already-entered cars per scripted accident.
+
+        A script is viable only when at least four 30-second reports fit
+        between its start and the scenario horizon (the stopped-car
+        detector needs four identical reports).
+        """
+        assignment: dict[int, AccidentScript] = {}
+        horizon = self.config.duration_s
+        for script in self.config.accidents:
+            crash_end = min(script.clear_s, horizon)
+            if crash_end - script.at_s < REPORT_INTERVAL_S * 4 + 1:
+                continue
+            picked = 0
+            for car in cars:
+                if car.car_id in assignment:
+                    continue
+                if car.entry_s + REPORT_INTERVAL_S < script.at_s:
+                    assignment[car.car_id] = script
+                    # Both halves of the collision must share a roadway.
+                    car.direction = self.config.direction
+                    car.xway = self.config.xway
+                    picked += 1
+                    if picked == 2:
+                        break
+        return assignment
+
+    def _drive(
+        self,
+        car: _Car,
+        script: Optional[AccidentScript],
+        rng: random.Random,
+    ) -> Iterator[PositionReport]:
+        """Yield one car's reports from entry to the horizon."""
+        config = self.config
+        time_s = car.entry_s
+        position = car.position_ft
+        lane = rng.choice(
+            (Lane.TRAVEL_1, Lane.TRAVEL_2, Lane.TRAVEL_3)
+        )
+        crash_position = None
+        if script is not None:
+            crash_position = (
+                script.segment * SEGMENT_LENGTH_FT + SEGMENT_LENGTH_FT // 2
+            )
+        report_time = int(time_s) + 1
+        while report_time < config.duration_s:
+            elapsed = report_time - time_s
+            time_s = report_time
+            in_crash = (
+                script is not None
+                and script.at_s <= report_time < script.clear_s
+            )
+            if in_crash:
+                # The car sits at the scripted spot with speed 0.
+                position = float(crash_position)
+                speed = 0.0
+                report_lane = script.lane
+            else:
+                speed = max(
+                    5.0, car.speed_mph + rng.uniform(-3.0, 3.0)
+                )
+                position += speed * MPH_TO_FTPS * elapsed
+                report_lane = lane
+            wrapped = int(position) % (
+                SEGMENTS_PER_XWAY * SEGMENT_LENGTH_FT
+            )
+            yield PositionReport(
+                time=report_time,
+                car_id=car.car_id,
+                speed=round(speed, 1),
+                xway=car.xway,
+                lane=int(report_lane),
+                direction=car.direction,
+                segment=segment_of(wrapped),
+                position=wrapped,
+            )
+            report_time += REPORT_INTERVAL_S

@@ -1,0 +1,121 @@
+"""Response-time series and thrash detection for the evaluation figures.
+
+The paper's Figures 6–8 plot "Response Time at TollNotification" over the
+600-second experiment; a scheduler *thrashes* when its response times stop
+recovering and grow without bound (the backlog exceeds capacity).  The
+helpers here turn raw ``(emission_time_us, response_time_us)`` samples into
+bucketed series and locate the thrash point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..core.timekeeper import US_PER_S
+
+
+@dataclass
+class ResponseTimeSeries:
+    """Per-bucket average response times over an experiment."""
+
+    bucket_s: int
+    #: (bucket_start_s, mean_response_s, sample_count) per non-empty bucket.
+    points: list[tuple[int, float, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[tuple[int, int]],
+        bucket_s: int = 10,
+        duration_s: Optional[int] = None,
+    ) -> "ResponseTimeSeries":
+        """Bucket raw (emission_us, response_us) samples by emission time."""
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for emitted_us, response_us in samples:
+            bucket = int(emitted_us // (bucket_s * US_PER_S))
+            sums[bucket] = sums.get(bucket, 0.0) + response_us / US_PER_S
+            counts[bucket] = counts.get(bucket, 0) + 1
+        last_bucket = (
+            duration_s // bucket_s - 1
+            if duration_s is not None
+            else max(sums, default=0)
+        )
+        points = [
+            (
+                bucket * bucket_s,
+                sums[bucket] / counts[bucket],
+                counts[bucket],
+            )
+            for bucket in sorted(sums)
+            if bucket <= last_bucket
+        ]
+        return cls(bucket_s, points)
+
+    # ------------------------------------------------------------------
+    @property
+    def times_s(self) -> list[int]:
+        return [t for t, _, _ in self.points]
+
+    @property
+    def responses_s(self) -> list[float]:
+        return [r for _, r, _ in self.points]
+
+    def mean_response_s(self) -> float:
+        total = sum(r * n for _, r, n in self.points)
+        count = sum(n for _, _, n in self.points)
+        return total / count if count else 0.0
+
+    def max_response_s(self) -> float:
+        return max((r for _, r, _ in self.points), default=0.0)
+
+    def response_at(self, time_s: int) -> Optional[float]:
+        for t, r, _ in self.points:
+            if t <= time_s < t + self.bucket_s:
+                return r
+        return None
+
+    # ------------------------------------------------------------------
+    def thrash_time_s(
+        self, threshold_s: float = 4.0, sustain_buckets: int = 3
+    ) -> Optional[int]:
+        """First time the response stays above *threshold_s* for good.
+
+        Thrashing is a sustained, non-recovering blow-up: we report the
+        earliest bucket from which at least *sustain_buckets* buckets exist
+        and every later bucket stays above the threshold.
+        """
+        responses = self.responses_s
+        times = self.times_s
+        for index in range(len(responses)):
+            tail = responses[index:]
+            if len(tail) < sustain_buckets:
+                break
+            if all(value > threshold_s for value in tail):
+                return times[index]
+        return None
+
+    def mean_before(self, time_s: Optional[int]) -> float:
+        """Mean response over buckets strictly before *time_s* (pre-thrash)."""
+        points = [
+            (r, n)
+            for t, r, n in self.points
+            if time_s is None or t < time_s
+        ]
+        total = sum(r * n for r, n in points)
+        count = sum(n for _, n in points)
+        return total / count if count else 0.0
+
+    def merged_with(self, *others: "ResponseTimeSeries") -> "ResponseTimeSeries":
+        """Average several runs (the paper averages three) bucket-wise."""
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        for series in (self, *others):
+            for t, r, n in series.points:
+                sums[t] = sums.get(t, 0.0) + r * n
+                counts[t] = counts.get(t, 0) + n
+        points = [
+            (t, sums[t] / counts[t], counts[t]) for t in sorted(sums)
+        ]
+        return ResponseTimeSeries(self.bucket_s, points)

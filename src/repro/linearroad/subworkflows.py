@@ -1,0 +1,134 @@
+"""Hierarchical (composite) variants of Linear Road tasks.
+
+The paper's implementation uses two levels of workflow hierarchy: the top
+level runs under a continuous-workflow director while sub-tasks like
+stopped-car detection run under SDF or DDF directors (Appendix A).  These
+builders reproduce that structure: each returns a
+:class:`~repro.core.actors.CompositeActor` whose behaviour matches the flat
+actor of the same name in :mod:`repro.linearroad.actors`, but implemented
+as an inner sub-workflow.
+
+At the composite boundary a window is flattened to a single token carrying
+the window's value list (documented composite semantics), so the inner
+graphs operate on report lists.
+"""
+
+from __future__ import annotations
+
+from ..core.actors import CompositeActor, FunctionActor, SinkActor
+from ..core.context import FiringContext
+from ..core.windows import WindowSpec
+from ..core.workflow import Workflow
+from ..directors.ddf import DDFDirector
+from ..directors.sdf import SDFDirector
+from .types import PositionReport, SegmentStat, STOPPED_REPORT_COUNT, StoppedCar
+from .actors import MINUTE_US, WINDOW_TIMEOUT_US
+
+
+def build_stopped_car_composite(
+    name: str = "StoppedCarDetector",
+) -> CompositeActor:
+    """Figure 11: the stopped-car sub-workflow under a DDF director.
+
+    Inner pipeline: ``ComparePositions`` checks that all four reports in
+    the boundary window share one spot and forwards the first report as a
+    :class:`StoppedCar` to the boundary sink.
+    """
+
+    def compare_positions(ctx: FiringContext) -> None:
+        event = ctx.read("in")
+        if event is None:
+            return
+        reports: list[PositionReport] = list(event.value)
+        if len(reports) < STOPPED_REPORT_COUNT:
+            return
+        first = reports[0]
+        if all(report.spot == first.spot for report in reports[1:]):
+            ctx.send("out", StoppedCar(first, reports[-1].time))
+
+    inner = Workflow(f"{name}-sub")
+    compare = FunctionActor("ComparePositions", compare_positions)
+    out = SinkActor("StoppedOut")
+    inner.add_all([compare, out])
+    inner.connect(compare, out)
+
+    composite = CompositeActor(name, inner, DDFDirector())
+    composite.add_input(
+        "in",
+        WindowSpec.tokens(
+            STOPPED_REPORT_COUNT,
+            1,
+            group_by=lambda event: event.value.car_id,
+        ),
+    )
+    composite.add_output("out")
+    composite.bind_input("in", compare, "in")
+    composite.bind_output("out", out)
+    composite.priority = 10
+    composite.nominal_cost_us = 500
+    return composite
+
+
+def build_avgsv_composite(name: str = "Avgsv") -> CompositeActor:
+    """Figure 14: per-car per-segment average speed under an SDF director.
+
+    Inner pipeline (constant 1:1 rates, hence SDF): ``SumSpeeds`` folds the
+    report list to ``(sum, count, key)``; ``Divide`` turns it into the
+    :class:`SegmentStat` the Avgs actor downstream expects.
+    """
+
+    def sum_speeds(ctx: FiringContext) -> None:
+        event = ctx.read("in")
+        if event is None:
+            return
+        reports: list[PositionReport] = list(event.value)
+        if not reports:
+            return
+        total = sum(report.speed for report in reports)
+        ctx.send("out", (total, len(reports), reports[-1]))
+
+    def divide(ctx: FiringContext) -> None:
+        event = ctx.read("in")
+        if event is None:
+            return
+        total, count, last = event.value
+        ctx.send(
+            "out",
+            SegmentStat(
+                last.xway,
+                last.direction,
+                last.segment,
+                last.time // 60,
+                total / count,
+            ),
+        )
+
+    inner = Workflow(f"{name}-sub")
+    folder = FunctionActor("SumSpeeds", sum_speeds)
+    divider = FunctionActor("Divide", divide)
+    out = SinkActor("AvgOut")
+    inner.add_all([folder, divider, out])
+    inner.connect(folder, divider)
+    inner.connect(divider, out)
+
+    composite = CompositeActor(name, inner, SDFDirector())
+    composite.add_input(
+        "in",
+        WindowSpec.time(
+            MINUTE_US,
+            MINUTE_US,
+            group_by=lambda event: (
+                event.value.car_id,
+                event.value.xway,
+                event.value.direction,
+                event.value.segment,
+            ),
+            timeout=WINDOW_TIMEOUT_US,
+        ),
+    )
+    composite.add_output("out")
+    composite.bind_input("in", folder, "in")
+    composite.bind_output("out", out)
+    composite.priority = 10
+    composite.nominal_cost_us = 550
+    return composite

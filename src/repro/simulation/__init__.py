@@ -1,0 +1,20 @@
+"""Virtual-time execution substrate.
+
+Everything the benchmark harness needs to run the paper's experiments
+deterministically on one machine: a virtual clock, a calibrated actor cost
+model, the generic simulation runtime, and the simulated thread-based PNCWF
+baseline (see DESIGN.md for the substitution rationale).
+"""
+
+from .clock import VirtualClock, WallClock
+from .cost_model import CostModel
+from .runtime import SimulationRuntime
+from .threaded import ThreadedCWFDirector
+
+__all__ = [
+    "CostModel",
+    "SimulationRuntime",
+    "ThreadedCWFDirector",
+    "VirtualClock",
+    "WallClock",
+]

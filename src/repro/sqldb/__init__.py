@@ -1,0 +1,37 @@
+"""An in-memory relational engine (the Linear Road workflow's database).
+
+The paper's Linear Road implementation "requires the support of a
+relational database to store statistics on the road congestion as well as
+the recent accidents detected"; this package provides that substrate:
+tables with primary keys and hash indexes, and a SQL subset (SELECT with
+aggregates/GROUP BY/CASE/scalar correlated subqueries, INSERT [OR REPLACE],
+UPDATE, DELETE, CREATE TABLE/INDEX) large enough to run the paper's toll
+query verbatim.
+"""
+
+from .database import Database
+from .errors import (
+    ConstraintError,
+    QueryError,
+    SchemaError,
+    SQLError,
+    SQLSyntaxError,
+)
+from .parser import parse, parse_expression
+from .planner import Result
+from .table import Column, HashIndex, Table
+
+__all__ = [
+    "Column",
+    "ConstraintError",
+    "Database",
+    "HashIndex",
+    "parse",
+    "parse_expression",
+    "QueryError",
+    "Result",
+    "SchemaError",
+    "SQLError",
+    "SQLSyntaxError",
+    "Table",
+]

@@ -1,0 +1,194 @@
+"""The database facade: parse-cached statement execution.
+
+The Linear Road workflow executes the same parameterized statements tens of
+thousands of times per run, so :meth:`Database.execute` caches parsed ASTs
+by statement text; parameters are supplied separately (``$name``/\
+``:name`` markers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from . import ast
+from .errors import QueryError, SchemaError
+from .expressions import Evaluator, Scope, is_truthy
+from .parser import parse
+from .planner import Result, SelectExecutor
+from .table import Column, Table
+
+
+class Database:
+    """An in-memory relational database with a SQL-subset front end."""
+
+    def __init__(self, name: str = "main"):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        self._ast_cache: dict[str, ast.Statement] = {}
+        self.statements_executed = 0
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise SchemaError(f"no such table {name!r}")
+        return table
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: tuple[str, ...] = (),
+        if_not_exists: bool = False,
+    ) -> Table:
+        if name in self.tables:
+            if if_not_exists:
+                return self.tables[name]
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, columns, primary_key)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if name not in self.tables:
+            if if_exists:
+                return
+            raise SchemaError(f"no such table {name!r}")
+        del self.tables[name]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, sql: str, params: Optional[dict[str, Any]] = None
+    ) -> Result:
+        """Parse (with caching) and run one statement."""
+        statement = self._ast_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            self._ast_cache[sql] = statement
+        return self.execute_statement(statement, params or {})
+
+    def explain(
+        self, sql: str, params: Optional[dict[str, Any]] = None
+    ) -> list[str]:
+        """The access-path plan a SELECT would use (EXPLAIN-lite)."""
+        from .planner import explain_select
+
+        statement = self._ast_cache.get(sql)
+        if statement is None:
+            statement = parse(sql)
+            self._ast_cache[sql] = statement
+        if not isinstance(statement, ast.Select):
+            raise QueryError("explain() supports SELECT statements only")
+        return explain_select(self, statement, params)
+
+    def execute_statement(
+        self, statement: ast.Statement, params: dict[str, Any]
+    ) -> Result:
+        self.statements_executed += 1
+        if isinstance(statement, ast.Select):
+            return self._execute_select(statement, params, None)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.Update):
+            return self._execute_update(statement, params)
+        if isinstance(statement, ast.Delete):
+            return self._execute_delete(statement, params)
+        if isinstance(statement, ast.CreateTable):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            self.drop_table(statement.name, statement.if_exists)
+            return Result()
+        if isinstance(statement, ast.CreateIndex):
+            self.table(statement.table).create_index(
+                statement.name, statement.columns
+            )
+            return Result()
+        raise QueryError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    def _execute_select(
+        self,
+        select: ast.Select,
+        params: dict[str, Any],
+        outer_scope: Optional[Scope],
+        limit_hint: Optional[int] = None,
+    ) -> Result:
+        executor = SelectExecutor(
+            self, select, params, outer_scope, limit_hint
+        )
+        return executor.run()
+
+    def _execute_insert(
+        self, statement: ast.Insert, params: dict[str, Any]
+    ) -> Result:
+        table = self.table(statement.table)
+        evaluator = Evaluator(self, params)
+        columns = statement.columns or tuple(table.column_names)
+        if len(columns) != len(set(columns)):
+            raise QueryError("duplicate column in INSERT list")
+        count = 0
+        for row_exprs in statement.rows:
+            if len(row_exprs) != len(columns):
+                raise QueryError(
+                    f"INSERT expects {len(columns)} values, got "
+                    f"{len(row_exprs)}"
+                )
+            values = {
+                column: evaluator.eval(expr, Scope({}))
+                for column, expr in zip(columns, row_exprs)
+            }
+            table.insert(values, or_replace=statement.or_replace)
+            count += 1
+        return Result(rowcount=count)
+
+    def _execute_update(
+        self, statement: ast.Update, params: dict[str, Any]
+    ) -> Result:
+        table = self.table(statement.table)
+        evaluator = Evaluator(self, params)
+        touched: list[tuple[int, dict[str, Any]]] = []
+        for rowid, row in table.scan():
+            scope = Scope({statement.table: row})
+            if statement.where is None or is_truthy(
+                evaluator.eval(statement.where, scope)
+            ):
+                changes = {
+                    assign.column: evaluator.eval(assign.value, scope)
+                    for assign in statement.assignments
+                }
+                touched.append((rowid, changes))
+        for rowid, changes in touched:
+            table.update_row(rowid, changes)
+        return Result(rowcount=len(touched))
+
+    def _execute_delete(
+        self, statement: ast.Delete, params: dict[str, Any]
+    ) -> Result:
+        table = self.table(statement.table)
+        evaluator = Evaluator(self, params)
+        doomed = [
+            rowid
+            for rowid, row in table.scan()
+            if statement.where is None
+            or is_truthy(
+                evaluator.eval(statement.where, Scope({statement.table: row}))
+            )
+        ]
+        return Result(rowcount=table.delete_rowids(doomed))
+
+    def _execute_create_table(self, statement: ast.CreateTable) -> Result:
+        columns = [
+            Column(col.name, col.type_name, col.not_null)
+            for col in statement.columns
+        ]
+        self.create_table(
+            statement.name,
+            columns,
+            statement.primary_key,
+            statement.if_not_exists,
+        )
+        return Result()

@@ -1,0 +1,31 @@
+"""Errors raised by the in-memory relational engine."""
+
+from __future__ import annotations
+
+from ..core.exceptions import ConfluenceError
+
+
+class SQLError(ConfluenceError):
+    """Base class for every relational-engine error."""
+
+
+class SQLSyntaxError(SQLError):
+    """The statement text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(
+            f"{message} (at offset {position})" if position >= 0 else message
+        )
+        self.position = position
+
+
+class SchemaError(SQLError):
+    """Unknown table/column, duplicate definition, or type mismatch."""
+
+
+class ConstraintError(SQLError):
+    """A primary-key or not-null constraint was violated."""
+
+
+class QueryError(SQLError):
+    """A semantically invalid query (e.g. bare column with aggregates)."""

@@ -1,0 +1,284 @@
+"""Expression evaluation with SQL-style three-valued logic.
+
+The evaluator walks AST expression nodes against a :class:`Scope` — a chain
+of name bindings so correlated subqueries resolve outer columns naturally.
+Aggregate function nodes are *not* evaluated here: the planner pre-computes
+them per group and passes the results in ``scope.aggregates``, keyed by the
+AST node (dataclass equality makes syntactically identical aggregates
+share a slot, matching SQL semantics).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any, Optional
+
+from . import ast
+from .errors import QueryError
+from .functions import AGGREGATE_NAMES, call_scalar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+
+class Scope:
+    """One level of name resolution: binding-name -> row dict."""
+
+    def __init__(
+        self,
+        bindings: dict[str, dict[str, Any]],
+        parent: Optional["Scope"] = None,
+        aggregates: Optional[dict[ast.Expression, Any]] = None,
+        aliases: Optional[dict[str, Any]] = None,
+    ):
+        self.bindings = bindings
+        self.parent = parent
+        #: Pre-computed aggregate values for the current group, by AST node.
+        self.aggregates = aggregates or {}
+        #: Select-list aliases visible to HAVING / ORDER BY.
+        self.aliases = aliases or {}
+
+    def child(self, bindings: dict[str, dict[str, Any]]) -> "Scope":
+        return Scope(bindings, parent=self)
+
+    # ------------------------------------------------------------------
+    def resolve(self, ref: ast.ColumnRef) -> Any:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            value = scope._resolve_local(ref)
+            if value is not _MISSING:
+                return value
+            scope = scope.parent
+        raise QueryError(f"unknown column {ref}")
+
+    def _resolve_local(self, ref: ast.ColumnRef) -> Any:
+        if ref.table is not None:
+            row = self.bindings.get(ref.table)
+            if row is None:
+                return _MISSING
+            if ref.name not in row:
+                raise QueryError(
+                    f"table {ref.table!r} has no column {ref.name!r}"
+                )
+            return row[ref.name]
+        matches = [
+            row for row in self.bindings.values() if ref.name in row
+        ]
+        if len(matches) > 1:
+            raise QueryError(f"ambiguous column {ref.name!r}")
+        if matches:
+            return matches[0][ref.name]
+        if ref.name in self.aliases:
+            return self.aliases[ref.name]
+        return _MISSING
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def is_truthy(value: Any) -> bool:
+    """SQL WHERE semantics: NULL (None) filters the row out."""
+    return bool(value) and value is not None
+
+
+class Evaluator:
+    """Evaluates expression nodes; owns parameter values and the database
+    handle (needed to execute subqueries)."""
+
+    def __init__(self, database: "Database", params: dict[str, Any]):
+        self.database = database
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def eval(self, expr: ast.Expression, scope: Scope) -> Any:
+        method = getattr(self, f"_eval_{type(expr).__name__}", None)
+        if method is None:
+            raise QueryError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, scope)
+
+    # ------------------------------------------------------------------
+    def _eval_Literal(self, expr: ast.Literal, scope: Scope) -> Any:
+        return expr.value
+
+    def _eval_ColumnRef(self, expr: ast.ColumnRef, scope: Scope) -> Any:
+        return scope.resolve(expr)
+
+    def _eval_Param(self, expr: ast.Param, scope: Scope) -> Any:
+        if expr.name not in self.params:
+            raise QueryError(f"missing parameter ${expr.name}")
+        return self.params[expr.name]
+
+    def _eval_Unary(self, expr: ast.Unary, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        if expr.op == "NOT":
+            if value is None:
+                return None
+            return not is_truthy(value)
+        if value is None:
+            return None
+        return -value if expr.op == "-" else +value
+
+    def _eval_Binary(self, expr: ast.Binary, scope: Scope) -> Any:
+        op = expr.op
+        if op == "AND":
+            left = self.eval(expr.left, scope)
+            if left is not None and not is_truthy(left):
+                return False
+            right = self.eval(expr.right, scope)
+            if right is not None and not is_truthy(right):
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op == "OR":
+            left = self.eval(expr.left, scope)
+            if left is not None and is_truthy(left):
+                return True
+            right = self.eval(expr.right, scope)
+            if right is not None and is_truthy(right):
+                return True
+            if left is None or right is None:
+                return None
+            return False
+        left = self.eval(expr.left, scope)
+        right = self.eval(expr.right, scope)
+        if left is None or right is None:
+            return None
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL-style: division by zero yields NULL
+            result = left / right
+            return result
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+        if op == "||":
+            return f"{left}{right}"
+        raise QueryError(f"unknown operator {op!r}")
+
+    def _eval_FunctionCall(self, expr: ast.FunctionCall, scope: Scope) -> Any:
+        if expr.name in AGGREGATE_NAMES:
+            search: Optional[Scope] = scope
+            while search is not None:
+                if expr in search.aggregates:
+                    return search.aggregates[expr]
+                search = search.parent
+            raise QueryError(
+                f"aggregate {expr.name} used outside an aggregate query"
+            )
+        args = [self.eval(arg, scope) for arg in expr.args]
+        return call_scalar(expr.name, args)
+
+    def _eval_Case(self, expr: ast.Case, scope: Scope) -> Any:
+        if expr.operand is not None:
+            subject = self.eval(expr.operand, scope)
+            for condition, result in expr.whens:
+                if self.eval(condition, scope) == subject:
+                    return self.eval(result, scope)
+        else:
+            for condition, result in expr.whens:
+                if is_truthy(self.eval(condition, scope)):
+                    return self.eval(result, scope)
+        if expr.else_result is not None:
+            return self.eval(expr.else_result, scope)
+        return None
+
+    def _eval_ScalarSubquery(self, expr: ast.ScalarSubquery, scope: Scope) -> Any:
+        result = self.database._execute_select(expr.select, self.params, scope)
+        if not result.rows:
+            return None
+        if len(result.rows) > 1:
+            raise QueryError("scalar subquery returned more than one row")
+        row = result.rows[0]
+        if len(row) != 1:
+            raise QueryError("scalar subquery must select a single column")
+        return row[0]
+
+    def _eval_ExistsSubquery(self, expr: ast.ExistsSubquery, scope: Scope) -> Any:
+        result = self.database._execute_select(
+            expr.select, self.params, scope, limit_hint=1
+        )
+        found = bool(result.rows)
+        return not found if expr.negated else found
+
+    def _eval_InList(self, expr: ast.InList, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        if value is None:
+            return None
+        candidates = [self.eval(item, scope) for item in expr.items]
+        found = value in [c for c in candidates if c is not None]
+        if not found and any(c is None for c in candidates):
+            return None
+        return not found if expr.negated else found
+
+    def _eval_InSubquery(self, expr: ast.InSubquery, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        if value is None:
+            return None
+        result = self.database._execute_select(expr.select, self.params, scope)
+        values = [row[0] for row in result.rows]
+        found = value in [v for v in values if v is not None]
+        if not found and any(v is None for v in values):
+            return None
+        return not found if expr.negated else found
+
+    def _eval_Between(self, expr: ast.Between, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        low = self.eval(expr.low, scope)
+        high = self.eval(expr.high, scope)
+        if value is None or low is None or high is None:
+            return None
+        inside = low <= value <= high
+        return not inside if expr.negated else inside
+
+    def _eval_IsNull(self, expr: ast.IsNull, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        result = value is None
+        return not result if expr.negated else result
+
+    def _eval_Like(self, expr: ast.Like, scope: Scope) -> Any:
+        value = self.eval(expr.operand, scope)
+        pattern = self.eval(expr.pattern, scope)
+        if value is None or pattern is None:
+            return None
+        regex = _like_to_regex(str(pattern))
+        matched = regex.fullmatch(str(value)) is not None
+        return not matched if expr.negated else matched
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    pieces = []
+    for ch in pattern:
+        if ch == "%":
+            pieces.append(".*")
+        elif ch == "_":
+            pieces.append(".")
+        else:
+            pieces.append(re.escape(ch))
+    return re.compile("".join(pieces), re.IGNORECASE)

@@ -1,0 +1,150 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  The lexer
+understands the dialect subset the Linear Road workflow uses: keywords,
+bare/backquoted/double-quoted identifiers, integer and float literals,
+single-quoted strings (with '' escaping), operators, and ``$name``/\
+``:name`` parameter markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from .errors import SQLSyntaxError
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET
+    AS AND OR NOT IN IS NULL LIKE BETWEEN EXISTS DISTINCT
+    CASE WHEN THEN ELSE END
+    INSERT INTO VALUES REPLACE UPDATE SET DELETE
+    CREATE TABLE PRIMARY KEY IF EXISTS DROP INDEX ON
+    JOIN INNER LEFT OUTER CROSS
+    INTEGER INT FLOAT REAL TEXT VARCHAR BOOLEAN BOOL
+    TRUE FALSE
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+
+class TokenType(Enum):
+    """Lexical categories of the SQL token stream."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PARAM = "param"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.text in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.text!r})"
+
+
+_OPERATORS = (
+    "<>", "!=", ">=", "<=", "||",
+    "(", ")", ",", "*", "+", "-", "/", "%", "=", "<", ">", ".", ";",
+)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize *sql*; raises :class:`SQLSyntaxError` on bad input."""
+    return list(_scan(sql))
+
+
+def _scan(sql: str) -> Iterator[Token]:
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = length if newline < 0 else newline + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < length and sql[i + 1].isdigit()):
+            start = i
+            while i < length and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            if i < length and sql[i] in "eE":
+                i += 1
+                if i < length and sql[i] in "+-":
+                    i += 1
+                while i < length and sql[i].isdigit():
+                    i += 1
+            yield Token(TokenType.NUMBER, sql[start:i], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token(TokenType.KEYWORD, upper, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            pieces = []
+            while True:
+                if i >= length:
+                    raise SQLSyntaxError("unterminated string literal", start)
+                if sql[i] == "'":
+                    if i + 1 < length and sql[i + 1] == "'":
+                        pieces.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                pieces.append(sql[i])
+                i += 1
+            yield Token(TokenType.STRING, "".join(pieces), start)
+            continue
+        if ch in "`\"":
+            quote = ch
+            start = i
+            end = sql.find(quote, i + 1)
+            if end < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", start)
+            yield Token(TokenType.IDENT, sql[i + 1 : end], start)
+            i = end + 1
+            continue
+        if ch in "$:":
+            start = i
+            i += 1
+            name_start = i
+            while i < length and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            if i == name_start:
+                raise SQLSyntaxError(f"dangling parameter marker {ch!r}", start)
+            yield Token(TokenType.PARAM, sql[name_start:i], start)
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                yield Token(TokenType.OPERATOR, op, i)
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    yield Token(TokenType.EOF, "", length)

@@ -1,0 +1,568 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar highlights (enough for the Linear Road workflow and general use):
+
+* ``SELECT [DISTINCT] items FROM table [AS alias] [WHERE] [GROUP BY]
+  [HAVING] [ORDER BY] [LIMIT [OFFSET]]`` — single-table, with scalar/
+  EXISTS/IN subqueries anywhere an expression is allowed (correlated
+  subqueries resolve outer columns through the evaluation scope chain);
+* ``INSERT [OR REPLACE] INTO t (cols) VALUES (...), (...)``;
+* ``UPDATE t SET c = e [, ...] [WHERE ...]``;
+* ``DELETE FROM t [WHERE ...]``;
+* ``CREATE TABLE [IF NOT EXISTS] t (col TYPE [NOT NULL], ...,
+  PRIMARY KEY (a, b))``; ``DROP TABLE [IF EXISTS] t``;
+  ``CREATE INDEX name ON t (cols)``;
+* expressions with standard precedence, ``CASE``/``WHEN``, parameter
+  markers ``$name``/``:name``, and the aggregate/scalar functions of
+  :mod:`repro.sqldb.functions`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .errors import SQLSyntaxError
+from .lexer import Token, TokenType, tokenize
+
+_TYPE_ALIASES = {
+    "INT": "INTEGER",
+    "INTEGER": "INTEGER",
+    "FLOAT": "FLOAT",
+    "REAL": "FLOAT",
+    "TEXT": "TEXT",
+    "VARCHAR": "TEXT",
+    "BOOL": "BOOLEAN",
+    "BOOLEAN": "BOOLEAN",
+}
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is tolerated)."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> ast.Expression:
+    """Parse a standalone expression (used by tests and tools)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._index += 1
+        return token
+
+    def check_keyword(self, *names: str) -> bool:
+        return self.current.is_keyword(*names)
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.check_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, name: str) -> Token:
+        if not self.check_keyword(name):
+            raise SQLSyntaxError(
+                f"expected {name}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def accept_operator(self, *ops: str) -> Optional[str]:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.text in ops:
+            self.advance()
+            return token.text
+        return None
+
+    def expect_operator(self, op: str) -> None:
+        if self.accept_operator(op) is None:
+            raise SQLSyntaxError(
+                f"expected {op!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+
+    def expect_identifier(self) -> str:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.text
+        # Unreserved keywords can double as identifiers (e.g. a column
+        # named "key"): accept aggregate names and type names.
+        if token.type is TokenType.KEYWORD and token.text in _TYPE_ALIASES:
+            self.advance()
+            return token.text
+        raise SQLSyntaxError(
+            f"expected identifier, found {token.text!r}", token.position
+        )
+
+    def expect_eof(self) -> None:
+        self.accept_operator(";")
+        if self.current.type is not TokenType.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self.current.text!r}",
+                self.current.position,
+            )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> ast.Statement:
+        token = self.current
+        if token.is_keyword("SELECT"):
+            statement: ast.Statement = self.select()
+        elif token.is_keyword("INSERT", "REPLACE"):
+            statement = self.insert()
+        elif token.is_keyword("UPDATE"):
+            statement = self.update()
+        elif token.is_keyword("DELETE"):
+            statement = self.delete()
+        elif token.is_keyword("CREATE"):
+            statement = self.create()
+        elif token.is_keyword("DROP"):
+            statement = self.drop()
+        else:
+            raise SQLSyntaxError(
+                f"unsupported statement start {token.text!r}", token.position
+            )
+        self.expect_eof()
+        return statement
+
+    def select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items = [self.select_item()]
+        while self.accept_operator(","):
+            items.append(self.select_item())
+        table = None
+        joins: list[ast.Join] = []
+        if self.accept_keyword("FROM"):
+            table = self.table_ref()
+            joins = self.join_clauses()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: list[ast.Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_operator(","):
+                group_by.append(self.expression())
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        order_by: list[ast.OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_operator(","):
+                order_by.append(self.order_item())
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.expression()
+            if self.accept_keyword("OFFSET"):
+                offset = self.expression()
+        return ast.Select(
+            tuple(items),
+            table,
+            tuple(joins),
+            where,
+            tuple(group_by),
+            having,
+            tuple(order_by),
+            limit,
+            offset,
+            distinct,
+        )
+
+    def join_clauses(self) -> list[ast.Join]:
+        joins: list[ast.Join] = []
+        while True:
+            if self.accept_operator(","):
+                joins.append(ast.Join(self.table_ref(), None, "CROSS"))
+                continue
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                joins.append(ast.Join(self.table_ref(), None, "CROSS"))
+                continue
+            kind = None
+            if self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                kind = "LEFT"
+            elif self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+                kind = "INNER"
+            elif self.accept_keyword("JOIN"):
+                kind = "INNER"
+            if kind is None:
+                return joins
+            table = self.table_ref()
+            condition = None
+            if self.accept_keyword("ON"):
+                condition = self.expression()
+            joins.append(ast.Join(table, condition, kind))
+
+    def select_item(self) -> ast.SelectItem:
+        if self.accept_operator("*"):
+            return ast.SelectItem(None)
+        # "t.*" needs lookahead: IDENT "." "*"
+        if (
+            self.current.type is TokenType.IDENT
+            and self._peek_is_operator(1, ".")
+            and self._peek_is_operator(2, "*")
+        ):
+            table = self.expect_identifier()
+            self.expect_operator(".")
+            self.expect_operator("*")
+            return ast.SelectItem(None, table_star=table)
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._alias_name()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.expect_identifier()
+        elif self.current.type is TokenType.STRING:
+            alias = self.advance().text
+        return ast.SelectItem(expr, alias)
+
+    def _alias_name(self) -> str:
+        if self.current.type is TokenType.STRING:
+            return self.advance().text
+        return self.expect_identifier()
+
+    def _peek_is_operator(self, ahead: int, op: str) -> bool:
+        index = self._index + ahead
+        if index >= len(self._tokens):
+            return False
+        token = self._tokens[index]
+        return token.type is TokenType.OPERATOR and token.text == op
+
+    def table_ref(self) -> ast.TableRef:
+        name = self.expect_identifier()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier()
+        elif self.current.type is TokenType.IDENT:
+            alias = self.expect_identifier()
+        return ast.TableRef(name, alias)
+
+    def order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def insert(self) -> ast.Insert:
+        or_replace = False
+        if self.accept_keyword("REPLACE"):
+            or_replace = True
+        else:
+            self.expect_keyword("INSERT")
+            if self.accept_keyword("OR"):
+                self.expect_keyword("REPLACE")
+                or_replace = True
+        self.expect_keyword("INTO")
+        table = self.expect_identifier()
+        columns: list[str] = []
+        if self.accept_operator("("):
+            columns.append(self.expect_identifier())
+            while self.accept_operator(","):
+                columns.append(self.expect_identifier())
+            self.expect_operator(")")
+        self.expect_keyword("VALUES")
+        rows = [self._value_row()]
+        while self.accept_operator(","):
+            rows.append(self._value_row())
+        return ast.Insert(table, tuple(columns), tuple(rows), or_replace)
+
+    def _value_row(self) -> tuple[ast.Expression, ...]:
+        self.expect_operator("(")
+        values = [self.expression()]
+        while self.accept_operator(","):
+            values.append(self.expression())
+        self.expect_operator(")")
+        return tuple(values)
+
+    def update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier()
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_operator(","):
+            assignments.append(self._assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Update(table, tuple(assignments), where)
+
+    def _assignment(self) -> ast.Assignment:
+        column = self.expect_identifier()
+        self.expect_operator("=")
+        return ast.Assignment(column, self.expression())
+
+    def delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return ast.Delete(table, where)
+
+    def create(self) -> ast.Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("INDEX"):
+            name = self.expect_identifier()
+            self.expect_keyword("ON")
+            table = self.expect_identifier()
+            self.expect_operator("(")
+            columns = [self.expect_identifier()]
+            while self.accept_operator(","):
+                columns.append(self.expect_identifier())
+            self.expect_operator(")")
+            return ast.CreateIndex(name, table, tuple(columns))
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier()
+        self.expect_operator("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_operator("(")
+                keys = [self.expect_identifier()]
+                while self.accept_operator(","):
+                    keys.append(self.expect_identifier())
+                self.expect_operator(")")
+                primary_key = tuple(keys)
+            else:
+                columns.append(self._column_def())
+            if not self.accept_operator(","):
+                break
+        self.expect_operator(")")
+        return ast.CreateTable(name, tuple(columns), primary_key, if_not_exists)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self.expect_identifier()
+        token = self.current
+        if token.type is not TokenType.KEYWORD or token.text not in _TYPE_ALIASES:
+            raise SQLSyntaxError(
+                f"unknown column type {token.text!r}", token.position
+            )
+        self.advance()
+        type_name = _TYPE_ALIASES[token.text]
+        if token.text == "VARCHAR" and self.accept_operator("("):
+            self.advance()  # the length; stored types are unconstrained
+            self.expect_operator(")")
+        not_null = False
+        if self.accept_keyword("NOT"):
+            self.expect_keyword("NULL")
+            not_null = True
+        return ast.ColumnDef(name, type_name, not_null)
+
+    def drop(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return ast.DropTable(self.expect_identifier(), if_exists)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def expression(self) -> ast.Expression:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expression:
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.Binary("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expression:
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.Binary("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expression:
+        if self.accept_keyword("NOT"):
+            return ast.Unary("NOT", self.not_expr())
+        return self.predicate()
+
+    def predicate(self) -> ast.Expression:
+        left = self.additive()
+        negated = False
+        if self.check_keyword("NOT"):
+            # NOT IN / NOT BETWEEN / NOT LIKE
+            save = self._index
+            self.advance()
+            if self.check_keyword("IN", "BETWEEN", "LIKE"):
+                negated = True
+            else:
+                self._index = save
+                return left
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+        if self.accept_keyword("IN"):
+            self.expect_operator("(")
+            if self.check_keyword("SELECT"):
+                select = self.select()
+                self.expect_operator(")")
+                return ast.InSubquery(left, select, negated)
+            items = [self.expression()]
+            while self.accept_operator(","):
+                items.append(self.expression())
+            self.expect_operator(")")
+            return ast.InList(left, tuple(items), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return ast.Between(left, low, high, negated)
+        if self.accept_keyword("LIKE"):
+            return ast.Like(left, self.additive(), negated)
+        op = None
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.text in _COMPARISONS:
+            op = self.advance().text
+            if op == "!=":
+                op = "<>"
+            return ast.Binary(op, left, self.additive())
+        return left
+
+    def additive(self) -> ast.Expression:
+        left = self.multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self.multiplicative())
+
+    def multiplicative(self) -> ast.Expression:
+        left = self.unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self.unary())
+
+    def unary(self) -> ast.Expression:
+        op = self.accept_operator("-", "+")
+        if op is not None:
+            return ast.Unary(op, self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expression:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.text
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.text)
+        if token.type is TokenType.PARAM:
+            self.advance()
+            return ast.Param(token.text)
+        if token.is_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self.case_expr()
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            self.expect_operator("(")
+            select = self.select()
+            self.expect_operator(")")
+            return ast.ExistsSubquery(select)
+        if token.is_keyword("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            self.advance()
+            return self._function_call(token.text)
+        if token.type is TokenType.OPERATOR and token.text == "(":
+            self.advance()
+            if self.check_keyword("SELECT"):
+                select = self.select()
+                self.expect_operator(")")
+                return ast.ScalarSubquery(select)
+            expr = self.expression()
+            self.expect_operator(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            name = self.expect_identifier()
+            if self.current.type is TokenType.OPERATOR and self.current.text == "(":
+                return self._function_call(name.upper())
+            if self.accept_operator("."):
+                column = self.expect_identifier()
+                return ast.ColumnRef(column, table=name)
+            return ast.ColumnRef(name)
+        raise SQLSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.position
+        )
+
+    def _function_call(self, name: str) -> ast.FunctionCall:
+        self.expect_operator("(")
+        if self.accept_operator("*"):
+            self.expect_operator(")")
+            return ast.FunctionCall(name, (), star=True)
+        distinct = self.accept_keyword("DISTINCT")
+        args: list[ast.Expression] = []
+        if not (
+            self.current.type is TokenType.OPERATOR and self.current.text == ")"
+        ):
+            args.append(self.expression())
+            while self.accept_operator(","):
+                args.append(self.expression())
+        self.expect_operator(")")
+        return ast.FunctionCall(name, tuple(args), distinct=distinct)
+
+    def case_expr(self) -> ast.Case:
+        self.expect_keyword("CASE")
+        operand = None
+        if not self.check_keyword("WHEN"):
+            operand = self.expression()
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self.accept_keyword("WHEN"):
+            condition = self.expression()
+            self.expect_keyword("THEN")
+            whens.append((condition, self.expression()))
+        if not whens:
+            raise SQLSyntaxError(
+                "CASE needs at least one WHEN", self.current.position
+            )
+        else_result = None
+        if self.accept_keyword("ELSE"):
+            else_result = self.expression()
+        self.expect_keyword("END")
+        return ast.Case(tuple(whens), else_result, operand)

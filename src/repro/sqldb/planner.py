@@ -1,0 +1,540 @@
+"""Query execution: SELECT planning plus the DML/DDL executors.
+
+The planner is deliberately simple but real:
+
+* single-table FROM with alias binding;
+* access-path selection — equality conjuncts in the WHERE clause that bind
+  all columns of the primary key or of a secondary index route the scan
+  through that index (this is what makes the Linear Road toll lookups
+  cheap); everything else is a heap scan;
+* grouped and ungrouped aggregation, HAVING, ORDER BY (multi-key, NULLs
+  last ascending), DISTINCT, LIMIT/OFFSET;
+* correlated subqueries: the caller's scope becomes the parent of the
+  subquery's scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from . import ast
+from .errors import QueryError, SchemaError
+from .expressions import Evaluator, Scope, is_truthy
+from .functions import AGGREGATE_NAMES, aggregate
+from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+
+
+@dataclass
+class Result:
+    """The outcome of a statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0  # affected rows for DML
+
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def first(self) -> Optional[dict[str, Any]]:
+        if not self.rows:
+            return None
+        return dict(zip(self.columns, self.rows[0]))
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _contains_aggregate(expr: Optional[ast.Expression]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            return True
+        return any(_contains_aggregate(arg) for arg in expr.args)
+    if isinstance(expr, ast.Unary):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, ast.Case):
+        parts = [expr.operand, expr.else_result]
+        for condition, result in expr.whens:
+            parts.extend((condition, result))
+        return any(_contains_aggregate(part) for part in parts)
+    if isinstance(expr, (ast.Between,)):
+        return any(
+            _contains_aggregate(part)
+            for part in (expr.operand, expr.low, expr.high)
+        )
+    if isinstance(expr, (ast.IsNull, ast.Like, ast.InList, ast.InSubquery)):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+def _collect_aggregates(
+    expr: Optional[ast.Expression], out: list[ast.FunctionCall]
+) -> None:
+    if expr is None:
+        return
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name in AGGREGATE_NAMES:
+            if expr not in out:
+                out.append(expr)
+            return
+        for arg in expr.args:
+            _collect_aggregates(arg, out)
+        return
+    if isinstance(expr, ast.Unary):
+        _collect_aggregates(expr.operand, out)
+    elif isinstance(expr, ast.Binary):
+        _collect_aggregates(expr.left, out)
+        _collect_aggregates(expr.right, out)
+    elif isinstance(expr, ast.Case):
+        _collect_aggregates(expr.operand, out)
+        for condition, result in expr.whens:
+            _collect_aggregates(condition, out)
+            _collect_aggregates(result, out)
+        _collect_aggregates(expr.else_result, out)
+    elif isinstance(expr, ast.Between):
+        _collect_aggregates(expr.operand, out)
+        _collect_aggregates(expr.low, out)
+        _collect_aggregates(expr.high, out)
+    elif isinstance(expr, (ast.IsNull, ast.Like, ast.InList, ast.InSubquery)):
+        _collect_aggregates(expr.operand, out)
+
+
+def _equality_bindings(
+    where: Optional[ast.Expression],
+    binding: str,
+    evaluator: Evaluator,
+    outer_scope: Optional[Scope],
+) -> dict[str, Any]:
+    """Columns bound to constants by top-level AND-ed equality conjuncts.
+
+    Only conjuncts of the form ``col = <constant>`` participate, where the
+    constant side contains no column reference into the *current* table
+    binding (literals, parameters and outer-scope correlations qualify).
+    """
+    bindings: dict[str, Any] = {}
+
+    def visit(expr: Optional[ast.Expression]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Binary) and expr.op == "AND":
+            visit(expr.left)
+            visit(expr.right)
+            return
+        if not (isinstance(expr, ast.Binary) and expr.op == "="):
+            return
+        for column_side, value_side in (
+            (expr.left, expr.right),
+            (expr.right, expr.left),
+        ):
+            if not isinstance(column_side, ast.ColumnRef):
+                continue
+            if column_side.table is not None and column_side.table != binding:
+                continue
+            if not _is_constant(value_side):
+                continue
+            try:
+                value = evaluator.eval(
+                    value_side, outer_scope or Scope({})
+                )
+            except QueryError:
+                continue
+            bindings[column_side.name] = value
+            return
+
+    def _is_constant(expr: ast.Expression) -> bool:
+        if isinstance(expr, (ast.Literal, ast.Param)):
+            return True
+        if isinstance(expr, ast.Unary):
+            return _is_constant(expr.operand)
+        if isinstance(expr, ast.ColumnRef):
+            # A correlated outer reference is constant w.r.t. this scan —
+            # but only when it cannot resolve inside this table binding.
+            return False
+        return False
+
+    visit(where)
+    return bindings
+
+
+def explain_select(
+    database: "Database",
+    select: ast.Select,
+    params: Optional[dict[str, Any]] = None,
+) -> list[str]:
+    """Describe the access path a SELECT would take (EXPLAIN-lite).
+
+    One line per FROM element: ``SCAN table`` or ``INDEX table USING
+    name(cols)`` for the driving table, and ``HASH JOIN``/``NESTED LOOP``/
+    ``CROSS`` per join step.  Purely descriptive — it replays the planner's
+    decisions without touching data.
+    """
+    if select.table is None:
+        return ["CONSTANT"]
+    evaluator = Evaluator(database, params or {})
+    lines: list[str] = []
+    table = database.table(select.table.name)
+    bound = _equality_bindings(
+        select.where, select.table.binding, evaluator, None
+    )
+    index = table.best_index(set(bound)) if bound else None
+    if index is not None:
+        columns = ",".join(index.columns)
+        lines.append(
+            f"INDEX {select.table.name} USING {index.name}({columns})"
+        )
+    else:
+        lines.append(f"SCAN {select.table.name}")
+    for join in select.joins:
+        executor = SelectExecutor(database, select, params or {})
+        plan = executor._equi_join_plan(join, join.table.binding)
+        if join.kind == "CROSS":
+            lines.append(f"CROSS {join.table.name}")
+        elif plan is not None:
+            lines.append(
+                f"HASH {join.kind} JOIN {join.table.name} ON "
+                f"{join.table.binding}.{plan[0]}"
+            )
+        else:
+            lines.append(
+                f"NESTED LOOP {join.kind} JOIN {join.table.name}"
+            )
+    return lines
+
+
+class SelectExecutor:
+    """Executes one SELECT statement."""
+
+    def __init__(
+        self,
+        database: "Database",
+        select: ast.Select,
+        params: dict[str, Any],
+        outer_scope: Optional[Scope] = None,
+        limit_hint: Optional[int] = None,
+    ):
+        self.database = database
+        self.select = select
+        self.evaluator = Evaluator(database, params)
+        self.outer_scope = outer_scope
+        self.limit_hint = limit_hint
+
+    # ------------------------------------------------------------------
+    def run(self) -> Result:
+        select = self.select
+        rows = list(self._candidate_rows())
+        rows = [
+            scope
+            for scope in rows
+            if select.where is None
+            or is_truthy(self.evaluator.eval(select.where, scope))
+        ]
+        has_aggregates = bool(select.group_by) or any(
+            _contains_aggregate(item.expression) for item in select.items
+        ) or _contains_aggregate(select.having)
+        if has_aggregates:
+            result = self._aggregate_rows(rows)
+        else:
+            result = self._plain_rows(rows)
+        if select.distinct:
+            seen = set()
+            unique = []
+            for row in result.rows:
+                key = tuple(row)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            result.rows = unique
+        self._order_and_limit(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _candidate_rows(self) -> Iterator[Scope]:
+        select = self.select
+        if select.table is None:
+            yield Scope({}, parent=self.outer_scope)
+            return
+        table = self.database.table(select.table.name)
+        binding = select.table.binding
+        bound = _equality_bindings(
+            select.where, binding, self.evaluator, self.outer_scope
+        )
+        index = table.best_index(set(bound)) if bound else None
+        if index is not None:
+            key = tuple(bound[column] for column in index.columns)
+            candidates = table.lookup_index(index, key)
+        else:
+            candidates = table.scan()
+        scopes: Iterator[Scope] = (
+            Scope({binding: row}, parent=self.outer_scope)
+            for _, row in candidates
+        )
+        for join in select.joins:
+            scopes = self._apply_join(list(scopes), join)
+        yield from scopes
+
+    def _apply_join(
+        self, scopes: list[Scope], join: ast.Join
+    ) -> Iterator[Scope]:
+        """Nested-loop join (hash-accelerated for simple equi-conditions)."""
+        table = self.database.table(join.table.name)
+        binding = join.table.binding
+        if scopes and binding in scopes[0].bindings:
+            raise QueryError(f"duplicate table binding {binding!r}")
+        rows = [row for _, row in table.scan()]
+        hash_plan = self._equi_join_plan(join, binding)
+        buckets: Optional[dict] = None
+        if hash_plan is not None:
+            right_column, _ = hash_plan
+            buckets = {}
+            for row in rows:
+                buckets.setdefault(row[right_column], []).append(row)
+        null_row = {column: None for column in table.column_names}
+        for scope in scopes:
+            if buckets is not None:
+                _, left_expr = hash_plan
+                key = self.evaluator.eval(left_expr, scope)
+                matches = buckets.get(key, []) if key is not None else []
+            else:
+                matches = []
+                for row in rows:
+                    candidate = self._merge(scope, binding, row)
+                    if join.condition is None or is_truthy(
+                        self.evaluator.eval(join.condition, candidate)
+                    ):
+                        matches.append(row)
+            if matches:
+                for row in matches:
+                    yield self._merge(scope, binding, row)
+            elif join.kind == "LEFT":
+                yield self._merge(scope, binding, dict(null_row))
+
+    def _merge(self, scope: Scope, binding: str, row: dict) -> Scope:
+        bindings = dict(scope.bindings)
+        bindings[binding] = row
+        return Scope(bindings, parent=self.outer_scope)
+
+    def _equi_join_plan(
+        self, join: ast.Join, binding: str
+    ) -> Optional[tuple[str, ast.Expression]]:
+        """(right_column, left_expression) for ``left = right.col`` ONs."""
+        condition = join.condition
+        if not (isinstance(condition, ast.Binary) and condition.op == "="):
+            return None
+        for right_side, left_side in (
+            (condition.left, condition.right),
+            (condition.right, condition.left),
+        ):
+            if (
+                isinstance(right_side, ast.ColumnRef)
+                and right_side.table == binding
+                and not (
+                    isinstance(left_side, ast.ColumnRef)
+                    and left_side.table == binding
+                )
+            ):
+                return right_side.name, left_side
+        return None
+
+    # ------------------------------------------------------------------
+    def _output_columns(self) -> list[str]:
+        names: list[str] = []
+        for index, item in enumerate(self.select.items):
+            if item.expression is None:
+                if item.table_star is not None:
+                    names.extend(
+                        self.database.table(
+                            self._table_name_of(item.table_star)
+                        ).column_names
+                    )
+                else:
+                    for ref in self._from_tables():
+                        names.extend(
+                            self.database.table(ref.name).column_names
+                        )
+            elif item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expression, ast.ColumnRef):
+                names.append(item.expression.name)
+            else:
+                names.append(f"col{index}")
+        return names
+
+    def _from_tables(self) -> list[ast.TableRef]:
+        if self.select.table is None:
+            raise QueryError("SELECT * requires a FROM clause")
+        return [self.select.table] + [
+            join.table for join in self.select.joins
+        ]
+
+    def _table_name_of(self, binding: str) -> str:
+        for ref in self._from_tables():
+            if ref.binding == binding:
+                return ref.name
+        raise QueryError(f"unknown table {binding!r} in star")
+
+    def _project(self, scope: Scope) -> tuple:
+        values: list[Any] = []
+        for item in self.select.items:
+            if item.expression is None:
+                if item.table_star is not None:
+                    bindings = [item.table_star]
+                else:
+                    bindings = [ref.binding for ref in self._from_tables()]
+                for binding in bindings:
+                    row = scope.bindings.get(binding)
+                    if row is None:
+                        raise QueryError(
+                            f"unknown table {binding!r} in star"
+                        )
+                    values.extend(row.values())
+            else:
+                values.append(self.evaluator.eval(item.expression, scope))
+        return tuple(values)
+
+    def _plain_rows(self, scopes: list[Scope]) -> Result:
+        result = Result(columns=self._output_columns())
+        limit = self.limit_hint
+        for scope in scopes:
+            result.rows.append(self._project(scope))
+            if limit is not None and len(result.rows) >= limit:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    def _aggregate_rows(self, scopes: list[Scope]) -> Result:
+        select = self.select
+        aggregates: list[ast.FunctionCall] = []
+        for item in select.items:
+            _collect_aggregates(item.expression, aggregates)
+        _collect_aggregates(select.having, aggregates)
+        for order in select.order_by:
+            _collect_aggregates(order.expression, aggregates)
+
+        groups: dict[tuple, list[Scope]] = {}
+        if select.group_by:
+            for scope in scopes:
+                key = tuple(
+                    self.evaluator.eval(expr, scope)
+                    for expr in select.group_by
+                )
+                groups.setdefault(key, []).append(scope)
+        else:
+            groups[()] = scopes
+
+        result = Result(columns=self._output_columns())
+        for key, members in groups.items():
+            agg_values: dict[ast.Expression, Any] = {}
+            for node in aggregates:
+                if node.star:
+                    values: list[Any] = [1] * len(members)
+                else:
+                    values = [
+                        self.evaluator.eval(node.args[0], member)
+                        for member in members
+                    ]
+                agg_values[node] = aggregate(
+                    node.name, values, node.star, node.distinct
+                )
+            representative = (
+                members[0]
+                if members
+                else Scope({}, parent=self.outer_scope)
+            )
+            group_scope = Scope(
+                representative.bindings,
+                parent=representative.parent,
+                aggregates=agg_values,
+            )
+            if select.having is not None and not is_truthy(
+                self.evaluator.eval(select.having, group_scope)
+            ):
+                continue
+            if not members and select.group_by:
+                continue
+            result.rows.append(self._project(group_scope))
+        return result
+
+    # ------------------------------------------------------------------
+    def _order_and_limit(self, result: Result) -> None:
+        select = self.select
+        if select.order_by:
+            alias_positions = {
+                name: index for index, name in enumerate(result.columns)
+            }
+
+            def sort_key(row: tuple):
+                keys = []
+                for order in select.order_by:
+                    value = self._order_value(order, row, alias_positions)
+                    if order.ascending:
+                        keys.append((value is None, value))
+                    else:
+                        keys.append((value is None, _Reverse(value)))
+                return keys
+
+            result.rows.sort(key=sort_key)
+        if select.offset is not None:
+            offset = int(self._constant(select.offset))
+            result.rows = result.rows[offset:]
+        if select.limit is not None:
+            limit = int(self._constant(select.limit))
+            result.rows = result.rows[:limit]
+
+    def _order_value(self, order, row: tuple, alias_positions) -> Any:
+        expr = order.expression
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if 0 <= position < len(row):
+                return row[position]
+            raise QueryError(f"ORDER BY position {expr.value} out of range")
+        if isinstance(expr, ast.ColumnRef):
+            # Qualified or not: ORDER BY targets an output column, whose
+            # name is the bare column name (or its alias).
+            position = alias_positions.get(expr.name)
+            if position is not None:
+                return row[position]
+        raise QueryError(
+            "ORDER BY supports output columns and positions "
+            f"(got {expr!r})"
+        )
+
+    def _constant(self, expr: ast.Expression) -> Any:
+        return self.evaluator.eval(expr, Scope({}))
+
+
+class _Reverse:
+    """Inverts comparison order for DESC sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reverse") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reverse) and self.value == other.value

@@ -1,0 +1,227 @@
+"""The Abstract Scheduler: the extension point of STAFiLOS.
+
+The abstract scheduler "implements most of the basic functionality of a
+scheduler but it is not a complete scheduler": it owns
+
+* the list of the workflow's actors and a per-actor queue of ready events
+  sorted by timestamp (:mod:`repro.stafilos.ready`);
+* the mapping from actors to their current :class:`ActorState` plus a
+  dirty flag per actor so states are re-evaluated lazily;
+* the *active* and *waiting* collections ordered by a policy-provided
+  comparator key;
+* the hooks the director uses to signal its state changes (start/end of a
+  director iteration, start/end of an actor's invocation, source firings).
+
+Concrete policies (QBS, RR, RB...) extend it by implementing the abstract
+methods: the comparator key, the state-condition rules of Table 2, and the
+end-of-iteration maintenance (re-quantification, period roll-over...).
+
+A note on data structures: the paper uses two priority queues.  Because
+several policies (RB) change priorities dynamically, this implementation
+keeps the two sets as plain collections and selects the minimum-key ACTIVE
+actor on demand — semantically identical to a priority queue with lazy
+re-keying, and the actor counts of a workflow (tens) make O(n) selection
+free of any measurable cost while staying deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..core.actors import Actor, SourceActor
+from ..core.events import CWEvent
+from ..core.exceptions import SchedulerError
+from ..core.statistics import StatisticsRegistry
+from ..core.windows import Window
+from .ready import ReadyItem, ReadyQueue
+from .states import ActorState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.workflow import Workflow
+
+
+class AbstractScheduler(ABC):
+    """Base class every STAFiLOS scheduling policy extends."""
+
+    #: Short policy name used in experiment reports ("QBS", "RR", ...).
+    policy_name = "abstract"
+
+    def __init__(self):
+        self.workflow: Optional["Workflow"] = None
+        self.statistics: Optional[StatisticsRegistry] = None
+        self.actors: list[Actor] = []
+        self.sources: list[SourceActor] = []
+        self.ready: dict[str, ReadyQueue] = {}
+        self.states: dict[str, ActorState] = {}
+        #: Per-actor flag: False means the state must be re-evaluated.
+        self.state_valid: dict[str, bool] = {}
+        self._now = 0
+        #: Count of internal (non-source) invocations, for source pacing.
+        self.internal_firings = 0
+        #: Optional load-shedding policy (see repro.stafilos.shedding).
+        self.shedder = None
+
+    # ------------------------------------------------------------------
+    # Initialization (invoked by the SCWF director)
+    # ------------------------------------------------------------------
+    def initialize(
+        self, workflow: "Workflow", statistics: StatisticsRegistry
+    ) -> None:
+        self.workflow = workflow
+        self.statistics = statistics
+        self.actors = list(workflow.actors.values())
+        self.sources = []
+        for actor in self.actors:
+            self.ready[actor.name] = ReadyQueue()
+            self.states[actor.name] = ActorState.INACTIVE
+            # Invalid until first queried: the policy's Table 2 rules
+            # decide the real initial state once quanta etc. exist.
+            self.state_valid[actor.name] = False
+        for source in workflow.sources:
+            self.register_source(source)
+        self.on_initialize()
+
+    def register_source(self, source: SourceActor) -> None:
+        """Sources are registered so policies can treat them specially."""
+        self.sources.append(source)
+
+    def on_initialize(self) -> None:
+        """Policy hook: runs once after the actor lists are built."""
+
+    # ------------------------------------------------------------------
+    # Event intake (invoked by TM windowed receivers via the director)
+    # ------------------------------------------------------------------
+    def enqueue(
+        self, actor: Actor, port_name: str, item: Window | CWEvent
+    ) -> None:
+        """A produced window/event becomes ready work for *actor*."""
+        queue = self.ready.get(actor.name)
+        if queue is None:
+            raise SchedulerError(
+                f"event enqueued for unknown actor {actor.name!r}"
+            )
+        self.admit(actor, queue, port_name, item)
+        self.invalidate_state(actor)
+        if self.shedder is not None:
+            self.shedder.enforce(self)
+
+    def admit(
+        self,
+        actor: Actor,
+        queue: ReadyQueue,
+        port_name: str,
+        item: Window | CWEvent,
+    ) -> None:
+        """Policy hook for event admission; default: straight to the queue.
+
+        The Rate-Based scheduler overrides this to hold events arriving
+        mid-period in a buffer until the period rolls over.
+        """
+        queue.push(port_name, item)
+
+    def dequeue_item(self, actor: Actor) -> Optional[ReadyItem]:
+        """Pop the next ready item for *actor* (director staging)."""
+        item = self.ready[actor.name].pop()
+        self.invalidate_state(actor)
+        return item
+
+    def ready_count(self, actor: Actor) -> int:
+        return len(self.ready[actor.name])
+
+    def total_backlog(self) -> int:
+        """Ready items across every actor (thrash diagnostics)."""
+        return sum(len(queue) for queue in self.ready.values())
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    def invalidate_state(self, actor: Actor) -> None:
+        self.state_valid[actor.name] = False
+
+    def state_of(self, actor: Actor) -> ActorState:
+        """Current state, re-evaluated via the policy rules when stale."""
+        if not self.state_valid[actor.name]:
+            self.states[actor.name] = self.evaluate_state(actor)
+            self.state_valid[actor.name] = True
+        return self.states[actor.name]
+
+    def set_state(self, actor: Actor, state: ActorState) -> None:
+        self.states[actor.name] = state
+        self.state_valid[actor.name] = True
+
+    @abstractmethod
+    def evaluate_state(self, actor: Actor) -> ActorState:
+        """The Table 2 state-condition rules of the concrete policy."""
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def comparator_key(self, actor: Actor) -> Any:
+        """Ordering key of the active queue (smaller = scheduled first)."""
+
+    def active_actors(self) -> list[Actor]:
+        return [
+            actor
+            for actor in self.actors
+            if self.state_of(actor) is ActorState.ACTIVE
+        ]
+
+    def waiting_actors(self) -> list[Actor]:
+        return [
+            actor
+            for actor in self.actors
+            if self.state_of(actor) is ActorState.WAITING
+        ]
+
+    def get_next_actor(self) -> Optional[Actor]:
+        """The next actor to fire, or ``None`` to end the iteration.
+
+        Default: the minimum-comparator-key ACTIVE actor.  Policies override
+        or extend this (QBS injects regular source firings, RR rotates).
+        """
+        candidates = self.active_actors()
+        if not candidates:
+            return self.on_active_queue_empty()
+        return min(candidates, key=self.comparator_key)
+
+    def on_active_queue_empty(self) -> Optional[Actor]:
+        """Hook: last chance to produce an actor before the iteration ends."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Director signals
+    # ------------------------------------------------------------------
+    def on_iteration_start(self, now: int) -> None:
+        self._now = now
+        if self.shedder is not None:
+            self.shedder.shed_sources(self, now)
+        # The clock may have jumped while the engine was idle; source
+        # runnability depends on "now", so those states are always stale.
+        for source in self.sources:
+            self.invalidate_state(source)
+
+    def on_iteration_end(self, now: int) -> None:
+        """End of a director iteration (maintenance: re-quantify etc.)."""
+        self._now = now
+
+    def on_actor_fire_start(self, actor: Actor, now: int) -> None:
+        self._now = now
+
+    def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
+        self._now = now
+        if not actor.is_source:
+            self.internal_firings += 1
+        self.invalidate_state(actor)
+
+    def source_has_work(self, source: SourceActor, now: int) -> bool:
+        return source.pending_arrivals(now) > 0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line configuration summary for experiment reports."""
+        return self.policy_name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"

@@ -1,0 +1,71 @@
+"""Per-actor ready queues: the event staging area inside the scheduler.
+
+The abstract scheduler "maintains a list of the workflow's actors, and maps
+them to queues of events (sorted by timestamp) that should be propagated to
+each actor's corresponding input ports when they are to be scheduled for
+execution."  A :class:`ReadyItem` remembers which input port the window or
+event belongs to so the director can stage it correctly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.events import CWEvent
+from ..core.windows import Window
+
+_TIEBREAK = itertools.count()
+
+
+def _timestamp_of(item: Window | CWEvent) -> int:
+    if isinstance(item, Window):
+        return item.timestamp
+    return item.timestamp
+
+
+@dataclass(order=True)
+class ReadyItem:
+    """One schedulable unit of work for an actor: (port, window-or-event)."""
+
+    sort_key: tuple[int, int] = field(init=False)
+    port_name: str = field(compare=False)
+    item: Any = field(compare=False)
+
+    def __post_init__(self) -> None:
+        self.sort_key = (_timestamp_of(self.item), next(_TIEBREAK))
+
+    @property
+    def timestamp(self) -> int:
+        return self.sort_key[0]
+
+
+class ReadyQueue:
+    """A timestamp-ordered queue of :class:`ReadyItem` for one actor."""
+
+    def __init__(self):
+        self._heap: list[ReadyItem] = []
+
+    def push(self, port_name: str, item: Window | CWEvent) -> ReadyItem:
+        ready = ReadyItem(port_name, item)
+        heapq.heappush(self._heap, ready)
+        return ready
+
+    def pop(self) -> Optional[ReadyItem]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[ReadyItem]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()

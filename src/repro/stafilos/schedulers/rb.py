@@ -1,0 +1,129 @@
+"""The Rate-Based Scheduler (RB).
+
+Based on the Highest Rate scheduler of Sharaf et al. — the best-performing
+continuous-query scheduler with respect to average response time.  Actor
+priorities are dynamic::
+
+    Pr(A) = S_A / C_A
+
+where ``S_A`` is the actor's *global* selectivity and ``C_A`` its *global*
+average cost, both aggregated over the downstream paths to the workflow's
+outputs (summed across paths when an actor is shared, as the paper
+specifies).
+
+Event processing is divided into **periods**: events enqueued during the
+current period are held in a buffer and only become processable when the
+period rolls over; each source executes exactly once per period.  A period
+ends at the director's end of iteration — when every actor has drained its
+ready events and every source has fired.  Priorities are re-evaluated at
+the end of each period from the statistics module.
+
+Note RB deliberately does *not* single out sources for high-priority
+regular scheduling — the paper attributes its weaker response times to
+exactly this (tokens wait longer to enter the workflow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...core.actors import Actor
+from ...core.events import CWEvent
+from ...core.statistics import rate_priorities
+from ...core.windows import Window
+from ..abstract_scheduler import AbstractScheduler
+from ..ready import ReadyQueue
+from ..states import ActorState
+
+
+class RateBasedScheduler(AbstractScheduler):
+    """Highest-rate-first scheduling with period-buffered admission."""
+
+    policy_name = "RB"
+
+    def __init__(self, default_cost_us: float = 100.0):
+        super().__init__()
+        self.default_cost_us = default_cost_us
+        self.periods = 0
+        self.priorities: dict[str, float] = {}
+        self._next_period_buffer: list[tuple[Actor, str, Any]] = []
+        self._fired_sources: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def on_initialize(self) -> None:
+        self._recompute_priorities()
+
+    def _recompute_priorities(self) -> None:
+        assert self.workflow is not None and self.statistics is not None
+        self.priorities = rate_priorities(
+            self.workflow, self.statistics, self.default_cost_us
+        )
+
+    # ------------------------------------------------------------------
+    # Period-buffered admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        actor: Actor,
+        queue: ReadyQueue,
+        port_name: str,
+        item: Window | CWEvent,
+    ) -> None:
+        """Mid-period arrivals wait in the next-period buffer."""
+        self._next_period_buffer.append((actor, port_name, item))
+
+    def buffered_for(self, actor: Actor) -> int:
+        return sum(
+            1 for owner, _, _ in self._next_period_buffer if owner is actor
+        )
+
+    # ------------------------------------------------------------------
+    # Table 2: state conditions under RB
+    # ------------------------------------------------------------------
+    def evaluate_state(self, actor: Actor) -> ActorState:
+        if actor.is_source:
+            if actor.name in self._fired_sources:
+                return ActorState.WAITING
+            return ActorState.ACTIVE
+        if self.ready[actor.name]:
+            return ActorState.ACTIVE
+        if self.buffered_for(actor):
+            return ActorState.WAITING
+        return ActorState.INACTIVE
+
+    def comparator_key(self, actor: Actor) -> Any:
+        """Highest dynamic rate first (min-key ordering, so negate)."""
+        return (-self.priorities.get(actor.name, 0.0), actor.name)
+
+    # ------------------------------------------------------------------
+    def get_next_actor(self) -> Optional[Actor]:
+        candidates = [
+            actor
+            for actor in self.actors
+            if self.state_of(actor) is ActorState.ACTIVE
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=self.comparator_key)
+
+    # ------------------------------------------------------------------
+    def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
+        super().on_actor_fire_end(actor, cost_us, now)
+        if actor.is_source:
+            self._fired_sources.add(actor.name)
+
+    def on_iteration_end(self, now: int) -> None:
+        """Period roll-over: release the buffer, refresh priorities."""
+        super().on_iteration_end(now)
+        self.periods += 1
+        buffered, self._next_period_buffer = self._next_period_buffer, []
+        for actor, port_name, item in buffered:
+            self.ready[actor.name].push(port_name, item)
+            self.invalidate_state(actor)
+        self._fired_sources.clear()
+        for source in self.sources:
+            self.invalidate_state(source)
+        self._recompute_priorities()
+
+    def describe(self) -> str:
+        return "RB(highest-rate)"

@@ -1,0 +1,141 @@
+"""The Round-Robin Scheduler (RR).
+
+The traditional fair policy: at each scheduling period every active actor
+receives the same time slice (quantum) and actors are served in round-robin
+order.  An actor that drains its ready events goes INACTIVE and gives up
+its remaining slice; an actor that exhausts its slice WAITs until the next
+period.  New events arriving mid-period are processed if the actor still
+has slice; an INACTIVE actor that receives events is (re)assigned a slice
+and placed at the *end* of the round-robin queue.  The period rolls over
+when the active queue empties (the director's end of iteration).
+
+Sources are regulated exactly as in QBS: one source firing every
+``source_interval`` internal invocations, at most once per iteration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+from ...core.actors import Actor, SourceActor
+from ...core.events import CWEvent
+from ...core.windows import Window
+from ..abstract_scheduler import AbstractScheduler
+from ..ready import ReadyQueue
+from ..states import ActorState
+
+
+class RoundRobinScheduler(AbstractScheduler):
+    """Equal slices, rotation order, no priorities."""
+
+    policy_name = "RR"
+
+    def __init__(self, slice_us: int = 10_000, source_interval: int = 5):
+        super().__init__()
+        self.slice_us = slice_us
+        self.source_interval = source_interval
+        self.quantum: dict[str, int] = {}
+        self.periods = 0
+        self._rotation = itertools.count()
+        self._order: dict[str, int] = {}
+        self._fired_sources: set[str] = set()
+        self._internal_since_source = 0
+        self._source_rotation = 0
+
+    # ------------------------------------------------------------------
+    def on_initialize(self) -> None:
+        for actor in self.actors:
+            self.quantum[actor.name] = self.slice_us
+            self._order[actor.name] = next(self._rotation)
+
+    # ------------------------------------------------------------------
+    # Table 2: the QBS column applies to RR as well
+    # ------------------------------------------------------------------
+    def evaluate_state(self, actor: Actor) -> ActorState:
+        quantum = self.quantum.get(actor.name, 0)
+        if actor.is_source:
+            if actor.name in self._fired_sources or quantum <= 0:
+                return ActorState.WAITING
+            return ActorState.ACTIVE
+        if not self.ready[actor.name]:
+            return ActorState.INACTIVE
+        if quantum > 0:
+            return ActorState.ACTIVE
+        return ActorState.WAITING
+
+    def comparator_key(self, actor: Actor) -> Any:
+        return self._order.get(actor.name, 0)
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        actor: Actor,
+        queue: ReadyQueue,
+        port_name: str,
+        item: Window | CWEvent,
+    ) -> None:
+        """INACTIVE actors re-enter at the back of the round-robin queue."""
+        was_empty = not queue
+        queue.push(port_name, item)
+        if was_empty and not actor.is_source:
+            self._order[actor.name] = next(self._rotation)
+            if self.quantum.get(actor.name, 0) <= 0:
+                self.quantum[actor.name] = self.slice_us
+
+    # ------------------------------------------------------------------
+    def get_next_actor(self) -> Optional[Actor]:
+        internals = [
+            actor
+            for actor in self.actors
+            if not actor.is_source
+            and self.state_of(actor) is ActorState.ACTIVE
+        ]
+        source_due = (
+            self._internal_since_source >= self.source_interval
+            or not internals
+        )
+        if source_due:
+            source = self._next_runnable_source()
+            if source is not None:
+                return source
+        if internals:
+            return min(internals, key=self.comparator_key)
+        return None
+
+    def _next_runnable_source(self) -> Optional[SourceActor]:
+        count = len(self.sources)
+        for offset in range(count):
+            source = self.sources[(self._source_rotation + offset) % count]
+            if (
+                self.state_of(source) is ActorState.ACTIVE
+                and self.source_has_work(source, self._now)
+            ):
+                self._source_rotation = (
+                    self._source_rotation + offset + 1
+                ) % count
+                return source
+        return None
+
+    # ------------------------------------------------------------------
+    def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
+        super().on_actor_fire_end(actor, cost_us, now)
+        self.quantum[actor.name] = self.quantum.get(actor.name, 0) - cost_us
+        if actor.is_source:
+            self._fired_sources.add(actor.name)
+            self._internal_since_source = 0
+        else:
+            self._internal_since_source += 1
+
+    def on_iteration_end(self, now: int) -> None:
+        """Period roll-over: fresh equal slices for everyone."""
+        super().on_iteration_end(now)
+        self.periods += 1
+        for actor in self.actors:
+            self.quantum[actor.name] = self.slice_us
+            self.invalidate_state(actor)
+        self._fired_sources.clear()
+        self._internal_since_source = 0
+
+    def describe(self) -> str:
+        return f"RR(slice={self.slice_us}us, src_int={self.source_interval})"

@@ -1,0 +1,249 @@
+"""The Scheduled CWF (SCWF) director — the heart of STAFiLOS.
+
+The SCWF director is the component that interacts with the workflow model:
+it initializes the actors, ports, receivers and the scheduler, and
+transitions the workflow through the execution stages of each iteration.
+It is *schedule-independent*: the policy is any
+:class:`~repro.stafilos.abstract_scheduler.AbstractScheduler`.
+
+One director iteration follows the paper's Figure 3 exactly::
+
+    prefire: signal scheduler (iteration start)
+    fire:    loop {
+                 actor = scheduler.getNextActor()
+                 if actor is None: break
+                 if source:   pump due arrivals
+                 else:        dequeue ready item -> stage in TM receiver
+                              prefire/fire/postfire actor, timing the cost
+                 produced events flow through TM receivers back into the
+                 scheduler's per-actor ready queues
+             }
+    postfire: signal scheduler (iteration end: requantify, roll period...)
+
+Time is supplied by a pluggable clock (``now_us``/``advance``/``jump_to``)
+and firing costs by a pluggable cost model — virtual implementations live
+in :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.actors import Actor, SourceActor
+from ..core.director import Director
+from ..core.events import CWEvent
+from ..core.exceptions import DirectorError
+from ..core.ports import InputPort
+from ..core.receivers import Receiver
+from ..core.windows import Window
+from .abstract_scheduler import AbstractScheduler
+from .tm_receiver import TMWindowedReceiver
+
+
+class SCWFDirector(Director):
+    """Generic, pluggable scheduled continuous-workflow director."""
+
+    model_name = "SCWF"
+
+    def __init__(
+        self,
+        scheduler: AbstractScheduler,
+        clock,
+        cost_model,
+        max_firings_per_iteration: int = 5_000_000,
+        error_policy: str = "raise",
+    ):
+        super().__init__()
+        if error_policy not in ("raise", "drop"):
+            raise DirectorError(f"unknown error_policy {error_policy!r}")
+        self.scheduler = scheduler
+        self.clock = clock
+        self.cost_model = cost_model
+        self.max_firings_per_iteration = max_firings_per_iteration
+        #: "raise" propagates actor exceptions (fail-stop); "drop" treats
+        #: a failing firing as a fault barrier — the triggering item is
+        #: consumed, partial emissions are discarded, the error counted.
+        self.error_policy = error_policy
+        self.iterations = 0
+        self.total_internal_firings = 0
+        self.total_source_firings = 0
+        self.total_events_admitted = 0
+        self.actor_errors: dict[str, int] = {}
+        self._timed_receivers: list[TMWindowedReceiver] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def create_receiver(self, port: InputPort) -> Receiver:
+        receiver = TMWindowedReceiver(port.window, self, port)
+        if port.window is not None and port.window.measure.value == "time":
+            self._timed_receivers.append(receiver)
+        return receiver
+
+    def initialize_all(self) -> None:
+        super().initialize_all()
+        workflow = self._require_attached()
+        self.scheduler.initialize(workflow, self.statistics)
+
+    def current_time(self) -> int:
+        return self.clock.now_us
+
+    # ------------------------------------------------------------------
+    # Scheduler intake (invoked by TM receivers)
+    # ------------------------------------------------------------------
+    def schedule_ready(
+        self, actor: Actor, port_name: str, item: Window | CWEvent
+    ) -> None:
+        self.total_events_admitted += 1
+        self.statistics.record_input(actor, 1, self.clock.now_us)
+        self.scheduler.enqueue(actor, port_name, item)
+
+    # ------------------------------------------------------------------
+    # The director iteration cycle
+    # ------------------------------------------------------------------
+    def run_iteration(self) -> tuple[int, int]:
+        """One full director iteration.
+
+        Returns ``(internal_firings, source_emissions)`` so the runtime can
+        detect lack of progress and fast-forward the clock.
+        """
+        workflow = self._require_attached()
+        scheduler = self.scheduler
+        self.iterations += 1
+        scheduler.on_iteration_start(self.clock.now_us)
+        internal_firings = 0
+        source_emissions = 0
+        fired_total = 0
+        while True:
+            actor = scheduler.get_next_actor()
+            if actor is None:
+                break
+            self.clock.advance(self.cost_model.dispatch_overhead_us)
+            if actor.is_source:
+                source_emissions += self._fire_source(actor)
+            else:
+                if self._fire_internal(actor):
+                    internal_firings += 1
+            fired_total += 1
+            if fired_total > self.max_firings_per_iteration:
+                raise DirectorError(
+                    "director iteration exceeded "
+                    f"{self.max_firings_per_iteration} firings; "
+                    "scheduler livelock?"
+                )
+        scheduler.on_iteration_end(self.clock.now_us)
+        self.total_internal_firings += internal_firings
+        self.total_source_firings += source_emissions
+        return internal_firings, source_emissions
+
+    def _fire_source(self, source: SourceActor) -> int:
+        scheduler = self.scheduler
+        now = self.clock.now_us
+        scheduler.on_actor_fire_start(source, now)
+        ctx = self.make_context(source, now)
+        if not source.prefire(ctx):
+            scheduler.on_actor_fire_end(source, 0, now)
+            return 0
+        emitted = source.pump(ctx)
+        source.postfire(ctx)
+        ctx.close()
+        cost = self.cost_model.source_cost(source, emitted)
+        now = self.clock.advance(cost)
+        self.statistics.record_invocation(source, cost)
+        scheduler.on_actor_fire_end(source, cost, now)
+        return emitted
+
+    def _fire_internal(self, actor: Actor) -> bool:
+        scheduler = self.scheduler
+        ready = scheduler.dequeue_item(actor)
+        if ready is None:
+            # The policy considered the actor runnable, but its queue is
+            # empty (e.g. state staleness); treat as a no-op dispatch.
+            scheduler.invalidate_state(actor)
+            return False
+        now = self.clock.now_us
+        scheduler.on_actor_fire_start(actor, now)
+        port = actor.input(ready.port_name)
+        receiver = port.receiver
+        assert isinstance(receiver, TMWindowedReceiver)
+        receiver.stage(ready.item)
+        ctx = self.make_context(actor, now)
+        ctx.stage(ready.port_name, receiver.get())
+        fired = False
+        try:
+            if actor.prefire(ctx):
+                actor.fire(ctx)
+                actor.postfire(ctx)
+                fired = True
+        except Exception:
+            if self.error_policy == "raise":
+                raise
+            # Fault barrier: discard the failed firing's partial
+            # emissions, count the error, and move on.
+            ctx.abort()
+            self.actor_errors[actor.name] = (
+                self.actor_errors.get(actor.name, 0) + 1
+            )
+            fired = False
+        ctx.close()
+        cost = self.cost_model.invocation_cost(actor, ctx)
+        now = self.clock.advance(cost)
+        self.statistics.record_invocation(actor, cost)
+        scheduler.on_actor_fire_end(actor, cost, now)
+        return fired
+
+    # ------------------------------------------------------------------
+    # Window timeout events
+    # ------------------------------------------------------------------
+    def next_window_deadline(self) -> Optional[int]:
+        """Earliest engine time a timed-window timeout must fire.
+
+        A receiver participates only when its spec declares a
+        ``window_formation_timeout``; the timeout fires that long after the
+        window's event-time right boundary.
+        """
+        deadlines = []
+        for receiver in self._timed_receivers:
+            if receiver.spec.timeout is None:
+                continue
+            boundary = receiver.next_deadline()
+            if boundary is not None:
+                deadlines.append(boundary + receiver.spec.timeout)
+        return min(deadlines, default=None)
+
+    def fire_window_timeouts(self, now: int) -> int:
+        """Force-produce every timed window whose timeout passed by *now*."""
+        produced = 0
+        for receiver in self._timed_receivers:
+            timeout = receiver.spec.timeout
+            if timeout is None:
+                continue
+            boundary = receiver.next_deadline()
+            if boundary is not None and boundary + timeout <= now:
+                produced += receiver.force_timeout(now - timeout)
+        return produced
+
+    # ------------------------------------------------------------------
+    # Idle bookkeeping for the runtime
+    # ------------------------------------------------------------------
+    def next_arrival_time(self) -> Optional[int]:
+        workflow = self._require_attached()
+        times = [
+            arrival
+            for source in workflow.sources
+            if (arrival := source.next_arrival_time()) is not None
+        ]
+        return min(times, default=None)
+
+    def backlog(self) -> int:
+        return self.scheduler.total_backlog()
+
+    def run_to_quiescence(self, now: int) -> int:
+        """Composite-boundary entry point: iterate until no progress."""
+        self.clock.jump_to(now)
+        total = 0
+        while True:
+            internal, emitted = self.run_iteration()
+            total += internal
+            if internal == 0 and emitted == 0:
+                return total

@@ -1,0 +1,22 @@
+"""Actor scheduling states of the STAFiLOS abstract scheduler.
+
+Three states are defined by the framework; the transition rules between
+them are policy-specific and live in each scheduler implementation
+(Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class ActorState(Enum):
+    """Scheduling state of one actor inside a STAFiLOS scheduler."""
+
+    #: The actor can be considered for firing at the current iteration.
+    ACTIVE = "active"
+    #: The actor is waiting for something to happen within the scheduler
+    #: (e.g. re-quantification, the next period) before it can run.
+    WAITING = "waiting"
+    #: The actor currently has no events to process.
+    INACTIVE = "inactive"

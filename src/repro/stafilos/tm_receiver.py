@@ -1,0 +1,75 @@
+"""The TM Windowed Receiver.
+
+Based on the TM receiver of PtolemyII's TM (timed-multitasking) domain and
+extending the CONFLuEnCE windowed receiver: when an upstream actor
+broadcasts an event, ``put`` runs the window semantics on the group-by
+queue, and any produced window is **enqueued at the actor's ready queue at
+the SCWF director** (rather than buffered for a blocking reader).  When the
+director later decides to run the actor, it dequeues the window and stages
+it in the receiver's buffer, making it available to the next ``get`` call
+of the actor's ``fire``.
+
+Ports without a declared window behave as plain event queues: every event
+is immediately ready work (a "window" of one event, delivered as the bare
+event).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Optional
+
+from ..core.events import CWEvent
+from ..core.exceptions import ReceiverError
+from ..core.receivers import WindowedReceiver
+from ..core.windows import Window, WindowSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .scwf_director import SCWFDirector
+
+
+class TMWindowedReceiver(WindowedReceiver):
+    """Windowed receiver that hands produced windows to the scheduler."""
+
+    def __init__(
+        self,
+        spec: Optional[WindowSpec],
+        director: "SCWFDirector",
+        port=None,
+    ):
+        self._passthrough = spec is None
+        effective = spec if spec is not None else WindowSpec.tokens(
+            1, 1, delete_used_events=True
+        )
+        super().__init__(effective, port)
+        self._director = director
+        self._buffer: deque = deque()
+
+    # ------------------------------------------------------------------
+    def _deliver(self, window: Window) -> None:
+        """A produced window goes to the per-actor ready queue."""
+        item: Window | CWEvent = window
+        if self._passthrough:
+            item = window.events[0]
+        assert self.port is not None
+        self._director.schedule_ready(self.port.actor, self.port.name, item)
+
+    # ------------------------------------------------------------------
+    # Director-side staging and actor-side reads
+    # ------------------------------------------------------------------
+    def stage(self, item: Window | CWEvent) -> None:
+        """Director deposits the dequeued item for the upcoming firing."""
+        self._buffer.append(item)
+
+    def get(self) -> Window | CWEvent:
+        if not self._buffer:
+            raise ReceiverError(
+                f"get() on TM receiver of {self.port!r} with nothing staged"
+            )
+        return self._buffer.popleft()
+
+    def has_token(self) -> bool:
+        return bool(self._buffer)
+
+    def size(self) -> int:
+        return len(self._buffer)

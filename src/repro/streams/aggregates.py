@@ -1,0 +1,159 @@
+"""Incremental (compensating) sliding-window aggregates.
+
+The paper's §4.3: "providing a set of stream optimized atomic as well as
+composite actors, which can accumulate and compensate tokens which are
+added and expired from a sliding window, would help in avoiding redundant
+multiple aggregate computations and would greatly improve the performance
+of window-based actors."
+
+:class:`SlidingAggregate` is that data structure: O(1) add/expire for
+sum/count/mean, amortized-O(1) min/max via monotonic deques.
+:class:`IncrementalAggActor` wraps it as an actor: it consumes *events*
+(not windows), maintains one aggregate per group, and emits the updated
+aggregate each arrival once the window is full — producing exactly the
+same values as a windowed recompute actor at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..core.actors import Actor
+from ..core.context import FiringContext
+from ..core.exceptions import ConfluenceError
+
+SUPPORTED = ("sum", "count", "mean", "min", "max")
+
+
+class SlidingAggregate:
+    """A count-based sliding window with compensated aggregates."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise ConfluenceError("sliding window size must be positive")
+        self.size = size
+        self._values: deque = deque()
+        self._sum = 0.0
+        #: Monotonic deques of (value, index) for min/max.
+        self._min: deque = deque()
+        self._max: deque = deque()
+        self._admitted = 0
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> Optional[float]:
+        """Admit *value*; returns the expired value, if the window slid."""
+        index = self._admitted
+        self._admitted += 1
+        self._values.append(value)
+        self._sum += value
+        while self._min and self._min[-1][0] >= value:
+            self._min.pop()
+        self._min.append((value, index))
+        while self._max and self._max[-1][0] <= value:
+            self._max.pop()
+        self._max.append((value, index))
+        expired = None
+        if len(self._values) > self.size:
+            expired = self._values.popleft()
+            self._sum -= expired
+            oldest_index = index - self.size
+            if self._min and self._min[0][1] == oldest_index:
+                self._min.popleft()
+            if self._max and self._max[0][1] == oldest_index:
+                self._max.popleft()
+        return expired
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def full(self) -> bool:
+        return len(self._values) == self.size
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise ConfluenceError("mean of an empty window")
+        return self._sum / len(self._values)
+
+    @property
+    def min(self) -> float:
+        if not self._min:
+            raise ConfluenceError("min of an empty window")
+        return self._min[0][0]
+
+    @property
+    def max(self) -> float:
+        if not self._max:
+            raise ConfluenceError("max of an empty window")
+        return self._max[0][0]
+
+    def value_of(self, aggregate: str) -> float:
+        if aggregate == "sum":
+            return self.sum
+        if aggregate == "count":
+            return float(self.count)
+        if aggregate == "mean":
+            return self.mean
+        if aggregate == "min":
+            return self.min
+        if aggregate == "max":
+            return self.max
+        raise ConfluenceError(
+            f"unsupported aggregate {aggregate!r} "
+            f"(supported: {SUPPORTED})"
+        )
+
+
+class IncrementalAggActor(Actor):
+    """Per-event compensated aggregation over a sliding count window.
+
+    Emits ``(group_key, aggregate_value)`` (or the bare value when no
+    group-by) each time a group's window is full — the same output stream
+    a ``WindowSpec.tokens(size, 1)`` + recompute actor yields, without
+    rebuilding the window.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        aggregate: str = "mean",
+        value_fn: Callable[[Any], float] = float,
+        group_by: Optional[Callable[[Any], Any]] = None,
+    ):
+        super().__init__(name)
+        if aggregate not in SUPPORTED:
+            raise ConfluenceError(
+                f"unsupported aggregate {aggregate!r} "
+                f"(supported: {SUPPORTED})"
+            )
+        self.add_input("in")
+        self.add_output("out")
+        self.size = size
+        self.aggregate = aggregate
+        self.value_fn = value_fn
+        self.group_by = group_by
+        self._windows: dict[Any, SlidingAggregate] = {}
+
+    def fire(self, ctx: FiringContext) -> None:
+        event = ctx.read("in")
+        if event is None:
+            return
+        payload = event.value
+        key = self.group_by(payload) if self.group_by else None
+        window = self._windows.get(key)
+        if window is None:
+            window = SlidingAggregate(self.size)
+            self._windows[key] = window
+        window.add(self.value_fn(payload))
+        if window.full:
+            value = window.value_of(self.aggregate)
+            ctx.send("out", value if key is None else (key, value))

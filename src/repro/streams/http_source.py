@@ -1,0 +1,167 @@
+"""An HTTP push source: the second transport the paper names (§2.2).
+
+A background :mod:`http.server` accepts ``POST`` requests whose bodies are
+newline-delimited records (same codecs as the TCP source); every decoded
+record becomes a pending arrival the director pumps at its own pace.
+``GET /stats`` exposes a small JSON health document.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..core.actors import SourceActor
+from ..core.timekeeper import US_PER_S
+from .codecs import JSONLinesCodec
+
+
+class HTTPStreamSource(SourceActor):
+    """Receives push updates over HTTP POST."""
+
+    unbounded = True
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec=None,
+        clock=None,
+        output: str = "out",
+    ):
+        super().__init__(name, arrivals=[])
+        self.add_output(output)
+        self.codec = codec or JSONLinesCodec()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._host = host
+        self._port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.received = 0
+        self.decode_errors = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    def listen(self) -> tuple[str, int]:
+        source = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # silence the default stderr log
+                pass
+
+            def do_POST(self) -> None:
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length).decode(
+                    "utf-8", errors="replace"
+                )
+                accepted = source._ingest_body(body)
+                payload = json.dumps({"accepted": accepted})
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.end_headers()
+                self.wfile.write(payload.encode("utf-8"))
+
+            def do_GET(self) -> None:
+                if self.path != "/stats":
+                    self.send_response(404)
+                    self.end_headers()
+                    return
+                payload = json.dumps(source.stats())
+                self.send_response(200)
+                self.send_header("Content-Type", "application/json")
+                self.end_headers()
+                self.wfile.write(payload.encode("utf-8"))
+
+        self._server = ThreadingHTTPServer((self._host, self._port), Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"http-src-{self.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self._server.server_address[:2]
+
+    def close(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------------
+    def _ingest_body(self, body: str) -> int:
+        self.requests += 1
+        accepted = 0
+        for line in body.splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = self.codec.decode(line)
+            except Exception:
+                self.decode_errors += 1
+                continue
+            timestamp = self._now_us()
+            with self._lock:
+                self._pending.append((timestamp, payload))
+                self.received += 1
+            accepted += 1
+        return accepted
+
+    def _now_us(self) -> int:
+        if self.clock is not None:
+            return self.clock.now_us
+        import time
+
+        return int(time.monotonic() * US_PER_S)
+
+    def stats(self) -> dict:
+        with self._lock:
+            backlog = len(self._pending) - self._cursor
+        return {
+            "received": self.received,
+            "decode_errors": self.decode_errors,
+            "requests": self.requests,
+            "backlog": backlog,
+        }
+
+    # ------------------------------------------------------------------
+    # Thread-safe SourceActor overrides
+    # ------------------------------------------------------------------
+    def next_arrival_time(self) -> Optional[int]:
+        with self._lock:
+            if self._cursor >= len(self._pending):
+                return None
+            return self._pending[self._cursor][0]
+
+    def pending_arrivals(self, now: int) -> int:
+        with self._lock:
+            count = 0
+            index = self._cursor
+            while (
+                index < len(self._pending)
+                and self._pending[index][0] <= now
+            ):
+                count += 1
+                index += 1
+            return count
+
+    def pump(self, ctx) -> int:
+        emitted = 0
+        limit = self.batch_limit
+        while True:
+            with self._lock:
+                if self._cursor >= len(self._pending):
+                    break
+                timestamp, value = self._pending[self._cursor]
+                if timestamp > ctx.now:
+                    break
+                self._cursor += 1
+            self.emit_arrival(ctx, timestamp, value)
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                break
+        return emitted

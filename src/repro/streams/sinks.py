@@ -1,0 +1,82 @@
+"""Stream sinks: where continuous-workflow outputs leave the system."""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Callable, Optional, TextIO
+
+from ..core.actors import SinkActor
+from .codecs import JSONLinesCodec
+
+
+class CallbackSink(SinkActor):
+    """Invokes a plain callable per delivered payload (integration glue)."""
+
+    def __init__(self, name: str, handler: Callable[[Any], None]):
+        super().__init__(
+            name,
+            callback=lambda ctx, item: handler(
+                item.value if hasattr(item, "value") else item
+            ),
+        )
+
+
+class RecordingSink(SinkActor):
+    """Writes newline-delimited encoded records to a text stream.
+
+    Pass any writable text file object (or nothing, for an in-memory
+    buffer readable via :attr:`text`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stream: Optional[TextIO] = None,
+        codec=None,
+    ):
+        super().__init__(name, callback=self._record)
+        self.stream = stream if stream is not None else io.StringIO()
+        self.codec = codec or JSONLinesCodec()
+        self.records_written = 0
+
+    def _record(self, ctx, item) -> None:
+        payload = item.value if hasattr(item, "value") else item
+        self.stream.write(self.codec.encode(payload) + "\n")
+        self.records_written += 1
+
+    @property
+    def text(self) -> str:
+        if isinstance(self.stream, io.StringIO):
+            return self.stream.getvalue()
+        raise ValueError("text is only available for in-memory sinks")
+
+
+class ThrottledAlertSink(SinkActor):
+    """Delivers at most one alert per key per ``cooldown_us`` of engine time.
+
+    Monitoring workflows routinely debounce duplicate alerts; this sink
+    demonstrates a stateful QoS-aware output actor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable[[Any], Any],
+        cooldown_us: int,
+    ):
+        super().__init__(name, callback=self._maybe_deliver)
+        self.key_fn = key_fn
+        self.cooldown_us = cooldown_us
+        self.delivered: list[tuple[int, Any]] = []
+        self.suppressed = 0
+        self._last_by_key: dict[Any, int] = {}
+
+    def _maybe_deliver(self, ctx, item) -> None:
+        payload = item.value if hasattr(item, "value") else item
+        key = self.key_fn(payload)
+        last = self._last_by_key.get(key)
+        if last is not None and ctx.now - last < self.cooldown_us:
+            self.suppressed += 1
+            return
+        self._last_by_key[key] = ctx.now
+        self.delivered.append((ctx.now, payload))

@@ -1,0 +1,220 @@
+"""Push sources: how external streams enter a continuous workflow.
+
+Three source flavours:
+
+* :class:`ReplaySource` — replays a recorded trace (arrival schedule);
+* :class:`PoissonSource` — synthetic arrivals with a (possibly
+  time-varying) rate, generated lazily from a seed;
+* :class:`TCPStreamSource` — a real push connection: a background thread
+  reads newline-delimited records from a TCP socket and appends them to
+  the pending-arrival queue, which the director drains at the pace its
+  execution model dictates (paper §2.2).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Callable, Iterable, Optional
+
+from ..core.actors import SourceActor
+from ..core.timekeeper import US_PER_S
+from .codecs import JSONLinesCodec
+
+
+class ReplaySource(SourceActor):
+    """A named, single-output trace replay source."""
+
+    def __init__(
+        self,
+        name: str,
+        arrivals: Iterable[tuple[int, Any]],
+        output: str = "out",
+    ):
+        super().__init__(name, arrivals)
+        self.add_output(output)
+
+
+class PoissonSource(SourceActor):
+    """Synthetic arrivals: exponential gaps around ``rate_fn(t_s)``/s."""
+
+    def __init__(
+        self,
+        name: str,
+        rate_fn: Callable[[float], float],
+        payload_fn: Callable[[int], Any],
+        duration_s: float,
+        seed: int = 1,
+        output: str = "out",
+    ):
+        import random
+
+        rng = random.Random(seed)
+        arrivals: list[tuple[int, Any]] = []
+        t_s = 0.0
+        index = 0
+        while t_s < duration_s:
+            rate = max(rate_fn(t_s), 1e-9)
+            t_s += rng.expovariate(rate)
+            if t_s >= duration_s:
+                break
+            arrivals.append((int(t_s * US_PER_S), payload_fn(index)))
+            index += 1
+        super().__init__(name, arrivals)
+        self.add_output(output)
+
+
+class TCPStreamSource(SourceActor):
+    """Receives push updates over a TCP connection.
+
+    A reader thread accepts newline-delimited records and stamps them with
+    their receive time; the director pumps them into the workflow at the
+    rate its execution model dictates.  The source is thread-safe: the
+    reader appends under a lock while the engine drains.
+    """
+
+    unbounded = True
+
+    def __init__(
+        self,
+        name: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec=None,
+        clock=None,
+        output: str = "out",
+    ):
+        super().__init__(name, arrivals=[])
+        self.add_output(output)
+        self.codec = codec or JSONLinesCodec()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._server: Optional[socket.socket] = None
+        self._stopping = threading.Event()
+        self.received = 0
+        self.decode_errors = 0
+        self._host = host
+        self._port = port
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def listen(self) -> tuple[str, int]:
+        """Bind and start accepting one publisher; returns (host, port)."""
+        self._server = socket.create_server((self._host, self._port))
+        self._server.settimeout(0.2)
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-src-{self.name}", daemon=True
+        )
+        self._thread.start()
+        return self._server.getsockname()[:2]
+
+    def close(self) -> None:
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if self._server is not None:
+            self._server.close()
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._stopping.is_set():
+            try:
+                connection, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with connection:
+                self._read_lines(connection)
+
+    def _read_lines(self, connection: socket.socket) -> None:
+        connection.settimeout(0.2)
+        buffer = b""
+        while not self._stopping.is_set():
+            try:
+                chunk = connection.recv(4096)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if not chunk:
+                return
+            buffer += chunk
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                self._ingest(line.decode("utf-8", errors="replace"))
+
+    def _ingest(self, line: str) -> None:
+        if not line.strip():
+            return
+        try:
+            payload = self.codec.decode(line)
+        except Exception:
+            self.decode_errors += 1
+            return
+        timestamp = self._now_us()
+        with self._lock:
+            self._pending.append((timestamp, payload))
+            self.received += 1
+
+    def _now_us(self) -> int:
+        if self.clock is not None:
+            return self.clock.now_us
+        import time
+
+        return int(time.monotonic() * US_PER_S)
+
+    # ------------------------------------------------------------------
+    # SourceActor overrides (thread-safe over the growing list)
+    # ------------------------------------------------------------------
+    def next_arrival_time(self) -> Optional[int]:
+        with self._lock:
+            if self._cursor >= len(self._pending):
+                return None
+            return self._pending[self._cursor][0]
+
+    def pending_arrivals(self, now: int) -> int:
+        with self._lock:
+            count = 0
+            index = self._cursor
+            while (
+                index < len(self._pending)
+                and self._pending[index][0] <= now
+            ):
+                count += 1
+                index += 1
+            return count
+
+    def pump(self, ctx) -> int:
+        emitted = 0
+        limit = self.batch_limit
+        while True:
+            with self._lock:
+                if self._cursor >= len(self._pending):
+                    break
+                timestamp, value = self._pending[self._cursor]
+                if timestamp > ctx.now:
+                    break
+                self._cursor += 1
+            self.emit_arrival(ctx, timestamp, value)
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                break
+        return emitted
+
+
+def publish_lines(
+    host: str, port: int, payloads: Iterable[Any], codec=None
+) -> int:
+    """Publish *payloads* to a listening :class:`TCPStreamSource`."""
+    codec = codec or JSONLinesCodec()
+    sent = 0
+    with socket.create_connection((host, port), timeout=2.0) as connection:
+        for payload in payloads:
+            connection.sendall(
+                (codec.encode(payload) + "\n").encode("utf-8")
+            )
+            sent += 1
+    return sent

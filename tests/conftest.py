@@ -1,0 +1,49 @@
+"""Shared fixtures: small workflows wired to the SCWF director."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.simulation.clock import VirtualClock
+from repro.simulation.cost_model import CostModel
+from repro.simulation.runtime import SimulationRuntime
+from repro.stafilos.scwf_director import SCWFDirector
+
+
+@pytest.fixture
+def pipeline_builder():
+    """Factory: (arrivals, scheduler, window=None) -> (system dict)."""
+
+    def build(arrivals, scheduler, window: WindowSpec | None = None,
+              cost_model: CostModel | None = None):
+        workflow = Workflow("pipeline")
+        source = SourceActor("source", arrivals=arrivals)
+        source.add_output("out")
+        transform = MapActor("double", lambda v: (
+            [x * 2 for x in v] if isinstance(v, list) else v * 2
+        ), window=window)
+        sink = SinkActor("sink")
+        workflow.add_all([source, transform, sink])
+        workflow.connect(source, transform)
+        workflow.connect(transform, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            scheduler, clock, cost_model or CostModel()
+        )
+        director.attach(workflow)
+        runtime = SimulationRuntime(director, clock)
+        return {
+            "workflow": workflow,
+            "source": source,
+            "transform": transform,
+            "sink": sink,
+            "clock": clock,
+            "director": director,
+            "runtime": runtime,
+            "scheduler": scheduler,
+        }
+
+    return build

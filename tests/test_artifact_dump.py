@@ -1,0 +1,49 @@
+"""JSON artifact dumps of experiment results."""
+
+import json
+
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    result_to_dict,
+    run_experiment,
+    save_results,
+    SchedulerSpec,
+)
+from repro.linearroad.generator import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ExperimentConfig(
+        SchedulerSpec("RR", 20_000),
+        workload=WorkloadConfig(duration_s=90, peak_rate=25, accidents=()),
+        seeds=(1,),
+    )
+    return run_experiment(config)
+
+
+class TestArtifactDump:
+    def test_dict_is_json_serializable(self, result):
+        record = result_to_dict(result)
+        text = json.dumps(record)
+        assert "RR-q20000" in text
+
+    def test_record_fields(self, result):
+        record = result_to_dict(result)
+        assert record["scheduler"]["kind"] == "RR"
+        assert record["workload"]["duration_s"] == 90
+        assert record["seeds"] == [1]
+        assert record["runs"][0]["tolls"] > 0
+        assert all(
+            set(point) == {"t_s", "mean_response_s", "samples"}
+            for point in record["series"]
+        )
+
+    def test_save_and_reload(self, result, tmp_path):
+        path = tmp_path / "fig.json"
+        save_results([result], path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 1
+        assert loaded[0]["label"] == "RR-q20000"

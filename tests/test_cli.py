@@ -1,0 +1,56 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table3", "fig5", "fig6", "fig7",
+                        "fig8", "run"):
+            args = parser.parse_args(
+                [command] + (["rr"] if command == "run" else [])
+            )
+            assert callable(args.fn)
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--duration", "120", "--seeds", "2", "fig5"]
+        )
+        assert args.duration == 120
+        assert args.seeds == 2
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "PNCWF" in out and "Director" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "Basic Quantum (QBS)" in capsys.readouterr().out
+
+    def test_fig5_short(self, capsys):
+        assert main(["--duration", "90", "fig5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_run_single_scheduler_short(self, capsys):
+        assert main(
+            ["--duration", "60", "run", "rr", "--quantum", "20000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "RR-q20000" in out
+        assert "summary:" in out
+
+    def test_dot_prints_linear_road_graph(self, capsys):
+        assert main(["dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "linear-road"')
+        assert "TollNotification" in out

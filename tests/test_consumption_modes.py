@@ -1,0 +1,87 @@
+"""Hybrid window/consumption modes (Adaikkalavan & Chakravarthy, ref [1])."""
+
+import pytest
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import (
+    ConsumptionMode,
+    Measure,
+    WindowOperator,
+    WindowSpec,
+)
+
+SECOND = 1_000_000
+
+
+def event(value, ts=0):
+    event.counter = getattr(event, "counter", 0) + 1
+    return CWEvent(value, ts, WaveTag.root(event.counter))
+
+
+class TestUnrestrictedMode:
+    def test_events_participate_in_multiple_windows(self):
+        op = WindowOperator(
+            WindowSpec(3, 1, Measure.TOKENS, mode=ConsumptionMode.UNRESTRICTED)
+        )
+        produced = []
+        for i in range(5):
+            produced.extend(op.put(event(i, i)))
+        # Value 2 appears in all three windows.
+        appearances = sum(
+            1 for window in produced if 2 in window.values
+        )
+        assert appearances == 3
+
+
+class TestContinuousMode:
+    def test_each_event_used_exactly_once(self):
+        op = WindowOperator(
+            WindowSpec(3, 1, Measure.TOKENS, mode=ConsumptionMode.CONTINUOUS)
+        )
+        produced = []
+        for i in range(9):
+            produced.extend(op.put(event(i, i)))
+        seen = [value for window in produced for value in window.values]
+        assert seen == list(range(9))
+        assert len(set(seen)) == len(seen)
+
+
+class TestRecentMode:
+    def test_token_burst_collapses(self):
+        op = WindowOperator(
+            WindowSpec(2, 1, Measure.TOKENS, mode=ConsumptionMode.RECENT)
+        )
+        op.put(event(1, 0))
+        produced = op.put(event(2, 1))
+        assert len(produced) == 1
+
+    def test_time_gap_collapses_to_newest(self):
+        op = WindowOperator(
+            WindowSpec(
+                1 * SECOND,
+                1 * SECOND,
+                Measure.TIME,
+                mode=ConsumptionMode.RECENT,
+            )
+        )
+        op.put(event("a", 0))
+        op.put(event("b", int(1.5 * SECOND)))
+        # A far-future event closes several windows at once; only the
+        # most recent non-empty one is retained in RECENT mode.
+        produced = op.put(event("c", 5 * SECOND))
+        assert len(produced) == 1
+        assert produced[0].values == ["b"]
+
+
+class TestModeInference:
+    def test_delete_used_infers_continuous(self):
+        spec = WindowSpec(4, 1, delete_used_events=True)
+        assert spec.mode is ConsumptionMode.CONTINUOUS
+
+    def test_default_is_unrestricted(self):
+        assert WindowSpec(4, 1).mode is ConsumptionMode.UNRESTRICTED
+
+    def test_continuous_mode_forces_delete_flag(self):
+        spec = WindowSpec(4, 2, mode=ConsumptionMode.CONTINUOUS)
+        assert spec.delete_used_events

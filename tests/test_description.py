@@ -1,0 +1,217 @@
+"""Declarative workflow descriptions (specification / MoC separation)."""
+
+import pytest
+
+from repro.core import SinkActor, WindowSpec, Workflow, WorkflowError
+from repro.core.actors import Actor
+from repro.core.description import (
+    ActorRegistry,
+    build_workflow,
+    window_from_spec,
+)
+from repro.core.windows import Measure
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+
+
+class TestWindowFromSpec:
+    def test_defaults(self):
+        spec = window_from_spec({"size": 4})
+        assert spec.size == 4 and spec.step == 1
+        assert spec.measure is Measure.TOKENS
+
+    def test_time_measure_defaults_to_tumbling(self):
+        spec = window_from_spec({"size": 60_000_000, "measure": "time"})
+        assert spec.step == spec.size
+
+    def test_full_form(self):
+        spec = window_from_spec(
+            {
+                "size": 2,
+                "step": 1,
+                "measure": "waves",
+                "timeout": 5,
+                "group_by": "car",
+                "delete_used_events": True,
+            }
+        )
+        assert spec.measure is Measure.WAVES
+        assert spec.delete_used_events
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(WorkflowError):
+            window_from_spec({})
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(WorkflowError):
+            window_from_spec({"size": 1, "measure": "bananas"})
+
+
+def monitor_spec():
+    return {
+        "name": "monitor",
+        "actors": [
+            {
+                "name": "feed",
+                "type": "source",
+                "arrivals": [(i * 1000, float(i)) for i in range(8)],
+            },
+            {
+                "name": "avg",
+                "type": "map",
+                "function": lambda values: sum(values) / len(values),
+                "window": {"size": 4, "step": 2},
+                "priority": 10,
+                "cost_us": 450,
+            },
+            {"name": "out", "type": "sink"},
+        ],
+        "connections": [["feed", "avg"], ["avg", "out"]],
+    }
+
+
+class TestBuildWorkflow:
+    def test_builds_and_validates(self):
+        workflow = build_workflow(monitor_spec())
+        assert isinstance(workflow, Workflow)
+        assert set(workflow.actors) == {"feed", "avg", "out"}
+        assert workflow.actors["avg"].priority == 10
+        assert workflow.actors["avg"].nominal_cost_us == 450
+        assert workflow.actors["avg"].input("in").window.size == 4
+
+    def test_built_workflow_executes(self):
+        workflow = build_workflow(monitor_spec())
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(1.0, drain=True)
+        sink = workflow.actors["out"]
+        assert sink.values == [1.5, 3.5, 5.5]
+
+    def test_port_qualified_connections(self):
+        spec = {
+            "name": "q",
+            "actors": [
+                {"name": "src", "type": "source", "arrivals": [],
+                 "output": "reports"},
+                {
+                    "name": "fn",
+                    "type": "function",
+                    "function": lambda ctx: None,
+                    "inputs": ["a", "b"],
+                    "outputs": ["out"],
+                },
+                {"name": "out", "type": "sink"},
+            ],
+            "connections": [
+                ["src.reports", "fn.a"],
+                {"from": "src.reports", "to": "fn.b"},
+                ["fn.out", "out.in"],
+            ],
+        }
+        workflow = build_workflow(spec)
+        assert len(workflow.channels) == 3
+
+    def test_expired_routes(self):
+        spec = monitor_spec()
+        spec["actors"].append({"name": "stale", "type": "sink"})
+        spec["expired"] = [["avg", "stale"]]
+        workflow = build_workflow(spec)
+        assert workflow.actors["avg"].input("in").expired_to is not None
+
+    def test_unknown_actor_type_rejected(self):
+        with pytest.raises(WorkflowError):
+            build_workflow(
+                {"actors": [{"name": "x", "type": "teleport"}]}
+            )
+
+    def test_unknown_connection_target_rejected(self):
+        spec = monitor_spec()
+        spec["connections"].append(["avg", "ghost"])
+        with pytest.raises(WorkflowError):
+            build_workflow(spec)
+
+    def test_map_needs_callable(self):
+        with pytest.raises(WorkflowError):
+            build_workflow(
+                {"actors": [{"name": "m", "type": "map", "function": 5}]}
+            )
+
+
+class TestClassActors:
+    def test_dotted_path_class(self):
+        spec = {
+            "name": "cls",
+            "actors": [
+                {"name": "src", "type": "source", "arrivals": [(0, 1)]},
+                {
+                    "name": "toll_sink",
+                    "type": "class",
+                    "class": "repro.linearroad.actors.TollNotifier",
+                },
+            ],
+            "connections": [["src", "toll_sink"]],
+        }
+        workflow = build_workflow(spec)
+        from repro.linearroad.actors import TollNotifier
+
+        assert isinstance(workflow.actors["toll_sink"], TollNotifier)
+
+    def test_class_object_with_kwargs(self):
+        class Custom(SinkActor):
+            def __init__(self, name, tag="?"):
+                super().__init__(name)
+                self.tag = tag
+
+        registry = ActorRegistry()
+        spec = {
+            "name": "cls2",
+            "actors": [
+                {"name": "src", "type": "source", "arrivals": []},
+                {
+                    "name": "c",
+                    "type": "class",
+                    "class": Custom,
+                    "kwargs": {"tag": "hello"},
+                },
+            ],
+            "connections": [["src", "c"]],
+        }
+        workflow = build_workflow(spec, registry)
+        assert workflow.actors["c"].tag == "hello"
+
+    def test_non_actor_class_rejected(self):
+        with pytest.raises(WorkflowError):
+            build_workflow(
+                {
+                    "actors": [
+                        {"name": "c", "type": "class", "class": dict}
+                    ]
+                }
+            )
+
+    def test_custom_registry_type(self):
+        class Probe(Actor):
+            def fire(self, ctx):
+                pass
+
+        def build_probe(spec):
+            probe = Probe(spec["name"])
+            probe.add_input("in")
+            return probe
+
+        registry = ActorRegistry()
+        registry.register("probe", build_probe)
+        workflow = build_workflow(
+            {
+                "actors": [
+                    {"name": "src", "type": "source", "arrivals": []},
+                    {"name": "p", "type": "probe"},
+                ],
+                "connections": [["src", "p"]],
+            },
+            registry,
+        )
+        assert isinstance(workflow.actors["p"], Probe)

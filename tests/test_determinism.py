@@ -1,0 +1,36 @@
+"""Bit-reproducibility: the property every figure in EXPERIMENTS.md rests on."""
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_once, SchedulerSpec
+from repro.linearroad.generator import WorkloadConfig
+
+CONFIG = ExperimentConfig(
+    SchedulerSpec("QBS", 500),
+    workload=WorkloadConfig(duration_s=120, peak_rate=40),
+    seeds=(1,),
+)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_series(self):
+        first = run_once(CONFIG, seed=3)
+        second = run_once(CONFIG, seed=3)
+        assert first.series.points == second.series.points
+        assert first.tolls == second.tolls
+        assert first.internal_firings == second.internal_firings
+
+    def test_different_seed_differs(self):
+        first = run_once(CONFIG, seed=3)
+        second = run_once(CONFIG, seed=4)
+        assert first.series.points != second.series.points
+
+    def test_pncwf_simulation_deterministic(self):
+        config = ExperimentConfig(
+            SchedulerSpec("PNCWF"),
+            workload=WorkloadConfig(duration_s=120, peak_rate=40),
+            seeds=(1,),
+        )
+        first = run_once(config, seed=2)
+        second = run_once(config, seed=2)
+        assert first.series.points == second.series.points

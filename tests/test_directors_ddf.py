@@ -1,0 +1,116 @@
+"""DDF director: data-driven firing to quiescence."""
+
+import pytest
+
+from repro.core.actors import FunctionActor, SinkActor
+from repro.core.exceptions import DirectorError
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.directors.ddf import DDFDirector
+
+
+def build_branching():
+    """A decision-point graph: router sends odds and evens differently."""
+    wf = Workflow("branch")
+
+    def route(ctx):
+        event = ctx.read("in")
+        if event is None:
+            return
+        port = "odd" if event.value % 2 else "even"
+        ctx.send(port, event.value)
+
+    router = FunctionActor("router", route, outputs=("odd", "even"))
+    odd_sink = SinkActor("odds")
+    even_sink = SinkActor("evens")
+    wf.add_all([router, odd_sink, even_sink])
+    wf.connect(router.output("odd"), odd_sink.input("in"))
+    wf.connect(router.output("even"), even_sink.input("in"))
+    router.input("in").boundary = True
+    return wf, router, odd_sink, even_sink
+
+
+class TestDDF:
+    def test_variable_rate_routing(self):
+        wf, router, odds, evens = build_branching()
+        director = DDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        for value in range(6):
+            director.inject(router, "in", value, now=0)
+        director.run_to_quiescence(0)
+        assert odds.values == [1, 3, 5]
+        assert evens.values == [0, 2, 4]
+
+    def test_windowed_receiver_supported(self):
+        wf = Workflow("win")
+        summer = FunctionActor(
+            "sum",
+            lambda ctx: ctx.send("out", sum(ctx.read("in").values)),
+            inputs=(("in", WindowSpec.tokens(3, 3)),),
+        )
+        sink = SinkActor("sink")
+        wf.add_all([summer, sink])
+        wf.connect(summer, sink)
+        summer.input("in").boundary = True
+        director = DDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        for value in range(6):
+            director.inject(summer, "in", value, now=0)
+        director.run_to_quiescence(0)
+        assert sink.values == [3, 12]
+
+    def test_pipeline_depth_drains_in_one_call(self):
+        wf = Workflow("deep")
+        stages = [
+            FunctionActor(
+                f"s{i}", lambda ctx: ctx.send("out", ctx.read("in").value + 1)
+            )
+            for i in range(5)
+        ]
+        sink = SinkActor("sink")
+        wf.add_all(stages + [sink])
+        for up, down in zip(stages, stages[1:]):
+            wf.connect(up, down)
+        wf.connect(stages[-1], sink)
+        stages[0].input("in").boundary = True
+        director = DDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        director.inject(stages[0], "in", 0, now=0)
+        director.run_to_quiescence(0)
+        assert sink.values == [5]
+
+    def test_livelock_guard(self):
+        wf = Workflow("livelock")
+        ping = FunctionActor(
+            "ping", lambda ctx: ctx.send("out", ctx.read("in").value)
+        )
+        pong = FunctionActor(
+            "pong", lambda ctx: ctx.send("out", ctx.read("in").value)
+        )
+        wf.add_all([ping, pong])
+        wf.connect(ping, pong)
+        wf.connect(pong, ping)
+        director = DDFDirector(max_firings_per_run=100)
+        director.attach(wf)
+        director.initialize_all()
+        director.inject(ping, "in", 1, now=0)
+        with pytest.raises(DirectorError):
+            director.run_to_quiescence(0)
+
+    def test_sources_not_fired_by_ddf(self):
+        from repro.core.actors import SourceActor
+
+        wf = Workflow("src")
+        source = SourceActor("source", arrivals=[(0, "x")])
+        source.add_output("out")
+        sink = SinkActor("sink")
+        wf.add_all([source, sink])
+        wf.connect(source, sink)
+        director = DDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        assert director.run_to_quiescence(0) == 0
+        assert sink.values == []

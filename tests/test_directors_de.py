@@ -1,0 +1,74 @@
+"""DE director: global timestamp order and causality."""
+
+import pytest
+
+from repro.core.actors import FunctionActor, SinkActor
+from repro.core.events import CWEvent
+from repro.core.exceptions import DirectorError
+from repro.core.waves import WaveTag
+from repro.core.workflow import Workflow
+from repro.directors.de import DEDirector
+
+
+def build():
+    wf = Workflow("de")
+    relay = FunctionActor(
+        "relay", lambda ctx: ctx.send("out", ctx.read("in").value)
+    )
+    sink = SinkActor("sink")
+    wf.add_all([relay, sink])
+    wf.connect(relay, sink)
+    relay.input("in").boundary = True
+    director = DEDirector()
+    director.attach(wf)
+    director.initialize_all()
+    return wf, relay, sink, director
+
+
+class TestDE:
+    def test_events_processed_in_timestamp_order(self):
+        wf, relay, sink, director = build()
+        director.inject(relay, "in", CWEvent("late", 30, WaveTag.root(1)), 0)
+        director.inject(relay, "in", CWEvent("early", 10, WaveTag.root(2)), 0)
+        director.run_to_quiescence(0)
+        assert sink.values == ["early", "late"]
+
+    def test_model_time_advances_to_last_event(self):
+        wf, relay, sink, director = build()
+        director.inject(relay, "in", CWEvent("x", 500, WaveTag.root(1)), 0)
+        director.run_to_quiescence(0)
+        assert director.current_time() == 500
+
+    def test_run_until_horizon_leaves_future_events(self):
+        wf, relay, sink, director = build()
+        director.inject(relay, "in", CWEvent("now", 10, WaveTag.root(1)), 0)
+        director.inject(relay, "in", CWEvent("later", 99, WaveTag.root(2)), 0)
+        director.run_until(50)
+        assert sink.values == ["now"]
+        assert director.pending == 1
+
+    def test_causality_violation_rejected(self):
+        wf, relay, sink, director = build()
+        director.inject(relay, "in", CWEvent("x", 100, WaveTag.root(1)), 0)
+        director.run_to_quiescence(0)
+        with pytest.raises(DirectorError):
+            director.inject(
+                relay, "in", CWEvent("past", 50, WaveTag.root(2)), 0
+            )
+
+    def test_windowed_ports_rejected(self):
+        from repro.core.windows import WindowSpec
+
+        wf = Workflow("bad")
+        actor = FunctionActor(
+            "w",
+            lambda ctx: None,
+            inputs=(("in", WindowSpec.tokens(2)),),
+            outputs=(),
+        )
+        sink = SinkActor("sink")
+        wf.add_all([actor, sink])
+        wf.connect(actor.add_output("out"), sink.input("in"))
+        actor.input("in").boundary = True
+        with pytest.raises(DirectorError):
+            DEDirector().attach(wf)

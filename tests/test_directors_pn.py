@@ -1,0 +1,84 @@
+"""PN director: thread-per-actor Kahn network execution."""
+
+import pytest
+
+from repro.core.actors import FunctionActor, SinkActor, SourceActor
+from repro.core.exceptions import DirectorError
+from repro.core.workflow import Workflow
+from repro.directors.pn import BlockingReceiver, PNDirector
+
+
+class TestBlockingReceiver:
+    def test_put_then_get(self):
+        from repro.core.events import CWEvent
+        from repro.core.waves import WaveTag
+
+        receiver = BlockingReceiver()
+        receiver.put(CWEvent("x", 0, WaveTag.root(1)))
+        assert receiver.get(timeout=0.1).value == "x"
+
+    def test_get_timeout_returns_none(self):
+        receiver = BlockingReceiver()
+        assert receiver.get(timeout=0.01) is None
+
+    def test_closed_empty_returns_none(self):
+        receiver = BlockingReceiver()
+        receiver.close()
+        assert receiver.get(timeout=1.0) is None
+
+    def test_close_drains_remaining_first(self):
+        from repro.core.events import CWEvent
+        from repro.core.waves import WaveTag
+
+        receiver = BlockingReceiver()
+        receiver.put(CWEvent("x", 0, WaveTag.root(1)))
+        receiver.close()
+        assert receiver.get(timeout=0.1).value == "x"
+        assert receiver.get(timeout=0.1) is None
+
+
+class TestPNDirector:
+    def build(self):
+        wf = Workflow("pn")
+        source = SourceActor(
+            "source", arrivals=[(i, i) for i in range(10)]
+        )
+        source.add_output("out")
+        double = FunctionActor(
+            "double", lambda ctx: ctx.send("out", ctx.read("in").value * 2)
+        )
+        sink = SinkActor("sink")
+        wf.add_all([source, double, sink])
+        wf.connect(source, double)
+        wf.connect(double, sink)
+        return wf, sink
+
+    def test_threaded_pipeline_processes_stream(self):
+        wf, sink = self.build()
+        director = PNDirector(poll_timeout_s=0.01)
+        director.attach(wf)
+        director.initialize_all()
+        director.start()
+        director.pump_sources()
+        director.drain()
+        director.stop()
+        assert sorted(sink.values) == [i * 2 for i in range(10)]
+
+    def test_run_to_quiescence_unsupported(self):
+        wf, _ = self.build()
+        director = PNDirector()
+        director.attach(wf)
+        with pytest.raises(DirectorError):
+            director.run_to_quiescence(0)
+
+    def test_double_start_rejected(self):
+        wf, _ = self.build()
+        director = PNDirector(poll_timeout_s=0.01)
+        director.attach(wf)
+        director.initialize_all()
+        director.start()
+        try:
+            with pytest.raises(DirectorError):
+                director.start()
+        finally:
+            director.stop()

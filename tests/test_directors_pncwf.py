@@ -1,0 +1,119 @@
+"""The live thread-based PNCWF director (wall clock, scaled)."""
+
+import time
+
+import pytest
+
+from repro.core.actors import FunctionActor, SinkActor, SourceActor
+from repro.core.exceptions import DirectorError
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.directors.pncwf import BlockingWindowedReceiver, PNCWFDirector
+
+
+class TestBlockingWindowedReceiver:
+    def make_event(self, value, ts=0):
+        from repro.core.events import CWEvent
+        from repro.core.waves import WaveTag
+
+        self_counter = getattr(self, "_counter", 0) + 1
+        self._counter = self_counter
+        return CWEvent(value, ts, WaveTag.root(self_counter))
+
+    def test_blocking_get_returns_formed_window(self):
+        receiver = BlockingWindowedReceiver(WindowSpec.tokens(2, 2))
+        receiver.put(self.make_event("a"))
+        receiver.put(self.make_event("b"))
+        window = receiver.get_blocking(timeout_s=0.1)
+        assert window.values == ["a", "b"]
+
+    def test_declared_timeout_forces_partial_window(self):
+        # Only specs with a window_formation_timeout force on expiry.
+        receiver = BlockingWindowedReceiver(
+            WindowSpec.tokens(4, 1, timeout=1_000_000)
+        )
+        receiver.put(self.make_event("a"))
+        window = receiver.get_blocking(timeout_s=0.02)
+        assert window is not None
+        assert window.values == ["a"]
+        assert window.forced
+
+    def test_undeclared_timeout_never_forces(self):
+        receiver = BlockingWindowedReceiver(WindowSpec.tokens(4, 1))
+        receiver.put(self.make_event("a"))
+        assert receiver.get_blocking(timeout_s=0.02) is None
+        assert receiver.pending_events() == 1
+
+    def test_timed_window_forced_only_past_event_horizon(self):
+        receiver = BlockingWindowedReceiver(
+            WindowSpec.time(1_000_000, timeout=500_000)
+        )
+        receiver.put(self.make_event("a", ts=0))
+        # Event time has not reached boundary+timeout: no force.
+        assert receiver.get_blocking(timeout_s=0.01, now_us=1_200_000) is None
+        window = receiver.get_blocking(timeout_s=0.01, now_us=1_600_000)
+        assert window is not None and window.values == ["a"]
+
+    def test_timeout_with_nothing_returns_none(self):
+        receiver = BlockingWindowedReceiver(
+            WindowSpec.tokens(4, 1, timeout=1_000_000)
+        )
+        assert receiver.get_blocking(timeout_s=0.02) is None
+
+    def test_passthrough_mode_for_plain_ports(self):
+        receiver = BlockingWindowedReceiver(None)
+        receiver.put(self.make_event("x"))
+        window = receiver.get_blocking(timeout_s=0.1)
+        assert len(window) == 1
+
+    def test_close_wakes_blocked_reader(self):
+        receiver = BlockingWindowedReceiver(WindowSpec.tokens(2, 2))
+        receiver.close()
+        assert receiver.get_blocking(timeout_s=1.0) is None
+
+
+class TestPNCWFDirector:
+    def test_live_windowed_pipeline(self):
+        wf = Workflow("live")
+        # 100 ms of event time between arrivals, replayed 50x fast.
+        source = SourceActor(
+            "src", arrivals=[(i * 100_000, i) for i in range(8)]
+        )
+        source.add_output("out")
+        summer = FunctionActor(
+            "sum",
+            lambda ctx: ctx.send("out", sum(ctx.read("in").values)),
+            inputs=(("in", WindowSpec.tokens(2, 2)),),
+        )
+        sink = SinkActor("sink")
+        wf.add_all([source, summer, sink])
+        wf.connect(source, summer)
+        wf.connect(summer, sink)
+        director = PNCWFDirector(time_scale=50.0, poll_timeout_s=0.01)
+        director.attach(wf)
+        director.initialize_all()
+        director.start()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and len(sink.items) < 4:
+            time.sleep(0.01)
+        director.stop()
+        values = [v[0] if isinstance(v, list) else v for v in sink.values]
+        assert sorted(sink.values)[:4] == [1, 5, 9, 13]
+
+    def test_run_to_quiescence_unsupported(self):
+        wf = Workflow("w")
+        source = SourceActor("s", arrivals=[])
+        source.add_output("out")
+        sink = SinkActor("k")
+        wf.add_all([source, sink])
+        wf.connect(source, sink)
+        director = PNCWFDirector()
+        director.attach(wf)
+        with pytest.raises(DirectorError):
+            director.run_to_quiescence(0)
+
+    def test_current_time_scales(self):
+        director = PNCWFDirector(time_scale=1000.0)
+        assert director.current_time() == 0  # not started
+        director._epoch = time.monotonic() - 0.01
+        assert director.current_time() >= 9_000

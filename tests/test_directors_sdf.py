@@ -1,0 +1,130 @@
+"""SDF director: balance equations, schedule compilation, execution."""
+
+import pytest
+
+from repro.core.actors import Actor, FunctionActor, SinkActor, SourceActor
+from repro.core.events import CWEvent
+from repro.core.exceptions import DirectorError
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.directors.sdf import SDFDirector
+
+
+def passthrough(name):
+    return FunctionActor(
+        name, lambda ctx: ctx.send("out", ctx.read("in").value)
+    )
+
+
+def build_chain():
+    wf = Workflow("chain")
+    a = passthrough("a")
+    b = passthrough("b")
+    sink = SinkActor("sink")
+    wf.add_all([a, b, sink])
+    wf.connect(a, b)
+    wf.connect(b, sink)
+    a.input("in").boundary = True
+    return wf, a, sink
+
+
+class TestScheduleCompilation:
+    def test_unit_rate_repetitions_are_one(self):
+        wf, *_ = build_chain()
+        director = SDFDirector()
+        director.attach(wf)
+        assert set(director.repetitions.values()) == {1}
+
+    def test_multirate_repetitions(self):
+        # a produces 2 per firing; b consumes 1 -> b fires twice per a.
+        wf = Workflow("multi")
+        a = FunctionActor(
+            "a",
+            lambda ctx: [
+                ctx.send("out", ctx.read("in").value),
+                ctx.send("out", 0),
+            ],
+        )
+        b = passthrough("b")
+        sink = SinkActor("sink")
+        wf.add_all([a, b, sink])
+        channel = wf.connect(a, b)
+        channel.source.rate = 2
+        wf.connect(b, sink)
+        a.input("in").boundary = True
+        director = SDFDirector()
+        director.attach(wf)
+        assert director.repetitions["b"] == 2 * director.repetitions["a"]
+        assert director.repetitions["sink"] == director.repetitions["b"]
+
+    def test_inconsistent_rates_rejected(self):
+        wf = Workflow("bad")
+        a = FunctionActor("a", lambda ctx: None, inputs=(), outputs=("x", "y"))
+        b = FunctionActor("b", lambda ctx: None, inputs=("p", "q"), outputs=())
+        wf.add_all([a, b])
+        c1 = wf.connect(a.output("x"), b.input("p"))
+        c2 = wf.connect(a.output("y"), b.input("q"))
+        c1.source.rate = 2
+        director = SDFDirector()
+        with pytest.raises(DirectorError):
+            director.attach(wf)
+
+    def test_cyclic_graph_rejected(self):
+        wf = Workflow("cycle")
+        a, b = passthrough("a"), passthrough("b")
+        wf.add_all([a, b])
+        wf.connect(a, b)
+        wf.connect(b, a)
+        with pytest.raises(DirectorError):
+            SDFDirector().attach(wf)
+
+    def test_windowed_port_rejected(self):
+        wf = Workflow("win")
+        actor = FunctionActor(
+            "w",
+            lambda ctx: None,
+            inputs=(("in", WindowSpec.tokens(2)),),
+        )
+        sink = SinkActor("sink")
+        wf.add_all([actor, sink])
+        wf.connect(actor, sink)
+        actor.input("in").boundary = True
+        with pytest.raises(DirectorError):
+            SDFDirector().attach(wf)
+
+    def test_schedule_is_topological(self):
+        wf, *_ = build_chain()
+        director = SDFDirector()
+        director.attach(wf)
+        names = [actor.name for actor in director.schedule]
+        assert names.index("a") < names.index("b") < names.index("sink")
+
+
+class TestExecution:
+    def test_run_to_quiescence_drains_injected_tokens(self):
+        wf, a, sink = build_chain()
+        director = SDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        for value in (1, 2, 3):
+            director.inject(a, "in", value, now=0)
+        fired = director.run_to_quiescence(0)
+        assert sink.values == [1, 2, 3]
+        assert fired == 9  # 3 tokens x 3 actors
+
+    def test_quiescent_graph_returns_zero(self):
+        wf, a, sink = build_chain()
+        director = SDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        assert director.run_to_quiescence(0) == 0
+
+    def test_inject_wraps_raw_values(self):
+        wf, a, sink = build_chain()
+        director = SDFDirector()
+        director.attach(wf)
+        director.initialize_all()
+        director.inject(a, "in", CWEvent("x", 5, WaveTag.root(1)), now=0)
+        director.run_to_quiescence(0)
+        assert sink.values == ["x"]

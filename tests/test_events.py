@@ -1,0 +1,39 @@
+"""CWEvent ordering and derivation."""
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+
+
+class TestCWEvent:
+    def test_value_and_field(self):
+        event = CWEvent({"seg": 4}, 100, WaveTag.root(1))
+        assert event.value == {"seg": 4}
+        assert event.field("seg") == 4
+
+    def test_ordering_by_timestamp_first(self):
+        early = CWEvent("a", 10, WaveTag.root(2))
+        late = CWEvent("b", 20, WaveTag.root(1))
+        assert early < late
+
+    def test_ordering_by_wave_within_timestamp(self):
+        first = CWEvent("a", 10, WaveTag.root(1))
+        second = CWEvent("b", 10, WaveTag.root(2))
+        assert first < second
+
+    def test_seq_breaks_exact_ties(self):
+        a = CWEvent("a", 10, WaveTag.root(1))
+        b = CWEvent("b", 10, WaveTag.root(1))
+        assert a < b  # admission order
+
+    def test_derive_inherits_timestamp(self):
+        parent = CWEvent("a", 123, WaveTag.root(1))
+        child = parent.derive("b", parent.wave.child(1))
+        assert child.timestamp == 123
+        assert child.wave.parent == parent.wave
+
+    def test_repr_mentions_wave_mark(self):
+        event = CWEvent("a", 1, WaveTag.root(1), last_in_wave=True)
+        assert "!" in repr(event)
+
+    def test_timestamp_coerced_to_int(self):
+        assert CWEvent("a", 10.0, WaveTag.root(1)).timestamp == 10

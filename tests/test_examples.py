@@ -1,0 +1,43 @@
+"""Every shipped example must run end to end (subprocess smoke tests).
+
+The examples double as integration tests of the public API surface: each
+asserts its own invariants internally and exits non-zero on failure.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_complete():
+    # The deliverable set: quickstart + domain scenarios.
+    for required in (
+        "quickstart.py",
+        "supply_chain.py",
+        "astroshelf.py",
+        "linear_road_demo.py",
+        "live_pncwf.py",
+        "multi_workflow.py",
+    ):
+        assert required in ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}"
+        f"\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

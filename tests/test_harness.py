@@ -1,0 +1,165 @@
+"""The experiment harness: configs (Table 3), runner, renderers."""
+
+import pytest
+
+from repro.harness import (
+    default_cost_model,
+    ExperimentConfig,
+    figure6_configs,
+    figure7_configs,
+    figure8_configs,
+    make_scheduler,
+    QBS_BASIC_QUANTA_US,
+    render_comparison_summary,
+    render_series_table,
+    render_workload_figure,
+    RR_BASIC_QUANTA_US,
+    run_experiment,
+    SchedulerSpec,
+    sparkline,
+)
+from repro.linearroad.generator import WorkloadConfig
+from repro.stafilos.schedulers import (
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+)
+
+SMALL_WORKLOAD = WorkloadConfig(duration_s=120, peak_rate=30, accidents=())
+
+
+class TestConfigs:
+    def test_table3_parameter_sets(self):
+        assert QBS_BASIC_QUANTA_US == (500, 1_000, 5_000, 10_000, 20_000)
+        assert RR_BASIC_QUANTA_US == (5_000, 10_000, 20_000, 40_000)
+
+    def test_figure_config_families(self):
+        assert [c.label for c in figure6_configs()] == [
+            "RR-q5000", "RR-q10000", "RR-q20000", "RR-q40000",
+        ]
+        assert len(figure7_configs()) == 5
+        labels = [c.label for c in figure8_configs()]
+        assert labels == ["RR-q40000", "QBS-q500", "RB", "PNCWF"]
+
+    def test_default_duration_matches_paper(self):
+        assert figure8_configs()[0].workload.duration_s == 600
+
+    def test_with_seeds_and_scaled_duration(self):
+        config = figure8_configs()[0].with_seeds((9,)).scaled_duration(60)
+        assert config.seeds == (9,)
+        assert config.workload.duration_s == 60
+
+    def test_cost_model_calibration_knobs(self):
+        model = default_cost_model()
+        assert model.scale > 1.0
+        assert model.sync_per_event_us > 0
+        assert model.context_switch_us > 0
+
+
+class TestMakeScheduler:
+    def test_kinds(self):
+        assert isinstance(
+            make_scheduler(SchedulerSpec("QBS", 500)),
+            QuantumPriorityScheduler,
+        )
+        assert isinstance(
+            make_scheduler(SchedulerSpec("RR", 1000)), RoundRobinScheduler
+        )
+        assert isinstance(make_scheduler(SchedulerSpec("RB")), RateBasedScheduler)
+        assert isinstance(make_scheduler(SchedulerSpec("FIFO")), FIFOScheduler)
+
+    def test_unknown_kind_rejected(self):
+        from repro.core.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            make_scheduler(SchedulerSpec("NOPE"))
+
+    def test_parameters_forwarded(self):
+        scheduler = make_scheduler(SchedulerSpec("QBS", 1234, 9))
+        assert scheduler.basic_quantum_us == 1234
+        assert scheduler.source_interval == 9
+
+
+class TestRunExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig(
+            SchedulerSpec("RR", 20_000),
+            workload=SMALL_WORKLOAD,
+            seeds=(1, 2),
+        )
+        return run_experiment(config)
+
+    def test_runs_per_seed(self, result):
+        assert len(result.runs) == 2
+        assert all(run.tolls > 0 for run in result.runs)
+
+    def test_series_merged_across_seeds(self, result):
+        merged_samples = sum(n for _, _, n in result.series.points)
+        per_run = sum(
+            sum(n for _, _, n in run.series.points) for run in result.runs
+        )
+        assert merged_samples == per_run
+
+    def test_low_load_no_thrash(self, result):
+        assert result.thrash_time_s is None
+        assert result.thrash_input_rate() is None
+        assert result.mean_pre_thrash_s() < 1.0
+
+    def test_thrash_rate_maps_time_to_rate(self):
+        config = ExperimentConfig(
+            SchedulerSpec("RR", 20_000), workload=SMALL_WORKLOAD
+        )
+        from repro.harness.experiment import ExperimentResult
+        from repro.linearroad.metrics import ResponseTimeSeries
+
+        series = ResponseTimeSeries(
+            10, [(0, 0.5, 1), (60, 9.0, 1), (70, 9.0, 1), (80, 9.0, 1)]
+        )
+        result = ExperimentResult(config, series)
+        assert result.thrash_time_s == 60
+        assert result.thrash_input_rate() == pytest.approx(
+            30 * 60 / 120
+        )
+
+
+class TestRenderers:
+    def make_result(self, label="RR-q20000"):
+        from repro.harness.experiment import ExperimentResult
+        from repro.linearroad.metrics import ResponseTimeSeries
+
+        config = ExperimentConfig(
+            SchedulerSpec("RR", 20_000), workload=SMALL_WORKLOAD
+        )
+        series = ResponseTimeSeries(10, [(0, 0.5, 3), (10, 1.5, 3)])
+        return ExperimentResult(config, series)
+
+    def test_series_table_contains_labels_and_values(self):
+        result = self.make_result()
+        text = render_series_table([result], "Figure X", bucket_stride=1)
+        assert "RR-q20000" in text
+        assert "0.500" in text
+        assert "1.500" in text
+        assert "summary:" in text
+
+    def test_sparkline_levels(self):
+        line = sparkline([0.0, 5.0, 10.0, 20.0])
+        assert line[0] == " "
+        assert line[-1] == "@"
+        assert len(line) == 4
+
+    def test_workload_figure(self):
+        text = render_workload_figure([(0, 10.0), (10, 20.0)])
+        assert "Figure 5" in text
+        assert "20.0" in text
+
+    def test_comparison_summary_dict(self):
+        summary = render_comparison_summary([self.make_result()])
+        entry = summary["RR-q20000"]
+        assert set(entry) == {
+            "mean_pre_thrash_s",
+            "thrash_time_s",
+            "thrash_rate",
+            "max_response_s",
+        }

@@ -1,0 +1,113 @@
+"""The HTTP push source (paper §2.2's second transport)."""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import MapActor, SinkActor, Workflow
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+from repro.streams import HTTPStreamSource, JSONLinesCodec
+
+
+def post(host, port, body: str) -> dict:
+    request = urllib.request.Request(
+        f"http://{host}:{port}/",
+        data=body.encode("utf-8"),
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return json.loads(response.read())
+
+
+class TestHTTPStreamSource:
+    def test_post_then_workflow_consumes(self):
+        clock = VirtualClock()
+        source = HTTPStreamSource("http", clock=clock)
+        host, port = source.listen()
+        try:
+            reply = post(
+                host, port, "\n".join(
+                    json.dumps({"v": i}) for i in range(10)
+                )
+            )
+            assert reply == {"accepted": 10}
+
+            workflow = Workflow("http-wf")
+            double = MapActor("double", lambda v: v["v"] * 2)
+            sink = SinkActor("sink")
+            workflow.add_all([source, double, sink])
+            workflow.connect(source, double)
+            workflow.connect(double, sink)
+            director = SCWFDirector(
+                RoundRobinScheduler(10_000), clock, CostModel()
+            )
+            director.attach(workflow)
+            SimulationRuntime(director, clock).run(1.0, drain=True)
+            assert sorted(sink.values) == [i * 2 for i in range(10)]
+        finally:
+            source.close()
+
+    def test_bad_lines_counted(self):
+        source = HTTPStreamSource("http2")
+        host, port = source.listen()
+        try:
+            reply = post(host, port, '{"ok":1}\n{broken\n{"ok":2}')
+            assert reply == {"accepted": 2}
+            assert source.decode_errors == 1
+        finally:
+            source.close()
+
+    def test_stats_endpoint(self):
+        source = HTTPStreamSource("http3")
+        host, port = source.listen()
+        try:
+            post(host, port, '{"a":1}')
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/stats", timeout=5
+            ) as response:
+                stats = json.loads(response.read())
+            assert stats["received"] == 1
+            assert stats["requests"] == 1
+            assert stats["backlog"] == 1
+        finally:
+            source.close()
+
+    def test_unknown_path_404(self):
+        source = HTTPStreamSource("http4")
+        host, port = source.listen()
+        try:
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://{host}:{port}/nope", timeout=5
+                )
+        finally:
+            source.close()
+
+
+class TestWorkflowDot:
+    def test_dot_export(self):
+        from repro.core import SourceActor, WindowSpec
+
+        workflow = Workflow("dotted")
+        source = SourceActor("src", arrivals=[])
+        source.add_output("out")
+        windowed = MapActor(
+            "win", lambda v: v, window=WindowSpec.tokens(4, 1)
+        )
+        windowed.priority = 5
+        sink = SinkActor("sink")
+        stale = SinkActor("stale")
+        workflow.add_all([source, windowed, sink, stale])
+        workflow.connect(source, windowed)
+        workflow.connect(windowed, sink)
+        workflow.connect_expired(windowed, stale)
+        dot = workflow.to_dot()
+        assert dot.startswith('digraph "dotted"')
+        assert '"src" [shape=invhouse' in dot
+        assert '"sink" [shape=house' in dot
+        assert "{4,1,tokens}" in dot
+        assert 'style=dashed, label="expired"' in dot
+        assert "p=5" in dot

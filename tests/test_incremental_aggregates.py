@@ -1,0 +1,141 @@
+"""Compensated sliding aggregates (§4.3's stream-optimized actors)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import MapActor, SinkActor, SourceActor, WindowSpec, Workflow
+from repro.core.exceptions import ConfluenceError
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+from repro.streams import IncrementalAggActor, SlidingAggregate
+
+
+class TestSlidingAggregate:
+    def test_partial_window(self):
+        window = SlidingAggregate(4)
+        window.add(2.0)
+        window.add(4.0)
+        assert not window.full
+        assert window.sum == 6.0
+        assert window.mean == 3.0
+        assert window.min == 2.0 and window.max == 4.0
+
+    def test_expiry_compensates_sum(self):
+        window = SlidingAggregate(2)
+        assert window.add(1.0) is None
+        assert window.add(2.0) is None
+        assert window.add(3.0) == 1.0  # 1.0 slid out
+        assert window.sum == 5.0
+
+    def test_min_max_track_expiry(self):
+        window = SlidingAggregate(3)
+        for value in (5.0, 1.0, 4.0, 2.0):
+            window.add(value)
+        # Window now [1, 4, 2].
+        assert window.min == 1.0 and window.max == 4.0
+        window.add(3.0)  # -> [4, 2, 3]
+        assert window.min == 2.0 and window.max == 4.0
+
+    def test_empty_aggregates_raise(self):
+        window = SlidingAggregate(2)
+        with pytest.raises(ConfluenceError):
+            window.mean
+        with pytest.raises(ConfluenceError):
+            window.min
+
+    def test_size_validated(self):
+        with pytest.raises(ConfluenceError):
+            SlidingAggregate(0)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=80)
+    def test_matches_naive_recompute(self, values, size):
+        """The compensated aggregates equal a from-scratch recompute."""
+        window = SlidingAggregate(size)
+        # Compensated sums accumulate bounded floating-point drift; allow
+        # absolute error proportional to the magnitudes involved.
+        drift = 1e-7 * max(abs(v) for v in values) * len(values) + 1e-9
+        for index, value in enumerate(values):
+            window.add(value)
+            reference = values[max(0, index + 1 - size) : index + 1]
+            assert window.count == len(reference)
+            assert window.sum == pytest.approx(sum(reference), abs=drift)
+            assert window.min == min(reference)
+            assert window.max == max(reference)
+            assert window.mean == pytest.approx(
+                sum(reference) / len(reference), abs=drift
+            )
+
+
+class TestIncrementalAggActor:
+    def run_pipeline(self, actor, values):
+        workflow = Workflow("agg")
+        source = SourceActor(
+            "src", arrivals=[(i * 1000, v) for i, v in enumerate(values)]
+        )
+        source.add_output("out")
+        sink = SinkActor("sink")
+        workflow.add_all([source, actor, sink])
+        workflow.connect(source, actor)
+        workflow.connect(actor, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(1.0, drain=True)
+        return sink.values
+
+    def test_matches_windowed_recompute(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        incremental = self.run_pipeline(
+            IncrementalAggActor("inc", size=3, aggregate="mean"), values
+        )
+        recompute = self.run_pipeline(
+            MapActor(
+                "win",
+                lambda window: sum(window) / len(window),
+                window=WindowSpec.tokens(3, 1),
+            ),
+            values,
+        )
+        assert incremental == pytest.approx(recompute)
+
+    def test_grouped_aggregation(self):
+        values = [
+            {"k": "a", "v": 1.0},
+            {"k": "b", "v": 10.0},
+            {"k": "a", "v": 3.0},
+            {"k": "b", "v": 30.0},
+        ]
+        out = self.run_pipeline(
+            IncrementalAggActor(
+                "inc",
+                size=2,
+                aggregate="sum",
+                value_fn=lambda p: p["v"],
+                group_by=lambda p: p["k"],
+            ),
+            values,
+        )
+        assert out == [("a", 4.0), ("b", 40.0)]
+
+    def test_unsupported_aggregate_rejected(self):
+        with pytest.raises(ConfluenceError):
+            IncrementalAggActor("bad", size=2, aggregate="median")
+
+    def test_min_aggregate(self):
+        out = self.run_pipeline(
+            IncrementalAggActor("inc", size=2, aggregate="min"),
+            [5.0, 3.0, 4.0],
+        )
+        assert out == [3.0, 3.0]

@@ -1,0 +1,79 @@
+"""Congestion hot-spots and the non-zero-toll path end to end."""
+
+import pytest
+
+from repro.linearroad import (
+    build_linear_road,
+    LinearRoadValidator,
+    LinearRoadWorkload,
+    WorkloadConfig,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
+
+CONFIG = WorkloadConfig(
+    duration_s=240,
+    peak_rate=80,
+    seed=5,
+    accidents=(),
+    congestion_segments=(30, 31),
+    congestion_share=0.4,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    workload = LinearRoadWorkload(CONFIG)
+    system = build_linear_road(workload.arrivals())
+    clock = VirtualClock()
+    director = SCWFDirector(
+        QuantumPriorityScheduler(500), clock, CostModel()
+    )
+    director.attach(system.workflow)
+    SimulationRuntime(director, clock).run(CONFIG.duration_s, drain=True)
+    system._workload = workload  # stashed for the validator test
+    return system
+
+
+class TestCongestionTolls:
+    def test_congested_cars_are_slow(self):
+        workload = LinearRoadWorkload(CONFIG)
+        congested = [
+            r for r in workload.reports() if r.segment in (30, 31)
+        ]
+        assert congested
+        slow = [r for r in congested if r.speed < 40]
+        assert len(slow) / len(congested) > 0.5
+
+    def test_nonzero_tolls_charged(self, system):
+        charged = [
+            t for t in system.toll_out.notifications if t.toll > 0
+        ]
+        assert charged, "expected congestion tolls"
+        for toll in charged:
+            assert toll.num_cars > 50
+            assert toll.lav < 40
+            assert toll.toll == 2 * (toll.num_cars - 50) ** 2
+
+    def test_charges_only_in_hotspot_neighbourhood(self, system):
+        charged_segments = {
+            t.segment
+            for t in system.toll_out.notifications
+            if t.toll > 0
+        }
+        # Slow traffic creeps forward a little beyond its start segments.
+        assert charged_segments <= {30, 31, 32, 33}
+
+    def test_validator_accepts_charged_run(self, system):
+        validator = LinearRoadValidator(system._workload.reports())
+        outcome = validator.validate(
+            system.toll_out.notifications,
+            system.accident_out.alerts,
+            system.recorder.inserted,
+        )
+        assert outcome.ok, outcome.problems[:3]
+
+    def test_scaled_preserves_congestion_settings(self):
+        scaled = CONFIG.scaled(2.0)
+        assert scaled.congestion_segments == CONFIG.congestion_segments
+        assert scaled.congestion_share == CONFIG.congestion_share

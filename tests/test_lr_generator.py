@@ -1,0 +1,136 @@
+"""The Linear Road workload generator: schema, envelope, accidents."""
+
+import pytest
+
+from repro.linearroad.generator import (
+    AccidentScript,
+    LinearRoadWorkload,
+    WorkloadConfig,
+)
+from repro.linearroad.types import (
+    Lane,
+    REPORT_INTERVAL_S,
+    SEGMENTS_PER_XWAY,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LinearRoadWorkload(
+        WorkloadConfig(duration_s=300, peak_rate=40, seed=3)
+    )
+
+
+class TestSchema:
+    def test_reports_sorted_by_time(self, workload):
+        times = [r.time for r in workload.reports()]
+        assert times == sorted(times)
+
+    def test_fields_within_domain(self, workload):
+        for report in workload.reports():
+            assert 0 <= report.segment < SEGMENTS_PER_XWAY
+            assert report.speed >= 0
+            assert report.lane in tuple(Lane)
+            assert report.time < 300
+            assert report.xway == 0
+
+    def test_cars_report_every_30_seconds(self, workload):
+        by_car = {}
+        for report in workload.reports():
+            by_car.setdefault(report.car_id, []).append(report.time)
+        for times in by_car.values():
+            gaps = {b - a for a, b in zip(times, times[1:])}
+            assert gaps <= {REPORT_INTERVAL_S}
+
+    def test_segment_consistent_with_position(self, workload):
+        for report in workload.reports():
+            assert report.segment == (report.position // 5280) % 100
+
+
+class TestEnvelope:
+    def test_rate_ramps_linearly(self, workload):
+        series = workload.rate_series(bucket_s=30)
+        rates = [rate for _, rate in series]
+        # Monotone-ish ramp toward the peak.
+        assert rates[-1] > rates[len(rates) // 2] > rates[0]
+        assert rates[-1] == pytest.approx(40, rel=0.2)
+
+    def test_total_report_count_matches_integral(self, workload):
+        # Ramp 0 -> 40/s over 300 s integrates to ~6000 reports.
+        assert len(workload.reports()) == pytest.approx(6000, rel=0.15)
+
+    def test_scaled_config(self):
+        config = WorkloadConfig(duration_s=100, peak_rate=10).scaled(2.0)
+        assert config.peak_rate == 20
+
+    def test_determinism_per_seed(self):
+        a = LinearRoadWorkload(WorkloadConfig(duration_s=60, peak_rate=10, seed=5))
+        b = LinearRoadWorkload(WorkloadConfig(duration_s=60, peak_rate=10, seed=5))
+        assert a.reports() == b.reports()
+
+    def test_seeds_differ(self):
+        a = LinearRoadWorkload(WorkloadConfig(duration_s=60, peak_rate=10, seed=5))
+        b = LinearRoadWorkload(WorkloadConfig(duration_s=60, peak_rate=10, seed=6))
+        assert a.reports() != b.reports()
+
+    def test_arrivals_in_microseconds(self, workload):
+        arrivals = workload.arrivals()
+        assert arrivals[0][0] < arrivals[-1][0]
+        report = arrivals[0][1]
+        assert arrivals[0][0] // 1_000_000 == report.time
+
+
+class TestAccidents:
+    def test_scripted_accident_creates_identical_reports(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(
+                duration_s=400,
+                peak_rate=20,
+                seed=1,
+                accidents=(AccidentScript(at_s=100, clear_s=280, segment=30),),
+            )
+        )
+        stopped = {}
+        for report in workload.reports():
+            if report.speed == 0:
+                stopped.setdefault(report.car_id, []).append(report)
+        # Two cars halted at the same spot.
+        assert len(stopped) == 2
+        spots = {
+            reports[0].spot for reports in stopped.values()
+        }
+        assert len(spots) == 1
+        for reports in stopped.values():
+            assert len(reports) >= 4
+
+    def test_unviable_script_skipped(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(
+                duration_s=120,
+                peak_rate=20,
+                accidents=(AccidentScript(at_s=110, clear_s=300, segment=30),),
+            )
+        )
+        assert all(report.speed > 0 for report in workload.reports())
+
+    def test_cars_resume_after_clear(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(
+                duration_s=500,
+                peak_rate=20,
+                seed=1,
+                accidents=(AccidentScript(at_s=100, clear_s=250, segment=30),),
+            )
+        )
+        crashed = {
+            report.car_id
+            for report in workload.reports()
+            if report.speed == 0
+        }
+        for car in crashed:
+            later = [
+                r
+                for r in workload.reports()
+                if r.car_id == car and r.time >= 280
+            ]
+            assert later and all(r.speed > 0 for r in later)

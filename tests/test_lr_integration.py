@@ -1,0 +1,154 @@
+"""Linear Road end-to-end: full workflow under every execution model."""
+
+import pytest
+
+from repro.linearroad import (
+    build_linear_road,
+    LinearRoadValidator,
+    LinearRoadWorkload,
+    ResponseTimeSeries,
+    WorkloadConfig,
+)
+from repro.linearroad.generator import AccidentScript
+from repro.simulation import (
+    CostModel,
+    SimulationRuntime,
+    ThreadedCWFDirector,
+    VirtualClock,
+)
+from repro.stafilos import (
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+    SCWFDirector,
+)
+
+CONFIG = WorkloadConfig(
+    duration_s=360,
+    peak_rate=60,
+    seed=2,
+    accidents=(AccidentScript(at_s=90, clear_s=260, segment=40),),
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LinearRoadWorkload(CONFIG)
+
+
+def run_with(workload, director_factory):
+    system = build_linear_road(workload.arrivals())
+    clock = VirtualClock()
+    director = director_factory(clock)
+    director.attach(system.workflow)
+    SimulationRuntime(director, clock).run(CONFIG.duration_s, drain=True)
+    return system
+
+
+SCHEDULER_FACTORIES = {
+    "QBS": lambda clock: SCWFDirector(
+        QuantumPriorityScheduler(500), clock, CostModel()
+    ),
+    "RR": lambda clock: SCWFDirector(
+        RoundRobinScheduler(20_000), clock, CostModel()
+    ),
+    "RB": lambda clock: SCWFDirector(
+        RateBasedScheduler(), clock, CostModel()
+    ),
+    "FIFO": lambda clock: SCWFDirector(
+        FIFOScheduler(), clock, CostModel()
+    ),
+    "PNCWF": lambda clock: ThreadedCWFDirector(clock, CostModel()),
+}
+
+
+@pytest.fixture(scope="module")
+def results(workload):
+    return {
+        name: run_with(workload, factory)
+        for name, factory in SCHEDULER_FACTORIES.items()
+    }
+
+
+class TestSemanticsUnderEveryScheduler:
+    @pytest.mark.parametrize("name", list(SCHEDULER_FACTORIES))
+    def test_outputs_validate(self, results, workload, name):
+        system = results[name]
+        validator = LinearRoadValidator(workload.reports())
+        report = validator.validate(
+            system.toll_out.notifications,
+            system.accident_out.alerts,
+            system.recorder.inserted,
+        )
+        assert report.ok, report.problems[:3]
+
+    @pytest.mark.parametrize("name", list(SCHEDULER_FACTORIES))
+    def test_tolls_produced(self, results, name):
+        assert len(results[name].toll_out.notifications) > 100
+
+    @pytest.mark.parametrize("name", list(SCHEDULER_FACTORIES))
+    def test_accident_detected_and_alerts_sent(self, results, name):
+        system = results[name]
+        assert system.recorder.inserted >= 1
+        assert len(system.accident_out.alerts) > 0
+
+    def test_all_schedulers_agree_on_toll_count(self, results):
+        counts = {
+            name: len(system.toll_out.notifications)
+            for name, system in results.items()
+        }
+        # All execution models drain the same workload fully.
+        assert len(set(counts.values())) == 1, counts
+
+    def test_nonzero_tolls_in_congested_segments(self, results):
+        tolls = results["QBS"].toll_out.notifications
+        charged = [t for t in tolls if t.toll > 0]
+        for toll in charged:
+            assert toll.num_cars > 50
+            assert toll.lav < 40
+
+    @pytest.mark.parametrize("name", list(SCHEDULER_FACTORIES))
+    def test_alert_latency_under_deadline(self, results, name):
+        # LR requires alerts within 5s of the position report; in the
+        # uncongested regime every model should meet it easily.
+        system = results[name]
+        for emitted_us, response_us in (
+            system.accident_out.response_times_us
+        ):
+            assert response_us <= 5_000_000
+
+
+class TestHierarchicalVariant:
+    def test_composite_subworkflows_match_flat(self, workload):
+        flat = run_with(
+            workload,
+            lambda clock: SCWFDirector(
+                QuantumPriorityScheduler(500), clock, CostModel()
+            ),
+        )
+        hierarchical_system = build_linear_road(
+            workload.arrivals(), hierarchical=True
+        )
+        clock = VirtualClock()
+        director = SCWFDirector(
+            QuantumPriorityScheduler(500), clock, CostModel()
+        )
+        director.attach(hierarchical_system.workflow)
+        SimulationRuntime(director, clock).run(
+            CONFIG.duration_s, drain=True
+        )
+        assert len(hierarchical_system.toll_out.notifications) == len(
+            flat.toll_out.notifications
+        )
+        assert hierarchical_system.recorder.inserted >= 1
+
+
+class TestResponseTimeSeriesIntegration:
+    def test_series_has_low_latency_at_low_load(self, results):
+        system = results["QBS"]
+        series = ResponseTimeSeries.from_samples(
+            system.toll_response_times_us, 10, CONFIG.duration_s
+        )
+        assert series.mean_response_s() < 1.0
+        assert series.thrash_time_s() is None

@@ -1,0 +1,67 @@
+"""L-rating semantics: 0.5 = one direction, 1.0+ = both / more roads."""
+
+import pytest
+
+from repro.linearroad import (
+    build_linear_road,
+    LinearRoadValidator,
+    LinearRoadWorkload,
+    WorkloadConfig,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
+
+
+class TestLRating:
+    def test_half_rating_is_single_direction(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(duration_s=120, peak_rate=30, l_rating=0.5)
+        )
+        assert {r.direction for r in workload.reports()} == {0}
+        assert {r.xway for r in workload.reports()} == {0}
+
+    def test_full_rating_uses_both_directions(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(duration_s=120, peak_rate=30, l_rating=1.0,
+                           accidents=())
+        )
+        assert {r.direction for r in workload.reports()} == {0, 1}
+
+    def test_l2_spreads_over_two_expressways(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(duration_s=120, peak_rate=30, l_rating=2.0,
+                           accidents=())
+        )
+        assert {r.xway for r in workload.reports()} == {0, 1}
+
+    def test_scripted_accident_cars_share_roadway(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(duration_s=300, peak_rate=30, l_rating=1.0)
+        )
+        stopped = [r for r in workload.reports() if r.speed == 0]
+        assert stopped
+        assert len({r.spot for r in stopped}) == 1  # one collision spot
+
+    def test_full_rating_workflow_validates(self):
+        workload = LinearRoadWorkload(
+            WorkloadConfig(
+                duration_s=240, peak_rate=40, l_rating=1.0, seed=4
+            )
+        )
+        system = build_linear_road(workload.arrivals())
+        clock = VirtualClock()
+        director = SCWFDirector(
+            QuantumPriorityScheduler(500), clock, CostModel()
+        )
+        director.attach(system.workflow)
+        SimulationRuntime(director, clock).run(240, drain=True)
+        outcome = LinearRoadValidator(workload.reports()).validate(
+            system.toll_out.notifications,
+            system.accident_out.alerts,
+            system.recorder.inserted,
+        )
+        assert outcome.ok, outcome.problems[:3]
+        # Both directions produce tolls.
+        assert {
+            t.direction for t in system.toll_out.notifications
+        } == {0, 1}

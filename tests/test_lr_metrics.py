@@ -1,0 +1,88 @@
+"""Response-time series bucketing and thrash detection."""
+
+import pytest
+
+from repro.linearroad.metrics import ResponseTimeSeries
+
+US = 1_000_000
+
+
+def series_from(pairs, bucket_s=10, duration_s=None):
+    samples = [(t * US, r * US) for t, r in pairs]
+    return ResponseTimeSeries.from_samples(samples, bucket_s, duration_s)
+
+
+class TestBucketing:
+    def test_single_bucket_average(self):
+        series = series_from([(1, 2.0), (5, 4.0)])
+        assert series.points == [(0, pytest.approx(3.0), 2)]
+
+    def test_buckets_keyed_by_emission_time(self):
+        series = series_from([(5, 1.0), (15, 3.0)])
+        assert series.times_s == [0, 10]
+        assert series.responses_s == [1.0, 3.0]
+
+    def test_duration_truncates_trailing_buckets(self):
+        series = series_from([(5, 1.0), (95, 2.0)], duration_s=50)
+        assert series.times_s == [0]
+
+    def test_empty_buckets_omitted(self):
+        series = series_from([(5, 1.0), (35, 2.0)])
+        assert series.times_s == [0, 30]
+
+    def test_mean_and_max(self):
+        series = series_from([(1, 1.0), (11, 3.0)])
+        assert series.mean_response_s() == pytest.approx(2.0)
+        assert series.max_response_s() == 3.0
+
+    def test_response_at(self):
+        series = series_from([(5, 1.5)])
+        assert series.response_at(7) == 1.5
+        assert series.response_at(50) is None
+
+
+class TestThrashDetection:
+    def test_stable_series_never_thrashes(self):
+        series = series_from([(t, 0.5) for t in range(0, 100, 10)])
+        assert series.thrash_time_s() is None
+
+    def test_sustained_blowup_detected_at_onset(self):
+        pairs = [(t, 0.5) for t in range(0, 60, 10)]
+        pairs += [(t, 5 + t / 10) for t in range(60, 120, 10)]
+        series = series_from(pairs)
+        assert series.thrash_time_s() == 60
+
+    def test_transient_spike_not_thrash(self):
+        pairs = [(0, 0.5), (10, 9.0), (20, 0.5), (30, 0.5), (40, 0.4)]
+        series = series_from(pairs)
+        assert series.thrash_time_s() is None
+
+    def test_sustain_buckets_requirement(self):
+        # Only two high buckets at the very end: not enough evidence.
+        pairs = [(t, 0.5) for t in range(0, 80, 10)] + [(80, 9), (90, 9)]
+        series = series_from(pairs)
+        assert series.thrash_time_s(sustain_buckets=3) is None
+
+    def test_mean_before_thrash(self):
+        pairs = [(t, 1.0) for t in range(0, 50, 10)]
+        pairs += [(t, 20.0) for t in range(50, 100, 10)]
+        series = series_from(pairs)
+        thrash = series.thrash_time_s()
+        assert thrash == 50
+        assert series.mean_before(thrash) == pytest.approx(1.0)
+        assert series.mean_before(None) > 1.0
+
+
+class TestMerging:
+    def test_merged_with_weights_by_sample_count(self):
+        run_a = series_from([(5, 1.0)])
+        run_b = series_from([(5, 3.0), (6, 3.0), (7, 3.0)])
+        merged = run_a.merged_with(run_b)
+        # 1 sample at 1.0, 3 samples at 3.0 -> mean 2.5.
+        assert merged.points == [(0, pytest.approx(2.5), 4)]
+
+    def test_merge_disjoint_buckets(self):
+        run_a = series_from([(5, 1.0)])
+        run_b = series_from([(25, 2.0)])
+        merged = run_a.merged_with(run_b)
+        assert merged.times_s == [0, 20]

@@ -1,0 +1,120 @@
+"""The independent Linear Road output auditor."""
+
+from repro.linearroad.types import (
+    AccidentAlert,
+    Lane,
+    PositionReport,
+    TollNotification,
+)
+from repro.linearroad.validator import LinearRoadValidator
+
+
+def report(time, car, seg, speed=50.0, lane=Lane.TRAVEL_1, pos=None):
+    position = pos if pos is not None else seg * 5280 + 100
+    return PositionReport(time, car, speed, 0, int(lane), 0, seg, position)
+
+
+def crossing_trace():
+    """Car 1 crosses from seg 10 to 11 at t=30."""
+    return [report(0, 1, 10), report(30, 1, 11)]
+
+
+class TestTollAudit:
+    def test_legit_zero_toll_passes(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 30, 0.0, 0, 0, 11, 55.0, 10)], [], 0
+        )
+        assert outcome.ok
+
+    def test_toll_without_crossing_flagged(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 60, 0.0, 0, 0, 11, 55.0, 10)], [], 0
+        )
+        assert not outcome.ok
+
+    def test_formula_violation_flagged(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 30, 123.0, 0, 0, 11, 30.0, 60)], [], 0
+        )
+        assert not outcome.ok  # 123 != 2*(60-50)^2
+
+    def test_correct_congestion_toll_passes(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 30, 200.0, 0, 0, 11, 30.0, 60)], [], 0
+        )
+        assert outcome.ok
+
+    def test_charging_uncongested_segment_flagged(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 30, 200.0, 0, 0, 11, 55.0, 60)], [], 0
+        )
+        assert not outcome.ok
+
+    def test_nonzero_toll_without_stats_flagged(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate(
+            [TollNotification(1, 30, 50.0, 0, 0, 11, None, None)], [], 0
+        )
+        assert not outcome.ok
+
+
+def stopped_trace():
+    """Cars 1 and 2 halt at the same spot for 4 reports."""
+    trace = []
+    for car in (1, 2):
+        trace.append(report(0, car, 9))
+        for i in range(4):
+            trace.append(report(30 * (i + 1), car, 10, speed=0.0, pos=53000))
+    trace.sort(key=lambda r: r.time)
+    return trace
+
+
+class TestAccidentAudit:
+    def test_expected_spots_found(self):
+        validator = LinearRoadValidator(stopped_trace())
+        assert validator.expected_accident_spots() == {(0, 0, 1, 53000)}
+
+    def test_missing_detection_flagged(self):
+        validator = LinearRoadValidator(stopped_trace())
+        outcome = validator.validate([], [], recorded_accidents=0)
+        assert not outcome.ok
+
+    def test_detection_recorded_passes(self):
+        validator = LinearRoadValidator(stopped_trace())
+        outcome = validator.validate([], [], recorded_accidents=1)
+        assert outcome.ok
+
+    def test_alert_for_real_accident_passes(self):
+        validator = LinearRoadValidator(stopped_trace())
+        outcome = validator.validate(
+            [], [AccidentAlert(7, 120, 0, 0, 10)], recorded_accidents=1
+        )
+        assert outcome.ok
+
+    def test_alert_for_phantom_accident_flagged(self):
+        validator = LinearRoadValidator(stopped_trace())
+        outcome = validator.validate(
+            [], [AccidentAlert(7, 120, 0, 0, 55)], recorded_accidents=1
+        )
+        assert not outcome.ok
+
+    def test_exit_lane_stop_is_not_accident(self):
+        trace = []
+        for car in (1, 2):
+            for i in range(4):
+                trace.append(
+                    report(30 * (i + 1), car, 10, speed=0.0, pos=53000,
+                           lane=Lane.EXIT)
+                )
+        validator = LinearRoadValidator(trace)
+        assert validator.expected_accident_spots() == set()
+
+    def test_summary_format(self):
+        validator = LinearRoadValidator(crossing_trace())
+        outcome = validator.validate([], [], 0)
+        assert "OK" in outcome.summary()

@@ -1,0 +1,147 @@
+"""Hierarchical execution: engines nested inside engines.
+
+The paper's workflows are two-level (a continuous top level over SDF/DDF
+sub-workflows); these tests push the composition further — a *scheduled
+continuous* engine nested as a composite inside another scheduled engine,
+and SDF-inside-DDF — to prove the director abstraction composes.
+"""
+
+import pytest
+
+from repro.core import (
+    CompositeActor,
+    FunctionActor,
+    MapActor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.directors import DDFDirector, SDFDirector
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import (
+    FIFOScheduler,
+    RoundRobinScheduler,
+    SCWFDirector,
+)
+
+
+def scwf_composite():
+    """A composite whose *inner* engine is a full SCWF director."""
+    inner = Workflow("inner-scwf")
+    double = FunctionActor(
+        "double", lambda ctx: ctx.send("out", ctx.read("in").value * 2)
+    )
+    plus_one = FunctionActor(
+        "plus1", lambda ctx: ctx.send("out", ctx.read("in").value + 1)
+    )
+    out = SinkActor("out")
+    inner.add_all([double, plus_one, out])
+    inner.connect(double, plus_one)
+    inner.connect(plus_one, out)
+    inner_director = SCWFDirector(
+        FIFOScheduler(), VirtualClock(), CostModel()
+    )
+    composite = CompositeActor("nested", inner, inner_director)
+    composite.add_input("in")
+    composite.add_output("out")
+    composite.bind_input("in", double, "in")
+    composite.bind_output("out", out)
+    return composite
+
+
+class TestSCWFInsideSCWF:
+    def test_two_level_scheduled_execution(self):
+        workflow = Workflow("outer")
+        source = SourceActor(
+            "src", arrivals=[(i * 1000, i) for i in range(8)]
+        )
+        source.add_output("out")
+        nested = scwf_composite()
+        sink = SinkActor("sink")
+        workflow.add_all([source, nested, sink])
+        workflow.connect(source, nested)
+        workflow.connect(nested, sink)
+        clock = VirtualClock()
+        outer = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        outer.attach(workflow)
+        SimulationRuntime(outer, clock).run(2.0, drain=True)
+        assert sink.values == [i * 2 + 1 for i in range(8)]
+
+    def test_inner_statistics_tracked_separately(self):
+        workflow = Workflow("outer2")
+        source = SourceActor("src", arrivals=[(0, 1), (0, 2)])
+        source.add_output("out")
+        nested = scwf_composite()
+        sink = SinkActor("sink")
+        workflow.add_all([source, nested, sink])
+        workflow.connect(source, nested)
+        workflow.connect(nested, sink)
+        clock = VirtualClock()
+        outer = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        outer.attach(workflow)
+        SimulationRuntime(outer, clock).run(1.0, drain=True)
+        inner_stats = nested.director.statistics.get(
+            nested.subworkflow.actors["double"]
+        )
+        assert inner_stats.invocations == 2
+        outer_stats = outer.statistics.get(nested)
+        assert outer_stats.invocations == 2
+
+
+class TestSDFInsideDDF:
+    def test_static_schedule_under_dynamic_parent(self):
+        # Inner SDF: a fixed three-stage arithmetic pipeline.
+        inner = Workflow("inner-sdf")
+        stages = [
+            FunctionActor(
+                f"s{i}",
+                lambda ctx, inc=i: ctx.send(
+                    "out", ctx.read("in").value + inc
+                ),
+            )
+            for i in range(3)
+        ]
+        out = SinkActor("out")
+        inner.add_all(stages + [out])
+        for up, down in zip(stages, stages[1:]):
+            inner.connect(up, down)
+        inner.connect(stages[-1], out)
+        composite = CompositeActor("sdfbox", inner, SDFDirector())
+        composite.add_input("in")
+        composite.add_output("out")
+        composite.bind_input("in", stages[0], "in")
+        composite.bind_output("out", out)
+
+        # Outer DDF routes odds through the SDF box, evens direct.
+        outer = Workflow("outer-ddf")
+
+        def route(ctx):
+            item = ctx.read("in")
+            if item is None:
+                return
+            port = "boxed" if item.value % 2 else "direct"
+            ctx.send(port, item.value)
+
+        router = FunctionActor(
+            "router", route, outputs=("boxed", "direct")
+        )
+        sink = SinkActor("sink")
+        outer.add_all([router, composite, sink])
+        outer.connect(router.output("boxed"), composite.input("in"))
+        outer.connect(composite.output("out"), sink.input("in"))
+        outer.connect(router.output("direct"), sink.input("in"))
+        router.input("in").boundary = True
+        director = DDFDirector()
+        director.attach(outer)
+        director.initialize_all()
+        for value in range(6):
+            director.inject(router, "in", value, now=0)
+        director.run_to_quiescence(0)
+        assert sorted(sink.values) == sorted(
+            [0, 2, 4] + [v + 3 for v in (1, 3, 5)]
+        )

@@ -1,0 +1,85 @@
+"""Bounded Kahn buffers: backpressure in the PN director."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.actors import FunctionActor, SinkActor, SourceActor
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.workflow import Workflow
+from repro.directors.pn import BlockingReceiver, PNDirector
+
+
+def event(value):
+    event.counter = getattr(event, "counter", 0) + 1
+    return CWEvent(value, 0, WaveTag.root(event.counter))
+
+
+class TestBoundedReceiver:
+    def test_put_blocks_until_space(self):
+        receiver = BlockingReceiver(capacity=1)
+        receiver.put(event("a"))
+        done = threading.Event()
+
+        def writer():
+            receiver.put(event("b"))
+            done.set()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not done.is_set()  # writer held back by backpressure
+        assert receiver.get(timeout=0.5).value == "a"
+        assert done.wait(timeout=1.0)
+        assert receiver.backpressure_waits >= 1
+        assert receiver.get(timeout=0.5).value == "b"
+
+    def test_close_releases_blocked_writer(self):
+        receiver = BlockingReceiver(capacity=1)
+        receiver.put(event("a"))
+        done = threading.Event()
+
+        def writer():
+            receiver.put(event("b"))
+            done.set()
+
+        threading.Thread(target=writer, daemon=True).start()
+        time.sleep(0.02)
+        receiver.close()
+        assert done.wait(timeout=1.0)
+
+    def test_unbounded_never_blocks(self):
+        receiver = BlockingReceiver()
+        for i in range(1000):
+            receiver.put(event(i))
+        assert receiver.size() == 1000
+        assert receiver.backpressure_waits == 0
+
+
+class TestBoundedPipeline:
+    def test_pipeline_completes_with_capacity_one(self):
+        workflow = Workflow("bounded")
+        source = SourceActor(
+            "src", arrivals=[(i, i) for i in range(30)]
+        )
+        source.add_output("out")
+        relay = FunctionActor(
+            "relay", lambda ctx: ctx.send("out", ctx.read("in").value)
+        )
+        sink = SinkActor("sink")
+        workflow.add_all([source, relay, sink])
+        workflow.connect(source, relay)
+        workflow.connect(relay, sink)
+        director = PNDirector(poll_timeout_s=0.01, queue_capacity=1)
+        director.attach(workflow)
+        director.initialize_all()
+        director.start()
+        pumped = director.pump_sources()
+        director.drain()
+        director.stop()
+        assert pumped == 30
+        assert sorted(sink.values) == list(range(30))
+        relay_receiver = relay.input("in").receiver
+        assert relay_receiver.backpressure_waits > 0

@@ -1,0 +1,92 @@
+"""Ports, channels and broadcast semantics."""
+
+import pytest
+
+from repro.core.actors import Actor
+from repro.core.events import CWEvent
+from repro.core.exceptions import PortError
+from repro.core.ports import Channel
+from repro.core.receivers import FIFOReceiver
+from repro.core.waves import WaveTag
+
+
+class Dummy(Actor):
+    def fire(self, ctx):
+        pass
+
+
+def wire(source_actor, sink_actors):
+    out = source_actor.output("out")
+    channels = []
+    for sink in sink_actors:
+        channels.append(Channel(out, sink.input("in")))
+    return channels
+
+
+def make_actor(name, inputs=("in",), outputs=("out",)):
+    actor = Dummy(name)
+    for port in inputs:
+        actor.add_input(port)
+    for port in outputs:
+        actor.add_output(port)
+    return actor
+
+
+class TestPorts:
+    def test_full_name(self):
+        actor = make_actor("a")
+        assert actor.input("in").full_name == "a.in"
+
+    def test_unknown_port_raises(self):
+        actor = make_actor("a")
+        with pytest.raises(PortError):
+            actor.input("nope")
+        with pytest.raises(PortError):
+            actor.output("nope")
+
+    def test_duplicate_port_name_rejected(self):
+        actor = make_actor("a")
+        with pytest.raises(PortError):
+            actor.add_input("in")
+        with pytest.raises(PortError):
+            actor.add_output("in")  # collides across directions too
+
+    def test_put_without_receiver_raises(self):
+        actor = make_actor("a")
+        with pytest.raises(PortError):
+            actor.input("in").put(CWEvent("x", 0, WaveTag.root(1)))
+
+
+class TestChannels:
+    def test_broadcast_reaches_all_destinations(self):
+        src = make_actor("src", inputs=())
+        sinks = [make_actor(f"s{i}", outputs=()) for i in range(3)]
+        wire(src, sinks)
+        for sink in sinks:
+            sink.input("in").attach_receiver(FIFOReceiver())
+        src.output("out").broadcast(CWEvent("x", 0, WaveTag.root(1)))
+        for sink in sinks:
+            assert sink.input("in").get().value == "x"
+
+    def test_destinations_listing(self):
+        src = make_actor("src", inputs=())
+        sink = make_actor("snk", outputs=())
+        wire(src, [sink])
+        assert src.output("out").destinations == [sink.input("in")]
+
+    def test_channel_direction_enforced(self):
+        a, b = make_actor("a"), make_actor("b")
+        with pytest.raises(PortError):
+            Channel(a.input("in"), b.input("in"))  # type: ignore[arg-type]
+
+    def test_merge_into_single_receiver(self):
+        # Two upstream channels into one input port share the queue.
+        src1 = make_actor("s1", inputs=())
+        src2 = make_actor("s2", inputs=())
+        sink = make_actor("snk", outputs=())
+        sink.input("in").attach_receiver(FIFOReceiver())
+        Channel(src1.output("out"), sink.input("in"))
+        Channel(src2.output("out"), sink.input("in"))
+        src1.output("out").broadcast(CWEvent("a", 0, WaveTag.root(1)))
+        src2.output("out").broadcast(CWEvent("b", 0, WaveTag.root(2)))
+        assert sink.input("in").receiver.size() == 2

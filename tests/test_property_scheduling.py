@@ -1,0 +1,107 @@
+"""Property-based invariants of the scheduling machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.workflow import Workflow
+from repro.simulation.clock import VirtualClock
+from repro.simulation.cost_model import CostModel
+from repro.simulation.runtime import SimulationRuntime
+from repro.stafilos.ready import ReadyQueue
+from repro.stafilos.schedulers import (
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+)
+from repro.stafilos.scwf_director import SCWFDirector
+
+_serial = iter(range(1, 10_000_000))
+
+
+def make_event(ts):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    return CWEvent("x", ts, WaveTag.root(next(_serial)))
+
+
+class TestReadyQueueProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=50))
+    @settings(max_examples=60)
+    def test_pops_sorted_by_timestamp(self, timestamps):
+        queue = ReadyQueue()
+        for ts in timestamps:
+            queue.push("in", make_event(ts))
+        popped = []
+        while queue:
+            popped.append(queue.pop().timestamp)
+        assert popped == sorted(timestamps)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10), max_size=30))
+    @settings(max_examples=60)
+    def test_stable_for_equal_timestamps(self, pattern):
+        queue = ReadyQueue()
+        events = [make_event(0) for _ in pattern]
+        for event in events:
+            queue.push("in", event)
+        popped = []
+        while queue:
+            popped.append(queue.pop().item)
+        assert popped == events  # admission order preserved
+
+
+SCHEDULERS = [
+    lambda: QuantumPriorityScheduler(500),
+    lambda: RoundRobinScheduler(10_000),
+    lambda: RateBasedScheduler(),
+    lambda: FIFOScheduler(),
+]
+
+
+class TestLosslessExecution:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1_000_000),
+            min_size=1,
+            max_size=40,
+        ),
+        st.sampled_from(list(range(len(SCHEDULERS)))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_arrival_reaches_the_sink(self, offsets, scheduler_index):
+        """No scheduler loses or duplicates events, whatever the arrivals."""
+        arrivals = [(ts, i) for i, ts in enumerate(sorted(offsets))]
+        workflow = Workflow("prop")
+        source = SourceActor("src", arrivals=arrivals)
+        source.add_output("out")
+        relay = MapActor("relay", lambda v: v)
+        sink = SinkActor("sink")
+        workflow.add_all([source, relay, sink])
+        workflow.connect(source, relay)
+        workflow.connect(relay, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            SCHEDULERS[scheduler_index](), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(10.0, drain=True)
+        assert sorted(sink.values) == sorted(v for _, v in arrivals)
+
+    @given(st.lists(st.integers(min_value=0, max_value=100_000), max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_monotone_and_bounded_by_work(self, offsets):
+        arrivals = [(ts, i) for i, ts in enumerate(sorted(offsets))]
+        workflow = Workflow("prop2")
+        source = SourceActor("src", arrivals=arrivals)
+        source.add_output("out")
+        sink = SinkActor("sink")
+        workflow.add_all([source, sink])
+        workflow.connect(source, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(10.0, drain=True)
+        assert clock.now_us >= (max(offsets) if offsets else 0)

@@ -1,0 +1,132 @@
+"""Property-based tests on window-formation invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowOperator, WindowSpec
+
+_serial = iter(range(1, 10_000_000))
+
+
+def event(value, ts):
+    return CWEvent(value, ts, WaveTag.root(next(_serial)))
+
+
+sizes = st.integers(min_value=1, max_value=8)
+steps = st.integers(min_value=1, max_value=8)
+streams = st.lists(st.integers(min_value=0, max_value=9), max_size=60)
+
+
+class TestTokenWindowInvariants:
+    @given(sizes, steps, streams)
+    @settings(max_examples=80)
+    def test_window_count_matches_closed_form(self, size, step, values):
+        """Sliding windows: floor((n - size)/step) + 1 for n >= size."""
+        op = WindowOperator(WindowSpec.tokens(size, step))
+        produced = []
+        for index, value in enumerate(values):
+            produced.extend(op.put(event(value, index)))
+        n = len(values)
+        expected = 0 if n < size else (n - size) // step + 1
+        assert len(produced) == expected
+
+    @given(sizes, steps, streams)
+    @settings(max_examples=80)
+    def test_every_window_has_exact_size(self, size, step, values):
+        op = WindowOperator(WindowSpec.tokens(size, step))
+        for index, value in enumerate(values):
+            for window in op.put(event(value, index)):
+                assert len(window) == size
+
+    @given(sizes, steps, streams)
+    @settings(max_examples=80)
+    def test_windows_preserve_stream_order(self, size, step, values):
+        op = WindowOperator(WindowSpec.tokens(size, step))
+        produced = []
+        for index, value in enumerate(values):
+            produced.extend(op.put(event((index, value), index)))
+        for window in produced:
+            indices = [v[0] for v in window.values]
+            assert indices == sorted(indices)
+            # Consecutive stream positions inside one window.
+            assert indices == list(range(indices[0], indices[0] + size))
+
+    @given(sizes, streams)
+    @settings(max_examples=80)
+    def test_conservation_with_delete_used(self, size, values):
+        """delete_used: every event is consumed at most once, none expire."""
+        op = WindowOperator(
+            WindowSpec.tokens(size, 1, delete_used_events=True)
+        )
+        consumed = 0
+        for index, value in enumerate(values):
+            for window in op.put(event(value, index)):
+                consumed += len(window)
+        assert consumed + op.pending_count() == len(values)
+        assert not op.expired
+
+    @given(sizes, steps, streams)
+    @settings(max_examples=80)
+    def test_conservation_sliding(self, size, step, values):
+        """Sliding: expired + pending + (in final overlap) = admitted."""
+        op = WindowOperator(WindowSpec.tokens(size, step))
+        for index, value in enumerate(values):
+            op.put(event(value, index))
+        assert len(op.expired) + op.pending_count() == len(values)
+
+    @given(sizes, steps, streams, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=60)
+    def test_group_by_equivalent_to_split_streams(
+        self, size, step, values, groups
+    ):
+        """Grouped operator == one ungrouped operator per group."""
+        grouped = WindowOperator(
+            WindowSpec.tokens(size, step, group_by=lambda e: e.value % groups)
+        )
+        split = {
+            g: WindowOperator(WindowSpec.tokens(size, step))
+            for g in range(groups)
+        }
+        grouped_windows = []
+        split_windows = []
+        for index, value in enumerate(values):
+            grouped_windows.extend(grouped.put(event(value, index)))
+            split_windows.extend(
+                split[value % groups].put(event(value, index))
+            )
+        assert sorted(w.values for w in grouped_windows) == sorted(
+            w.values for w in split_windows
+        )
+
+
+class TestTimeWindowInvariants:
+    timestamps = st.lists(
+        st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50
+    ).map(sorted)
+
+    @given(timestamps, st.integers(min_value=1, max_value=500))
+    @settings(max_examples=80)
+    def test_events_within_window_bounds(self, times, size):
+        op = WindowOperator(WindowSpec.time(size))
+        produced = []
+        for ts in times:
+            produced.extend(op.put(event("x", ts)))
+        produced.extend(op.force_timeout(None))
+        for window in produced:
+            for item in window:
+                assert window.start <= item.timestamp < window.end
+
+    @given(timestamps, st.integers(min_value=1, max_value=500))
+    @settings(max_examples=80)
+    def test_tumbling_partitions_every_event_once(self, times, size):
+        """Tumbling (step == size) windows partition the stream."""
+        op = WindowOperator(WindowSpec.time(size))
+        total = 0
+        for ts in times:
+            for window in op.put(event("x", ts)):
+                total += len(window)
+        for window in op.force_timeout(None):
+            total += len(window)
+        leftover = op.pending_count()
+        assert total + leftover == len(times)

@@ -1,0 +1,86 @@
+"""Punctuation: exact, producer-asserted closing of time windows."""
+
+import pytest
+
+from repro.core import (
+    MapActor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.core.events import CWEvent
+from repro.core.punctuation import Punctuation
+from repro.core.receivers import WindowedReceiver
+from repro.core.waves import WaveTag
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import RoundRobinScheduler, SCWFDirector
+
+SECOND = 1_000_000
+
+
+def event(value, ts):
+    event.counter = getattr(event, "counter", 0) + 1
+    return CWEvent(value, ts, WaveTag.root(event.counter))
+
+
+class TestPunctuationUnit:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            Punctuation(-1)
+
+    def test_closes_due_time_windows(self):
+        receiver = WindowedReceiver(WindowSpec.time(60 * SECOND))
+        receiver.put(event("a", 10 * SECOND))
+        assert not receiver.has_token()
+        receiver.put(event(Punctuation(70 * SECOND), 70 * SECOND))
+        assert receiver.has_token()
+        assert receiver.get().values == ["a"]
+
+    def test_does_not_close_future_windows(self):
+        receiver = WindowedReceiver(WindowSpec.time(60 * SECOND))
+        receiver.put(event("a", 10 * SECOND))
+        receiver.put(event(Punctuation(30 * SECOND), 30 * SECOND))
+        assert not receiver.has_token()
+
+    def test_punctuation_is_consumed_not_buffered(self):
+        receiver = WindowedReceiver(WindowSpec.time(60 * SECOND))
+        receiver.put(event(Punctuation(5 * SECOND), 5 * SECOND))
+        assert receiver.pending_events() == 0
+
+    def test_no_effect_on_token_windows(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(3, 1))
+        receiver.put(event("a", 0))
+        receiver.put(event(Punctuation(10 * SECOND), 10 * SECOND))
+        assert not receiver.has_token()
+        assert receiver.pending_events() == 1
+
+
+class TestPunctuationEndToEnd:
+    def test_quiet_stream_closed_by_punctuation(self):
+        """A source that punctuates lets windows close with no timeout."""
+        workflow = Workflow("punct")
+        arrivals = [
+            (1 * SECOND, 10.0),
+            (2 * SECOND, 20.0),
+            # The stream goes quiet; the producer asserts completeness.
+            (90 * SECOND, Punctuation(80 * SECOND)),
+        ]
+        source = SourceActor("src", arrivals=arrivals)
+        source.add_output("out")
+        mean = MapActor(
+            "mean",
+            lambda values: sum(values) / len(values),
+            window=WindowSpec.time(60 * SECOND),  # note: no timeout
+        )
+        sink = SinkActor("sink")
+        workflow.add_all([source, mean, sink])
+        workflow.connect(source, mean)
+        workflow.connect(mean, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000), clock, CostModel()
+        )
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(120, drain=True)
+        assert sink.values == [15.0]

@@ -1,0 +1,95 @@
+"""Receiver behaviour: FIFO and windowed."""
+
+import pytest
+
+from repro.core.events import CWEvent
+from repro.core.exceptions import ReceiverError
+from repro.core.receivers import FIFOReceiver, WindowedReceiver
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowSpec
+
+
+def event(value, ts=0):
+    event.counter += 1
+    return CWEvent(value, ts, WaveTag.root(event.counter))
+
+
+event.counter = 0
+
+
+class TestFIFOReceiver:
+    def test_fifo_order(self):
+        receiver = FIFOReceiver()
+        receiver.put(event("a"))
+        receiver.put(event("b"))
+        assert receiver.get().value == "a"
+        assert receiver.get().value == "b"
+
+    def test_empty_get_raises(self):
+        with pytest.raises(ReceiverError):
+            FIFOReceiver().get()
+
+    def test_has_token_and_size(self):
+        receiver = FIFOReceiver()
+        assert not receiver.has_token()
+        receiver.put(event("a"))
+        assert receiver.has_token()
+        assert receiver.size() == 1
+
+    def test_peek_does_not_consume(self):
+        receiver = FIFOReceiver()
+        receiver.put(event("a"))
+        assert receiver.peek().value == "a"
+        assert receiver.size() == 1
+
+    def test_clear(self):
+        receiver = FIFOReceiver()
+        receiver.put(event("a"))
+        receiver.clear()
+        assert not receiver.has_token()
+
+
+class TestWindowedReceiver:
+    def test_put_produces_windows_inline(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(2, 2))
+        receiver.put(event("a"))
+        assert not receiver.has_token()
+        receiver.put(event("b"))
+        assert receiver.has_token()
+        assert receiver.get().values == ["a", "b"]
+
+    def test_get_without_window_raises(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(2, 2))
+        with pytest.raises(ReceiverError):
+            receiver.get()
+
+    def test_expired_events_accessible(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(2, 1))
+        for name in "abc":
+            receiver.put(event(name))
+        # [a,b] then [b,c] formed; a then b slid out of scope.
+        assert [e.value for e in receiver.drain_expired()] == ["a", "b"]
+
+    def test_pending_events_counts_unwindowed(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(3, 1))
+        receiver.put(event("a"))
+        assert receiver.pending_events() == 1
+
+    def test_force_timeout_returns_count(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(5, 1))
+        receiver.put(event("a"))
+        assert receiver.force_timeout() == 1
+        assert receiver.get().forced
+
+    def test_clear_resets_operator(self):
+        receiver = WindowedReceiver(WindowSpec.tokens(2, 2))
+        receiver.put(event("a"))
+        receiver.clear()
+        assert receiver.pending_events() == 0
+        receiver.put(event("b"))
+        assert not receiver.has_token()  # needs two fresh events
+
+    def test_next_deadline_for_time_windows(self):
+        receiver = WindowedReceiver(WindowSpec.time(1_000_000))
+        receiver.put(event("a", ts=0))
+        assert receiver.next_deadline() == 1_000_000

@@ -1,0 +1,137 @@
+"""Cross-cutting scheduler behaviours the unit suites don't reach."""
+
+import pytest
+
+from repro.core import (
+    MapActor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import (
+    EarliestDeadlineScheduler,
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+    SCWFDirector,
+)
+
+ALL = [
+    lambda: QuantumPriorityScheduler(500),
+    lambda: RoundRobinScheduler(10_000),
+    lambda: RateBasedScheduler(),
+    lambda: FIFOScheduler(),
+    lambda: EarliestDeadlineScheduler(),
+]
+
+
+def diamond_workflow(arrivals):
+    """src fans to two branches that remerge at the sink."""
+    workflow = Workflow("diamond")
+    source = SourceActor("src", arrivals=arrivals)
+    source.add_output("out")
+    left = MapActor("left", lambda v: ("L", v))
+    right = MapActor("right", lambda v: ("R", v))
+    sink = SinkActor("sink")
+    workflow.add_all([source, left, right, sink])
+    workflow.connect(source, left)
+    workflow.connect(source, right)
+    workflow.connect(left, sink)
+    workflow.connect(right, sink)
+    return workflow, sink
+
+
+class TestDiamondTopology:
+    @pytest.mark.parametrize("make_scheduler", ALL)
+    def test_both_branches_deliver_every_event(self, make_scheduler):
+        arrivals = [(i * 1000, i) for i in range(15)]
+        workflow, sink = diamond_workflow(arrivals)
+        clock = VirtualClock()
+        director = SCWFDirector(make_scheduler(), clock, CostModel())
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(5.0, drain=True)
+        lefts = sorted(v for tag, v in sink.values if tag == "L")
+        rights = sorted(v for tag, v in sink.values if tag == "R")
+        assert lefts == rights == list(range(15))
+
+
+class TestMultiSourceWorkflows:
+    @pytest.mark.parametrize("make_scheduler", ALL)
+    def test_two_sources_merge(self, make_scheduler):
+        workflow = Workflow("merge")
+        source_a = SourceActor(
+            "a", arrivals=[(i * 2000, ("a", i)) for i in range(10)]
+        )
+        source_a.add_output("out")
+        source_b = SourceActor(
+            "b", arrivals=[(i * 2000 + 1000, ("b", i)) for i in range(10)]
+        )
+        source_b.add_output("out")
+        sink = SinkActor("sink")
+        workflow.add_all([source_a, source_b, sink])
+        workflow.connect(source_a, sink)
+        workflow.connect(source_b, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(make_scheduler(), clock, CostModel())
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(5.0, drain=True)
+        assert len(sink.values) == 20
+        assert {tag for tag, _ in sink.values} == {"a", "b"}
+
+
+class TestBurstyArrivals:
+    @pytest.mark.parametrize("make_scheduler", ALL)
+    def test_all_simultaneous_arrivals_processed(self, make_scheduler):
+        # Everything arrives at t=0: stresses the admission path.
+        arrivals = [(0, i) for i in range(50)]
+        workflow, sink = diamond_workflow(arrivals)
+        clock = VirtualClock()
+        director = SCWFDirector(make_scheduler(), clock, CostModel())
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(10.0, drain=True)
+        assert len(sink.values) == 100
+
+    @pytest.mark.parametrize("make_scheduler", ALL)
+    def test_long_silence_then_burst(self, make_scheduler):
+        arrivals = [(0, 0)] + [(60_000_000 + i, i) for i in range(1, 20)]
+        workflow, sink = diamond_workflow(arrivals)
+        clock = VirtualClock()
+        director = SCWFDirector(make_scheduler(), clock, CostModel())
+        director.attach(workflow)
+        runtime = SimulationRuntime(director, clock)
+        runtime.run(120.0, drain=True)
+        assert len(sink.values) == 40
+        # The idle hour was skipped, not simulated.
+        assert runtime.iterations_run < 2_000
+
+
+class TestWindowedMergeUnderScheduling:
+    @pytest.mark.parametrize("make_scheduler", ALL)
+    def test_grouped_window_with_interleaved_groups(self, make_scheduler):
+        workflow = Workflow("wmerge")
+        source = SourceActor(
+            "src",
+            arrivals=[(i * 1000, {"g": i % 3, "v": i}) for i in range(18)],
+        )
+        source.add_output("out")
+        folder = MapActor(
+            "fold",
+            lambda values: sum(v["v"] for v in values),
+            window=WindowSpec.tokens(
+                3, 3, group_by=lambda e: e.value["g"]
+            ),
+        )
+        sink = SinkActor("sink")
+        workflow.add_all([source, folder, sink])
+        workflow.connect(source, folder)
+        workflow.connect(folder, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(make_scheduler(), clock, CostModel())
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(5.0, drain=True)
+        # Each group gets two tumbling windows of three values.
+        assert len(sink.values) == 6
+        assert sum(sink.values) == sum(range(18))

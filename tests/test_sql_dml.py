@@ -1,0 +1,111 @@
+"""INSERT/UPDATE/DELETE and DDL execution."""
+
+import pytest
+
+from repro.sqldb import Database
+from repro.sqldb.errors import ConstraintError, QueryError, SchemaError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (a INTEGER, b TEXT, PRIMARY KEY (a))"
+    )
+    return database
+
+
+class TestInsert:
+    def test_insert_reports_rowcount(self, db):
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+
+    def test_insert_with_params(self, db):
+        db.execute("INSERT INTO t (a, b) VALUES ($a, $b)", {"a": 1, "b": "x"})
+        assert db.execute("SELECT b FROM t WHERE a = 1").scalar() == "x"
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(QueryError):
+            db.execute("INSERT INTO t (a, a) VALUES (1, 2)")
+
+    def test_pk_conflict(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1, 'y')")
+        db.execute("INSERT OR REPLACE INTO t VALUES (1, 'y')")
+        assert db.execute("SELECT b FROM t WHERE a = 1").scalar() == "y"
+
+
+class TestUpdate:
+    def test_update_with_expression(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        count = db.execute("UPDATE t SET a = a + 10 WHERE b = 'x'").rowcount
+        assert count == 1
+        assert db.execute("SELECT a FROM t WHERE b = 'x'").scalar() == 11
+
+    def test_update_all_rows(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert db.execute("UPDATE t SET b = 'z'").rowcount == 2
+
+    def test_update_unknown_column_rejected(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        with pytest.raises(SchemaError):
+            db.execute("UPDATE t SET nope = 1")
+
+
+class TestDelete:
+    def test_delete_where(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert db.execute("DELETE FROM t WHERE a = 1").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_delete_all(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+class TestDDL:
+    def test_create_duplicate_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("CREATE TABLE t (a INTEGER)")
+
+    def test_if_not_exists_tolerated(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+
+    def test_drop(self, db):
+        db.execute("DROP TABLE t")
+        with pytest.raises(SchemaError):
+            db.execute("SELECT * FROM t")
+
+    def test_drop_missing_needs_if_exists(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("DROP TABLE nope")
+        db.execute("DROP TABLE IF EXISTS nope")
+
+    def test_create_index_statement(self, db):
+        db.execute("CREATE INDEX by_b ON t (b)")
+        assert "by_b" in db.table("t").indexes
+
+
+class TestDatabaseFacade:
+    def test_statement_cache_reused(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        before = len(db._ast_cache)
+        db.execute("SELECT * FROM t WHERE a = $a", {"a": 1})
+        db.execute("SELECT * FROM t WHERE a = $a", {"a": 2})
+        assert len(db._ast_cache) == before + 1
+
+    def test_statements_counted(self, db):
+        count = db.statements_executed
+        db.execute("SELECT 1")
+        assert db.statements_executed == count + 1
+
+    def test_missing_parameter_rejected(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        with pytest.raises(QueryError):
+            db.execute("SELECT * FROM t WHERE b = $missing")

@@ -1,0 +1,70 @@
+"""Property test: random DML sequences vs a dict oracle.
+
+Drives the storage + index machinery through arbitrary interleavings of
+upserts, deletes and updates, checking after every step that indexed
+lookups agree with a naive dict model — the invariant that actually
+matters for the Linear Road statistics table.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqldb import Database
+
+KEYS = list(range(6))
+
+operation = st.one_of(
+    st.tuples(st.just("upsert"), st.sampled_from(KEYS),
+              st.integers(min_value=0, max_value=100)),
+    st.tuples(st.just("delete"), st.sampled_from(KEYS),
+              st.just(0)),
+    st.tuples(st.just("bump"), st.sampled_from(KEYS),
+              st.integers(min_value=1, max_value=9)),
+)
+
+
+class TestRandomOpsOracle:
+    @given(st.lists(operation, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_indexed_state_matches_dict_model(self, operations):
+        db = Database()
+        db.execute(
+            "CREATE TABLE s (k INTEGER, v INTEGER, PRIMARY KEY (k))"
+        )
+        db.execute("CREATE INDEX s_by_v ON s (v)")
+        model: dict[int, int] = {}
+        for verb, key, value in operations:
+            if verb == "upsert":
+                db.execute(
+                    "INSERT OR REPLACE INTO s VALUES ($k, $v)",
+                    {"k": key, "v": value},
+                )
+                model[key] = value
+            elif verb == "delete":
+                db.execute("DELETE FROM s WHERE k = $k", {"k": key})
+                model.pop(key, None)
+            else:  # bump
+                db.execute(
+                    "UPDATE s SET v = v + $d WHERE k = $k",
+                    {"k": key, "d": value},
+                )
+                if key in model:
+                    model[key] += value
+            # Point lookups through the PK index.
+            for probe in KEYS:
+                got = db.execute(
+                    "SELECT v FROM s WHERE k = $k", {"k": probe}
+                ).scalar()
+                assert got == model.get(probe)
+        # Full-state comparison and secondary-index consistency.
+        assert dict(db.execute("SELECT k, v FROM s").rows) == model
+        for v_probe in set(model.values()):
+            via_index = sorted(
+                r[0]
+                for r in db.execute(
+                    "SELECT k FROM s WHERE v = $v", {"v": v_probe}
+                )
+            )
+            expected = sorted(
+                k for k, v in model.items() if v == v_probe
+            )
+            assert via_index == expected

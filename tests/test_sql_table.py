@@ -1,0 +1,153 @@
+"""Storage layer: tables, coercion, primary keys, hash indexes."""
+
+import pytest
+
+from repro.sqldb.errors import ConstraintError, SchemaError
+from repro.sqldb.table import Column, HashIndex, Table
+
+
+def make_table():
+    return Table(
+        "stats",
+        [
+            Column("xway", "INTEGER"),
+            Column("seg", "INTEGER"),
+            Column("lav", "FLOAT"),
+        ],
+        primary_key=("xway", "seg"),
+    )
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", "INTEGER"), Column("a", "TEXT")])
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column("a", "INTEGER")], primary_key=("b",))
+
+    def test_coercion_per_type(self):
+        assert Column("a", "INTEGER").coerce("42") == 42
+        assert Column("a", "FLOAT").coerce(1) == 1.0
+        assert Column("a", "TEXT").coerce(5) == "5"
+        assert Column("a", "BOOLEAN").coerce("true") is True
+        assert Column("a", "BOOLEAN").coerce("no") is False
+
+    def test_not_null_enforced(self):
+        with pytest.raises(ConstraintError):
+            Column("a", "INTEGER", not_null=True).coerce(None)
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("a", "INTEGER").coerce("not-a-number")
+
+
+class TestMutation:
+    def test_insert_and_scan(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1, "lav": 40.0})
+        assert len(table) == 1
+        assert table.rows()[0]["lav"] == 40.0
+
+    def test_missing_columns_become_null(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1})
+        assert table.rows()[0]["lav"] is None
+
+    def test_unknown_column_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.insert({"xway": 0, "seg": 1, "bogus": 1})
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1})
+        with pytest.raises(ConstraintError):
+            table.insert({"xway": 0, "seg": 1})
+
+    def test_or_replace_upserts(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1, "lav": 10.0})
+        table.insert({"xway": 0, "seg": 1, "lav": 99.0}, or_replace=True)
+        assert len(table) == 1
+        assert table.lookup_pk((0, 1))["lav"] == 99.0
+
+    def test_null_pk_rejected(self):
+        table = make_table()
+        with pytest.raises(ConstraintError):
+            table.insert({"xway": None, "seg": 1})
+
+    def test_delete_rowids(self):
+        table = make_table()
+        rowid = table.insert({"xway": 0, "seg": 1})
+        assert table.delete_rowids([rowid, 999]) == 1
+        assert len(table) == 0
+        assert table.lookup_pk((0, 1)) is None
+
+    def test_update_row_maintains_pk_index(self):
+        table = make_table()
+        rowid = table.insert({"xway": 0, "seg": 1, "lav": 1.0})
+        table.update_row(rowid, {"seg": 2})
+        assert table.lookup_pk((0, 1)) is None
+        assert table.lookup_pk((0, 2))["lav"] == 1.0
+
+    def test_update_into_pk_conflict_rejected(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1})
+        rowid = table.insert({"xway": 0, "seg": 2})
+        with pytest.raises(ConstraintError):
+            table.update_row(rowid, {"seg": 1})
+
+    def test_clear_resets_rows_and_indexes(self):
+        table = make_table()
+        table.create_index("by_seg", ("seg",))
+        table.insert({"xway": 0, "seg": 1})
+        table.clear()
+        assert len(table) == 0
+        assert not table.indexes["by_seg"].lookup((1,))
+
+
+class TestIndexes:
+    def test_secondary_index_backfilled(self):
+        table = make_table()
+        table.insert({"xway": 0, "seg": 1})
+        table.insert({"xway": 0, "seg": 2})
+        index = table.create_index("by_xway", ("xway",))
+        assert len(index.lookup((0,))) == 2
+
+    def test_index_maintained_on_insert_delete(self):
+        table = make_table()
+        index = table.create_index("by_seg", ("seg",))
+        rowid = table.insert({"xway": 0, "seg": 7})
+        assert index.lookup((7,)) == {rowid}
+        table.delete_rowids([rowid])
+        assert index.lookup((7,)) == set()
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_index("i", ("seg",))
+        with pytest.raises(SchemaError):
+            table.create_index("i", ("xway",))
+
+    def test_index_on_unknown_column_rejected(self):
+        table = make_table()
+        with pytest.raises(SchemaError):
+            table.create_index("i", ("bogus",))
+
+    def test_best_index_prefers_most_columns(self):
+        table = make_table()
+        table.create_index("by_seg", ("seg",))
+        best = table.best_index({"xway", "seg"})
+        assert best.columns == ("xway", "seg")  # the PK index wins
+
+    def test_best_index_requires_full_cover(self):
+        table = make_table()
+        assert table.best_index({"xway"}) is None  # PK needs xway AND seg
+
+    def test_lookup_index_skips_dead_rowids(self):
+        table = make_table()
+        index = table.create_index("by_seg", ("seg",))
+        rowid = table.insert({"xway": 0, "seg": 3})
+        rows = list(table.lookup_index(index, (3,)))
+        assert rows[0][0] == rowid

@@ -1,0 +1,109 @@
+"""The EDF policy: the 'write your own scheduler' extensibility check."""
+
+import pytest
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.statistics import StatisticsRegistry
+from repro.core.workflow import Workflow
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import EarliestDeadlineScheduler, SCWFDirector
+from repro.stafilos.states import ActorState
+
+
+def attach():
+    workflow = Workflow("edf")
+    source = SourceActor("src", arrivals=[(10, "x")])
+    source.add_output("out")
+    urgent = MapActor("urgent", lambda v: v)
+    urgent.priority = 5
+    relaxed = MapActor("relaxed", lambda v: v)
+    relaxed.priority = 20
+    sink = SinkActor("sink")
+    workflow.add_all([source, urgent, relaxed, sink])
+    workflow.connect(source, urgent)
+    workflow.connect(source, relaxed)
+    workflow.connect(urgent, sink)
+    workflow.connect(relaxed, sink)
+    scheduler = EarliestDeadlineScheduler(default_target_us=1_000_000)
+    scheduler.initialize(workflow, StatisticsRegistry())
+    return scheduler, source, urgent, relaxed
+
+
+def enqueue(scheduler, actor, ts):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    enqueue.counter = getattr(enqueue, "counter", 0) + 1
+    scheduler.enqueue(
+        actor, "in", CWEvent("v", ts, WaveTag.root(enqueue.counter))
+    )
+
+
+class TestDeadlines:
+    def test_targets_scale_with_priority(self):
+        scheduler, _, urgent, relaxed = attach()
+        assert scheduler.target_us(urgent) == 1_000_000
+        assert scheduler.target_us(relaxed) == 4_000_000
+
+    def test_deadline_is_timestamp_plus_target(self):
+        scheduler, _, urgent, _ = attach()
+        enqueue(scheduler, urgent, ts=500)
+        assert scheduler.deadline_of(urgent) == 500 + 1_000_000
+
+    def test_earliest_deadline_wins(self):
+        scheduler, _, urgent, relaxed = attach()
+        # relaxed's event is older, but its 4x target loses to urgent's.
+        enqueue(scheduler, relaxed, ts=0)
+        enqueue(scheduler, urgent, ts=2_000_000)
+        assert scheduler.get_next_actor() is urgent
+
+    def test_old_enough_relaxed_event_preempts(self):
+        scheduler, _, urgent, relaxed = attach()
+        enqueue(scheduler, relaxed, ts=0)
+        enqueue(scheduler, urgent, ts=3_500_000)
+        # deadlines: relaxed 4.0s, urgent 4.5s.
+        assert scheduler.get_next_actor() is relaxed
+
+    def test_state_rules(self):
+        scheduler, source, urgent, _ = attach()
+        assert scheduler.state_of(urgent) is ActorState.INACTIVE
+        enqueue(scheduler, urgent, ts=0)
+        assert scheduler.state_of(urgent) is ActorState.ACTIVE
+        assert scheduler.state_of(source) is ActorState.ACTIVE
+
+
+class TestEndToEnd:
+    def test_pipeline_under_edf(self, pipeline_builder):
+        system = pipeline_builder(
+            [(i * 1000, i) for i in range(10)],
+            EarliestDeadlineScheduler(),
+        )
+        system["runtime"].run(1.0, drain=True)
+        assert system["sink"].values == [i * 2 for i in range(10)]
+
+    def test_edf_on_linear_road(self):
+        from repro.linearroad import (
+            build_linear_road,
+            LinearRoadValidator,
+            LinearRoadWorkload,
+            WorkloadConfig,
+        )
+
+        workload = LinearRoadWorkload(
+            WorkloadConfig(duration_s=180, peak_rate=60, accidents=())
+        )
+        system = build_linear_road(workload.arrivals())
+        clock = VirtualClock()
+        director = SCWFDirector(
+            EarliestDeadlineScheduler(), clock, CostModel()
+        )
+        director.attach(system.workflow)
+        SimulationRuntime(director, clock).run(180, drain=True)
+        validator = LinearRoadValidator(workload.reports())
+        outcome = validator.validate(
+            system.toll_out.notifications,
+            system.accident_out.alerts,
+            system.recorder.inserted,
+        )
+        assert outcome.ok
+        assert len(system.toll_out.notifications) > 100

@@ -1,0 +1,179 @@
+"""The Quantum Priority Based scheduler: Equation 1 and Table 2 rules."""
+
+import pytest
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.workflow import Workflow
+from repro.stafilos.schedulers.qbs import (
+    quantum_grant,
+    QuantumPriorityScheduler,
+)
+from repro.stafilos.states import ActorState
+from repro.core.statistics import StatisticsRegistry
+
+
+def attach_scheduler(scheduler=None):
+    """A tiny workflow registered with a QBS scheduler (no director)."""
+    workflow = Workflow("w")
+    source = SourceActor("src", arrivals=[(10, "x"), (20, "y")])
+    source.add_output("out")
+    worker = MapActor("worker", lambda v: v)
+    worker.priority = 10
+    sink = SinkActor("sink")
+    sink.priority = 5
+    workflow.add_all([source, worker, sink])
+    workflow.connect(source, worker)
+    workflow.connect(worker, sink)
+    scheduler = scheduler or QuantumPriorityScheduler(basic_quantum_us=500)
+    scheduler.initialize(workflow, StatisticsRegistry())
+    return workflow, scheduler, source, worker, sink
+
+
+def enqueue(scheduler, actor, value="v", ts=0):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    enqueue.counter = getattr(enqueue, "counter", 0) + 1
+    scheduler.enqueue(
+        actor, "in", CWEvent(value, ts, WaveTag.root(enqueue.counter))
+    )
+
+
+class TestEquationOne:
+    def test_low_priority_branch(self):
+        # p >= 20: q = (40 - p) * b
+        assert quantum_grant(20, 500) == 20 * 500
+        assert quantum_grant(30, 1000) == 10 * 1000
+
+    def test_high_priority_branch(self):
+        # p < 20: q = (40 - p) * 4b
+        assert quantum_grant(5, 500) == 35 * 4 * 500
+        assert quantum_grant(10, 500) == 30 * 4 * 500
+
+    def test_higher_priority_gets_more_quantum(self):
+        assert quantum_grant(5, 500) > quantum_grant(10, 500) > quantum_grant(
+            20, 500
+        )
+
+
+class TestTableTwoStates:
+    def test_internal_actor_with_events_and_quantum_is_active(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        enqueue(scheduler, worker)
+        assert scheduler.state_of(worker) is ActorState.ACTIVE
+
+    def test_internal_actor_without_events_is_inactive(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        assert scheduler.state_of(worker) is ActorState.INACTIVE
+
+    def test_internal_actor_with_events_negative_quantum_waits(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        enqueue(scheduler, worker)
+        scheduler.quantum[worker.name] = -10
+        scheduler.invalidate_state(worker)
+        assert scheduler.state_of(worker) is ActorState.WAITING
+
+    def test_source_never_inactive(self):
+        _, scheduler, source, _, _ = attach_scheduler()
+        # Fresh source: positive quantum, not fired -> ACTIVE.
+        assert scheduler.state_of(source) is ActorState.ACTIVE
+        scheduler.quantum[source.name] = -1
+        scheduler.invalidate_state(source)
+        assert scheduler.state_of(source) is ActorState.WAITING
+
+    def test_source_waits_after_firing_in_iteration(self):
+        _, scheduler, source, _, _ = attach_scheduler()
+        scheduler.on_actor_fire_end(source, 100, now=10)
+        assert scheduler.state_of(source) is ActorState.WAITING
+        # A new iteration clears the flag.
+        scheduler.on_iteration_end(10)
+        assert scheduler.state_of(source) is ActorState.ACTIVE
+
+
+class TestQuantumAccounting:
+    def test_firing_consumes_quantum(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        before = scheduler.quantum[worker.name]
+        scheduler.on_actor_fire_end(worker, 300, now=0)
+        assert scheduler.quantum[worker.name] == before - 300
+
+    def test_requantification_accumulates(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        grant = quantum_grant(worker.priority, 500)
+        scheduler.quantum[worker.name] = -100
+        scheduler.on_iteration_end(0)
+        assert scheduler.quantum[worker.name] == grant - 100
+        assert scheduler.requantifications == 1
+
+    def test_large_overrun_can_stay_negative(self):
+        _, scheduler, _, worker, _ = attach_scheduler()
+        grant = quantum_grant(worker.priority, 500)
+        scheduler.quantum[worker.name] = -(grant + 999)
+        scheduler.on_iteration_end(0)
+        assert scheduler.quantum[worker.name] < 0
+
+    def test_idle_actor_accumulates_quantum_over_epochs(self):
+        # The effect behind the paper's b=5000 anomaly.
+        _, scheduler, _, worker, _ = attach_scheduler()
+        start = scheduler.quantum[worker.name]
+        for _ in range(3):
+            scheduler.on_iteration_end(0)
+        grant = quantum_grant(worker.priority, 500)
+        assert scheduler.quantum[worker.name] == start + 3 * grant
+
+
+class TestSelection:
+    def test_lower_priority_number_scheduled_first(self):
+        _, scheduler, _, worker, sink = attach_scheduler()
+        enqueue(scheduler, worker, ts=0)
+        enqueue(scheduler, sink, ts=0)
+        assert scheduler.get_next_actor() is sink  # priority 5 beats 10
+
+    def test_fifo_within_priority_class(self):
+        workflow = Workflow("w2")
+        source = SourceActor("src", arrivals=[])
+        source.add_output("out")
+        a = MapActor("a", lambda v: v)
+        b = MapActor("b", lambda v: v)
+        sink = SinkActor("sink")
+        workflow.add_all([source, a, b, sink])
+        workflow.connect(source, a)
+        workflow.connect(source, b)
+        workflow.connect(a, sink)
+        workflow.connect(b, sink)
+        scheduler = QuantumPriorityScheduler(500)
+        scheduler.initialize(workflow, StatisticsRegistry())
+        enqueue(scheduler, b, ts=5)
+        enqueue(scheduler, a, ts=9)
+        assert scheduler.get_next_actor() is b  # older head event wins
+
+    def test_source_scheduled_after_interval(self):
+        _, scheduler, source, worker, _ = attach_scheduler(
+            QuantumPriorityScheduler(500, source_interval=2)
+        )
+        scheduler.on_iteration_start(now=30)  # arrivals at 10, 20 are due
+        enqueue(scheduler, worker)
+        enqueue(scheduler, worker)
+        enqueue(scheduler, worker)
+        scheduler._now = 30
+        assert scheduler.get_next_actor() is worker
+        scheduler.on_actor_fire_end(worker, 10, now=30)
+        assert scheduler.get_next_actor() is worker
+        scheduler.on_actor_fire_end(worker, 10, now=30)
+        # Two internal firings -> the source is due now.
+        assert scheduler.get_next_actor() is source
+
+    def test_source_offered_when_no_internal_work(self):
+        _, scheduler, source, _, _ = attach_scheduler()
+        scheduler.on_iteration_start(now=30)
+        assert scheduler.get_next_actor() is source
+
+    def test_none_when_nothing_runnable(self):
+        _, scheduler, source, _, _ = attach_scheduler()
+        scheduler.on_iteration_start(now=0)  # no arrivals due yet
+        assert scheduler.get_next_actor() is None
+
+    def test_describe_mentions_parameters(self):
+        scheduler = QuantumPriorityScheduler(1234, source_interval=7)
+        assert "1234" in scheduler.describe()
+        assert "7" in scheduler.describe()

@@ -1,0 +1,110 @@
+"""The Rate-Based scheduler: dynamic priorities and period buffering."""
+
+import pytest
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.statistics import StatisticsRegistry
+from repro.core.workflow import Workflow
+from repro.stafilos.schedulers.rb import RateBasedScheduler
+from repro.stafilos.states import ActorState
+
+
+def attach():
+    workflow = Workflow("w")
+    source = SourceActor("src", arrivals=[(10, "x")])
+    source.add_output("out")
+    cheap = MapActor("cheap", lambda v: v)
+    costly = MapActor("costly", lambda v: v)
+    sink = SinkActor("sink")
+    workflow.add_all([source, cheap, costly, sink])
+    workflow.connect(source, cheap)
+    workflow.connect(source, costly)
+    workflow.connect(cheap, sink)
+    workflow.connect(costly, sink)
+    registry = StatisticsRegistry()
+    scheduler = RateBasedScheduler(default_cost_us=100)
+    scheduler.initialize(workflow, registry)
+    return workflow, scheduler, registry, source, cheap, costly, sink
+
+
+def enqueue(scheduler, actor, ts=0):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    enqueue.counter = getattr(enqueue, "counter", 0) + 1
+    scheduler.enqueue(
+        actor, "in", CWEvent("v", ts, WaveTag.root(enqueue.counter))
+    )
+
+
+class TestPeriodBuffering:
+    def test_midperiod_events_wait_for_rollover(self):
+        _, scheduler, _, _, cheap, _, _ = attach()
+        enqueue(scheduler, cheap)
+        # Buffered: not processable, actor is WAITING (Table 2, RB row 2).
+        assert scheduler.ready_count(cheap) == 0
+        assert scheduler.state_of(cheap) is ActorState.WAITING
+        scheduler.on_iteration_end(0)
+        assert scheduler.ready_count(cheap) == 1
+        assert scheduler.state_of(cheap) is ActorState.ACTIVE
+
+    def test_no_events_anywhere_is_inactive(self):
+        _, scheduler, _, _, cheap, _, _ = attach()
+        assert scheduler.state_of(cheap) is ActorState.INACTIVE
+
+
+class TestSourcesOncePerPeriod:
+    def test_source_active_until_fired(self):
+        _, scheduler, _, source, *_ = attach()
+        assert scheduler.state_of(source) is ActorState.ACTIVE
+        scheduler.on_actor_fire_end(source, 10, now=0)
+        assert scheduler.state_of(source) is ActorState.WAITING
+        scheduler.on_iteration_end(0)
+        assert scheduler.state_of(source) is ActorState.ACTIVE
+
+    def test_sources_not_specially_regulated(self):
+        # RB's defining weakness in the paper: no interval scheduling.
+        _, scheduler, _, source, cheap, _, _ = attach()
+        enqueue(scheduler, cheap)
+        scheduler.on_iteration_end(0)
+        # Selection is purely by Pr(A); the source competes like anyone.
+        candidates = [scheduler.get_next_actor()]
+        assert candidates[0] is not None
+
+
+class TestDynamicPriorities:
+    def test_priority_is_global_selectivity_over_cost(self):
+        _, scheduler, registry, _, cheap, costly, _ = attach()
+        cheap_stats = registry.register(cheap)
+        cheap_stats.record_invocation(10)
+        cheap_stats.record_input(1, 0)
+        cheap_stats.record_output(1, 0)
+        costly_stats = registry.register(costly)
+        costly_stats.record_invocation(10_000)
+        costly_stats.record_input(1, 0)
+        costly_stats.record_output(1, 0)
+        scheduler.on_iteration_end(0)
+        assert scheduler.priorities[cheap.name] > scheduler.priorities[
+            costly.name
+        ]
+
+    def test_higher_rate_scheduled_first(self):
+        _, scheduler, registry, _, cheap, costly, _ = attach()
+        registry.register(cheap).record_invocation(10)
+        registry.register(costly).record_invocation(10_000)
+        enqueue(scheduler, cheap)
+        enqueue(scheduler, costly)
+        scheduler.on_iteration_end(0)
+        assert scheduler.get_next_actor() is cheap
+
+    def test_priorities_refreshed_each_period(self):
+        _, scheduler, registry, _, cheap, _, _ = attach()
+        before = dict(scheduler.priorities)
+        registry.register(cheap).record_invocation(50_000)
+        scheduler.on_iteration_end(0)
+        assert scheduler.priorities[cheap.name] < before[cheap.name]
+
+    def test_periods_counted(self):
+        _, scheduler, *_ = attach()
+        scheduler.on_iteration_end(0)
+        assert scheduler.periods == 1

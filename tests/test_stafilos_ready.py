@@ -1,0 +1,60 @@
+"""Per-actor ready queues: timestamp-ordered staging."""
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import Window
+from repro.stafilos.ready import ReadyItem, ReadyQueue
+
+
+def event(value, ts):
+    event.counter += 1
+    return CWEvent(value, ts, WaveTag.root(event.counter))
+
+
+event.counter = 0
+
+
+class TestReadyQueue:
+    def test_pop_in_timestamp_order(self):
+        queue = ReadyQueue()
+        queue.push("in", event("late", 30))
+        queue.push("in", event("early", 10))
+        assert queue.pop().item.value == "early"
+        assert queue.pop().item.value == "late"
+
+    def test_fifo_within_equal_timestamps(self):
+        queue = ReadyQueue()
+        queue.push("in", event("first", 10))
+        queue.push("in", event("second", 10))
+        assert queue.pop().item.value == "first"
+
+    def test_pop_empty_returns_none(self):
+        assert ReadyQueue().pop() is None
+
+    def test_peek_does_not_remove(self):
+        queue = ReadyQueue()
+        queue.push("in", event("x", 1))
+        assert queue.peek().item.value == "x"
+        assert len(queue) == 1
+
+    def test_windows_ordered_by_newest_event(self):
+        queue = ReadyQueue()
+        window_late = Window([event("a", 50)])
+        window_early = Window([event("b", 5)])
+        queue.push("in", window_late)
+        queue.push("in", window_early)
+        assert queue.pop().item is window_early
+
+    def test_items_remember_port(self):
+        queue = ReadyQueue()
+        queue.push("lav", event("x", 1))
+        item = queue.pop()
+        assert item.port_name == "lav"
+
+    def test_bool_and_clear(self):
+        queue = ReadyQueue()
+        assert not queue
+        queue.push("in", event("x", 1))
+        assert queue
+        queue.clear()
+        assert not queue

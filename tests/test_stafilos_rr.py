@@ -1,0 +1,123 @@
+"""The Round-Robin scheduler: equal slices, rotation, period roll-over."""
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.statistics import StatisticsRegistry
+from repro.core.workflow import Workflow
+from repro.stafilos.schedulers.rr import RoundRobinScheduler
+from repro.stafilos.states import ActorState
+
+
+def attach(slice_us=10_000, source_interval=5):
+    workflow = Workflow("w")
+    source = SourceActor("src", arrivals=[(10, "x")])
+    source.add_output("out")
+    a = MapActor("a", lambda v: v)
+    b = MapActor("b", lambda v: v)
+    sink = SinkActor("sink")
+    workflow.add_all([source, a, b, sink])
+    workflow.connect(source, a)
+    workflow.connect(source, b)
+    workflow.connect(a, sink)
+    workflow.connect(b, sink)
+    scheduler = RoundRobinScheduler(slice_us, source_interval)
+    scheduler.initialize(workflow, StatisticsRegistry())
+    return workflow, scheduler, source, a, b, sink
+
+
+def enqueue(scheduler, actor, ts=0):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    enqueue.counter = getattr(enqueue, "counter", 0) + 1
+    scheduler.enqueue(
+        actor, "in", CWEvent("v", ts, WaveTag.root(enqueue.counter))
+    )
+
+
+class TestStates:
+    def test_actor_with_events_and_slice_is_active(self):
+        _, scheduler, _, a, _, _ = attach()
+        enqueue(scheduler, a)
+        assert scheduler.state_of(a) is ActorState.ACTIVE
+
+    def test_slice_exhaustion_waits_until_next_period(self):
+        _, scheduler, _, a, _, _ = attach(slice_us=100)
+        enqueue(scheduler, a)
+        scheduler.on_actor_fire_end(a, 150, now=0)
+        assert scheduler.state_of(a) is ActorState.WAITING
+        scheduler.on_iteration_end(0)  # period rolls over
+        assert scheduler.state_of(a) is ActorState.ACTIVE
+
+    def test_no_events_is_inactive(self):
+        _, scheduler, _, a, _, _ = attach()
+        assert scheduler.state_of(a) is ActorState.INACTIVE
+
+
+class TestSlices:
+    def test_period_resets_rather_than_accumulates(self):
+        _, scheduler, _, a, _, _ = attach(slice_us=10_000)
+        scheduler.quantum[a.name] = 2_000
+        scheduler.on_iteration_end(0)
+        assert scheduler.quantum[a.name] == 10_000
+        scheduler.on_iteration_end(0)
+        assert scheduler.quantum[a.name] == 10_000  # no accumulation
+
+    def test_reactivated_actor_gets_fresh_slice(self):
+        _, scheduler, _, a, _, _ = attach(slice_us=5_000)
+        scheduler.quantum[a.name] = -10
+        enqueue(scheduler, a)  # was empty -> re-slice + back of the queue
+        assert scheduler.quantum[a.name] == 5_000
+
+
+class TestRotation:
+    def test_reactivation_goes_to_back_of_queue(self):
+        _, scheduler, _, a, b, _ = attach()
+        enqueue(scheduler, a)
+        enqueue(scheduler, b)
+        # a activated first -> served first.
+        assert scheduler.get_next_actor() is a
+        # Drain a, then it re-activates: now behind b.
+        scheduler.dequeue_item(a)
+        enqueue(scheduler, a)
+        assert scheduler.get_next_actor() is b
+
+    def test_actor_keeps_cpu_until_done_or_sliced_out(self):
+        _, scheduler, _, a, b, _ = attach()
+        enqueue(scheduler, a)
+        enqueue(scheduler, a)
+        enqueue(scheduler, b)
+        first = scheduler.get_next_actor()
+        assert first is a
+        scheduler.dequeue_item(a)
+        scheduler.on_actor_fire_end(a, 10, now=0)
+        # a still has an event and slice: stays at the head.
+        assert scheduler.get_next_actor() is a
+
+
+class TestSources:
+    def test_source_served_when_no_internal_work(self):
+        _, scheduler, source, _, _, _ = attach()
+        scheduler.on_iteration_start(now=20)
+        assert scheduler.get_next_actor() is source
+
+    def test_source_interval_regulation(self):
+        _, scheduler, source, a, _, _ = attach(source_interval=1)
+        scheduler.on_iteration_start(now=20)
+        enqueue(scheduler, a)
+        enqueue(scheduler, a)
+        scheduler._now = 20
+        assert scheduler.get_next_actor() is a
+        scheduler.on_actor_fire_end(a, 10, now=20)
+        assert scheduler.get_next_actor() is source
+
+    def test_source_fires_once_per_iteration(self):
+        _, scheduler, source, _, _, _ = attach()
+        scheduler.on_iteration_start(now=20)
+        scheduler.on_actor_fire_end(source, 10, now=20)
+        assert scheduler.get_next_actor() is None
+
+    def test_periods_counted(self):
+        _, scheduler, *_ = attach()
+        scheduler.on_iteration_end(0)
+        scheduler.on_iteration_end(0)
+        assert scheduler.periods == 2

@@ -1,0 +1,142 @@
+"""Actor statistics and the Rate-Based global metrics."""
+
+import pytest
+
+from repro.core.actors import Actor, SinkActor, SourceActor
+from repro.core.statistics import (
+    ActorStats,
+    global_rate_metrics,
+    rate_priorities,
+    StatisticsRegistry,
+)
+from repro.core.workflow import Workflow
+
+
+class Pass(Actor):
+    def __init__(self, name):
+        super().__init__(name)
+        self.add_input("in")
+        self.add_output("out")
+
+    def fire(self, ctx):
+        pass
+
+
+class TestActorStats:
+    def test_invocation_accounting(self):
+        stats = ActorStats()
+        stats.record_invocation(100)
+        stats.record_invocation(300)
+        assert stats.invocations == 2
+        assert stats.avg_cost_us == 200
+
+    def test_ewma_initialized_then_smoothed(self):
+        stats = ActorStats()
+        stats.record_invocation(100)
+        assert stats.ewma_cost_us == 100
+        stats.record_invocation(200)
+        assert 100 < stats.ewma_cost_us < 200
+
+    def test_selectivity_defaults_to_one(self):
+        assert ActorStats().selectivity == 1.0
+
+    def test_selectivity_ratio(self):
+        stats = ActorStats()
+        stats.record_input(4, 0)
+        stats.record_output(2, 0)
+        assert stats.selectivity == 0.5
+
+    def test_rates_over_horizon(self):
+        stats = ActorStats()
+        for t in range(10):
+            stats.record_input(1, t * 1_000_000)
+        rate = stats.input_rate_per_s(10_000_000)
+        assert rate == pytest.approx(1.0, rel=0.2)
+
+    def test_old_samples_age_out(self):
+        stats = ActorStats()
+        stats.record_input(100, 0)
+        assert stats.input_rate_per_s(60_000_000) == 0.0
+
+
+class TestRegistry:
+    def test_register_is_idempotent(self):
+        registry = StatisticsRegistry()
+        actor = Pass("a")
+        first = registry.register(actor)
+        assert registry.register(actor) is first
+
+    def test_snapshot_shape(self):
+        registry = StatisticsRegistry()
+        actor = Pass("a")
+        registry.record_invocation(actor, 10)
+        snap = registry.snapshot()
+        assert snap["a"]["invocations"] == 1
+
+
+def chain_workflow():
+    """src -> a -> b -> sink, with a fan-out a -> c -> sink2."""
+    wf = Workflow("w")
+    src = SourceActor("src")
+    src.add_output("out")
+    a, b, c = Pass("a"), Pass("b"), Pass("c")
+    sink, sink2 = SinkActor("sink"), SinkActor("sink2")
+    wf.add_all([src, a, b, c, sink, sink2])
+    wf.connect(src, a)
+    wf.connect(a, b)
+    wf.connect(b, sink)
+    wf.connect(a.output("out"), c.input("in"))
+    wf.connect(c, sink2)
+    return wf
+
+
+class TestGlobalRateMetrics:
+    def test_terminal_actor_uses_local_metrics(self):
+        wf = chain_workflow()
+        registry = StatisticsRegistry()
+        metrics = global_rate_metrics(wf, registry, default_cost_us=100)
+        gs, gc = metrics["sink"]
+        assert gs == 1.0
+        assert gc == 100
+
+    def test_chain_aggregation(self):
+        wf = chain_workflow()
+        registry = StatisticsRegistry()
+        # b: selectivity 0.5, cost 200; sink default cost 100.
+        b_stats = registry.register(wf.actors["b"])
+        b_stats.record_input(10, 0)
+        b_stats.record_output(5, 0)
+        b_stats.record_invocation(200)
+        metrics = global_rate_metrics(wf, registry, default_cost_us=100)
+        gs_b, gc_b = metrics["b"]
+        assert gs_b == pytest.approx(0.5)  # 0.5 * GS(sink)=1
+        assert gc_b == pytest.approx(200 + 0.5 * 100)
+
+    def test_shared_actor_sums_paths(self):
+        wf = chain_workflow()
+        registry = StatisticsRegistry()
+        metrics = global_rate_metrics(wf, registry, default_cost_us=100)
+        gs_a, gc_a = metrics["a"]
+        # a has two downstream paths (b->sink and c->sink2), summed.
+        gs_b, gc_b = metrics["b"]
+        gs_c, gc_c = metrics["c"]
+        assert gs_a == pytest.approx(1.0 * (gs_b + gs_c))
+        assert gc_a == pytest.approx(100 + 1.0 * (gc_b + gc_c))
+
+    def test_priorities_are_gs_over_gc(self):
+        wf = chain_workflow()
+        registry = StatisticsRegistry()
+        metrics = global_rate_metrics(wf, registry, default_cost_us=100)
+        priorities = rate_priorities(wf, registry, default_cost_us=100)
+        for name, (gs, gc) in metrics.items():
+            assert priorities[name] == pytest.approx(gs / gc)
+
+    def test_cyclic_workflow_falls_back_to_local(self):
+        wf = Workflow("loop")
+        a, b = Pass("a"), Pass("b")
+        wf.add_all([a, b])
+        wf.connect(a, b)
+        wf.connect(b, a)
+        registry = StatisticsRegistry()
+        metrics = global_rate_metrics(wf, registry, default_cost_us=50)
+        assert metrics["a"] == (1.0, 50)

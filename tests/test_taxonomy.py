@@ -1,0 +1,51 @@
+"""Table 1: the director taxonomy."""
+
+import importlib
+
+from repro.directors.taxonomy import (
+    DirectorTaxon,
+    implemented_directors,
+    render_table,
+    TAXONOMY,
+)
+
+
+class TestTaxonomy:
+    def test_all_paper_rows_present(self):
+        names = [taxon.name for taxon in TAXONOMY]
+        for expected in (
+            "SDF", "DDF", "PN", "DE",  # Kepler group
+            "CN", "CI", "CSP", "DT", "HDF", "SR", "TM", "TPN",  # PtolemyII
+            "PNCWF",  # CONFLuEnCE
+        ):
+            assert expected in names
+
+    def test_pncwf_row_matches_paper(self):
+        pncwf = next(t for t in TAXONOMY if t.name == "PNCWF")
+        assert pncwf.actor_interaction == "Push-Windowed"
+        assert pncwf.computation_driver == "Data-Windowed-driven"
+        assert pncwf.scheduling == "Thread/OS"
+        assert pncwf.time_based == "Yes (local)"
+
+    def test_implemented_directors_resolve(self):
+        for name, path in implemented_directors().items():
+            module_name, _, class_name = path.rpartition(".")
+            module = importlib.import_module(module_name)
+            cls = getattr(module, class_name)
+            assert cls.model_name in (name, "PNCWF")
+
+    def test_render_contains_groups_in_order(self):
+        table = render_table()
+        assert table.index("SDF") < table.index("CN") < table.index("PNCWF")
+
+    def test_render_has_all_columns(self):
+        header = render_table().splitlines()[0]
+        for column in (
+            "Director",
+            "Actor Interaction",
+            "Computation Driver",
+            "Scheduling",
+            "Time based",
+            "QoS",
+        ):
+            assert column in header

@@ -1,0 +1,63 @@
+"""Timekeepers: timestamp discipline and unit conversion."""
+
+import pytest
+
+from repro.core.timekeeper import (
+    seconds_to_us,
+    TimeKeeper,
+    TimestampViolation,
+    us_to_seconds,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert us_to_seconds(seconds_to_us(1.5)) == 1.5
+
+    def test_rounding(self):
+        assert seconds_to_us(0.0000015) == 2  # rounds, not truncates
+
+    def test_integral(self):
+        assert isinstance(seconds_to_us(3.3), int)
+
+
+class TestTimeKeeper:
+    def test_monotone_stamps_accepted(self):
+        keeper = TimeKeeper()
+        keeper.stamp("feed", 10)
+        keeper.stamp("feed", 20)
+        assert keeper.last("feed") == 20
+
+    def test_regression_rejected(self):
+        keeper = TimeKeeper()
+        keeper.stamp("feed", 10)
+        with pytest.raises(TimestampViolation):
+            keeper.stamp("feed", 5)
+
+    def test_equal_stamps_allowed_by_default(self):
+        keeper = TimeKeeper()
+        keeper.stamp("feed", 10)
+        keeper.stamp("feed", 10)
+
+    def test_strictly_increasing_mode(self):
+        keeper = TimeKeeper(allow_equal=False)
+        keeper.stamp("feed", 10)
+        with pytest.raises(TimestampViolation):
+            keeper.stamp("feed", 10)
+
+    def test_streams_are_independent(self):
+        keeper = TimeKeeper()
+        keeper.stamp("a", 100)
+        keeper.stamp("b", 5)  # no violation: different stream
+        assert keeper.last("a") == 100
+        assert keeper.last("b") == 5
+
+    def test_latest_across_streams(self):
+        keeper = TimeKeeper()
+        assert keeper.latest() == 0
+        keeper.stamp("a", 100)
+        keeper.stamp("b", 50)
+        assert keeper.latest() == 100
+
+    def test_unknown_stream_last_is_none(self):
+        assert TimeKeeper().last("nope") is None

@@ -1,0 +1,101 @@
+"""Wave lineage invariants across a fan-out pipeline (property-based)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Actor,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
+from repro.simulation import CostModel, SimulationRuntime, VirtualClock
+from repro.stafilos import FIFOScheduler, SCWFDirector
+
+
+class FanOut(Actor):
+    """Emits ``width`` children per consumed event."""
+
+    def __init__(self, name, width):
+        super().__init__(name)
+        self.add_input("in")
+        self.add_output("out")
+        self.width = width
+
+    def fire(self, ctx):
+        event = ctx.read("in")
+        if event is None:
+            return
+        for index in range(self.width):
+            ctx.send("out", (event.value, index))
+
+
+def run_pipeline(n_events, width):
+    workflow = Workflow("waveprop")
+    source = SourceActor(
+        "src", arrivals=[(i * 1000, i) for i in range(n_events)]
+    )
+    source.add_output("out")
+    fan = FanOut("fan", width)
+    collect = SinkActor("collect")
+    workflow.add_all([source, fan, collect])
+    workflow.connect(source, fan)
+    workflow.connect(fan, collect)
+    clock = VirtualClock()
+    director = SCWFDirector(FIFOScheduler(), clock, CostModel())
+    director.attach(workflow)
+    SimulationRuntime(director, clock).run(60.0, drain=True)
+    return collect
+
+
+class TestWaveLineage:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_children_tagged_sequentially_and_last_marked(
+        self, n_events, width
+    ):
+        collect = run_pipeline(n_events, width)
+        by_root: dict[int, list] = {}
+        for _, item in collect.items:
+            by_root.setdefault(item.wave.serial, []).append(item)
+        assert len(by_root) == n_events
+        for children in by_root.values():
+            assert len(children) == width
+            indices = sorted(child.wave.path[-1] for child in children)
+            assert indices == list(range(1, width + 1))
+            last_flags = [child.last_in_wave for child in children]
+            assert sum(last_flags) == 1
+            marked = next(c for c in children if c.last_in_wave)
+            assert marked.wave.path[-1] == width
+
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_wave_window_reassembles_exact_fanout(self, n_events, width):
+        """A {1 wave} window downstream collects each fan-out exactly."""
+        workflow = Workflow("wavewin")
+        source = SourceActor(
+            "src", arrivals=[(i * 1000, i) for i in range(n_events)]
+        )
+        source.add_output("out")
+        fan = FanOut("fan", width)
+        bundle = SinkActor("bundle")
+        bundle.input_ports["in"].window = WindowSpec.waves(1)
+        workflow.add_all([source, fan, bundle])
+        workflow.connect(source, fan)
+        workflow.connect(fan, bundle)
+        clock = VirtualClock()
+        director = SCWFDirector(FIFOScheduler(), clock, CostModel())
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(60.0, drain=True)
+        windows = [item for _, item in bundle.items]
+        assert len(windows) == n_events
+        for window in windows:
+            assert len(window) == width
+            roots = {event.wave.serial for event in window}
+            assert len(roots) == 1

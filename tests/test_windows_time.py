@@ -1,0 +1,136 @@
+"""Time-based window semantics."""
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowOperator, WindowSpec
+
+SECOND = 1_000_000
+
+
+def event(value, ts_s):
+    event.counter += 1
+    return CWEvent(value, int(ts_s * SECOND), WaveTag.root(event.counter))
+
+
+event.counter = 0
+
+
+class TestTumblingTimeWindows:
+    def test_window_closes_when_boundary_crossed(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        produced = []
+        for t, v in [(0, "a"), (30, "b"), (61, "c")]:
+            produced.extend(op.put(event(v, t)))
+        assert len(produced) == 1
+        assert produced[0].values == ["a", "b"]
+        assert produced[0].start == 0
+        assert produced[0].end == 60 * SECOND
+
+    def test_boundary_event_belongs_to_next_window(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        produced = []
+        for t, v in [(0, "a"), (60, "b"), (120, "c")]:
+            produced.extend(op.put(event(v, t)))
+        assert [w.values for w in produced] == [["a"], ["b"]]
+
+    def test_gap_spanning_multiple_windows(self):
+        # An event far in the future closes all intermediate windows.
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        op.put(event("a", 10))
+        produced = op.put(event("b", 200))
+        # Window [10,70) closes with "a"; [70,130) and [130,190) are empty
+        # (empty windows are not produced); "b" lands in [190,250).
+        assert [w.values for w in produced] == [["a"]]
+
+    def test_window_alignment_follows_first_event(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        op.put(event("a", 45))
+        produced = op.put(event("b", 104))
+        assert produced == []  # 104 < 45+60
+        produced = op.put(event("c", 106))
+        assert produced[0].values == ["a", "b"]
+
+
+class TestSlidingTimeWindows:
+    def test_step_smaller_than_size_overlaps(self):
+        op = WindowOperator(
+            WindowSpec.time(60 * SECOND, 30 * SECOND)
+        )
+        produced = []
+        for t, v in [(0, "a"), (40, "b"), (65, "c"), (95, "d")]:
+            produced.extend(op.put(event(v, t)))
+        # [0,60) closes when 65 arrives -> [a, b]
+        # [30,90) closes when 95 arrives -> [b, c]
+        assert [w.values for w in produced] == [["a", "b"], ["b", "c"]]
+
+    def test_events_falling_behind_go_to_expired(self):
+        op = WindowOperator(
+            WindowSpec.time(60 * SECOND, 60 * SECOND)
+        )
+        for t, v in [(0, "a"), (60, "b"), (121, "c")]:
+            op.put(event(v, t))
+        assert [e.value for e in op.expired] == ["a", "b"]
+
+
+class TestGroupedTimeWindows:
+    def test_groups_have_independent_boundaries(self):
+        op = WindowOperator(
+            WindowSpec.time(
+                60 * SECOND, group_by=lambda e: e.value["g"]
+            )
+        )
+        produced = []
+        produced += op.put(event({"g": "x", "v": 1}, 0))
+        produced += op.put(event({"g": "y", "v": 2}, 50))
+        produced += op.put(event({"g": "x", "v": 3}, 70))
+        assert len(produced) == 1
+        assert produced[0].group_key == "x"
+        assert [e.value["v"] for e in produced[0]] == [1]
+
+
+class TestTimeDeadlines:
+    def test_next_deadline_is_earliest_boundary(self):
+        op = WindowOperator(
+            WindowSpec.time(
+                60 * SECOND, group_by=lambda e: e.value
+            )
+        )
+        op.put(event("a", 30))
+        op.put(event("b", 10))
+        assert op.next_deadline() == 70 * SECOND
+
+    def test_no_deadline_without_pending_events(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        assert op.next_deadline() is None
+
+    def test_force_timeout_produces_due_windows(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        op.put(event("a", 0))
+        produced = op.force_timeout(now=61 * SECOND)
+        assert [w.values for w in produced] == [["a"]]
+        assert produced[0].forced
+
+    def test_force_timeout_respects_now(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        op.put(event("a", 0))
+        assert op.force_timeout(now=59 * SECOND) == []
+
+    def test_force_timeout_none_flushes_everything(self):
+        op = WindowOperator(WindowSpec.time(60 * SECOND))
+        op.put(event("a", 0))
+        produced = op.force_timeout(None)
+        assert [w.values for w in produced] == [["a"]]
+
+    def test_delete_used_events_in_time_windows(self):
+        op = WindowOperator(
+            WindowSpec.time(
+                60 * SECOND, 30 * SECOND, delete_used_events=True
+            )
+        )
+        op.put(event("a", 0))
+        op.put(event("b", 40))
+        produced = op.put(event("c", 65))
+        assert produced[0].values == ["a", "b"]
+        # "b" was consumed: the overlapping [30,90) window cannot reuse it.
+        produced = op.put(event("d", 95))
+        assert produced[0].values == ["c"]

@@ -1,0 +1,183 @@
+"""Tuple-based window semantics (size/step/group-by/delete_used_events)."""
+
+import pytest
+
+from repro.core.events import CWEvent
+from repro.core.exceptions import WindowError
+from repro.core.waves import WaveTag
+from repro.core.windows import (
+    ConsumptionMode,
+    Measure,
+    Window,
+    WindowOperator,
+    WindowSpec,
+)
+
+
+def make_event(value, ts=0, serial=None):
+    serial = serial if serial is not None else make_event.counter
+    make_event.counter += 1
+    return CWEvent(value, ts, WaveTag.root(serial))
+
+
+make_event.counter = 1
+
+
+def feed(operator, values, ts_fn=lambda i: i * 10):
+    produced = []
+    for index, value in enumerate(values):
+        produced.extend(operator.put(make_event(value, ts_fn(index))))
+    return produced
+
+
+class TestSpecValidation:
+    def test_size_must_be_positive(self):
+        with pytest.raises(WindowError):
+            WindowSpec.tokens(0)
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(WindowError):
+            WindowSpec(4, 0)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(WindowError):
+            WindowSpec(4, 1, timeout=0)
+
+    def test_continuous_mode_forces_delete(self):
+        spec = WindowSpec(4, 1, mode=ConsumptionMode.CONTINUOUS)
+        assert spec.delete_used_events
+
+    def test_mode_inferred_from_delete_flag(self):
+        assert (
+            WindowSpec(4, 1, delete_used_events=True).mode
+            is ConsumptionMode.CONTINUOUS
+        )
+        assert (
+            WindowSpec(4, 1).mode is ConsumptionMode.UNRESTRICTED
+        )
+
+
+class TestSlidingWindows:
+    def test_sliding_size4_step1(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        produced = feed(op, list(range(6)))
+        assert [w.values for w in produced] == [
+            [0, 1, 2, 3],
+            [1, 2, 3, 4],
+            [2, 3, 4, 5],
+        ]
+
+    def test_slide_pushes_to_expired_queue(self):
+        op = WindowOperator(WindowSpec.tokens(3, 1))
+        feed(op, list(range(5)))
+        # Windows [0,1,2], [1,2,3], [2,3,4]: 0, 1 and 2 slid out of scope.
+        assert [e.value for e in op.expired] == [0, 1, 2]
+
+    def test_step_larger_than_one(self):
+        op = WindowOperator(WindowSpec.tokens(2, 2))
+        produced = feed(op, list(range(6)))
+        assert [w.values for w in produced] == [[0, 1], [2, 3], [4, 5]]
+
+    def test_delete_used_events_consumes_whole_window(self):
+        op = WindowOperator(
+            WindowSpec.tokens(3, 1, delete_used_events=True)
+        )
+        produced = feed(op, list(range(7)))
+        assert [w.values for w in produced] == [[0, 1, 2], [3, 4, 5]]
+        # Consumed events are not expired items — they were used.
+        assert not op.expired
+
+    def test_window_smaller_than_size_not_produced(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        assert feed(op, [1, 2, 3]) == []
+        assert op.pending_count() == 3
+
+
+class TestGroupBy:
+    def test_groups_form_windows_independently(self):
+        spec = WindowSpec.tokens(2, 2, group_by=lambda e: e.value % 2)
+        op = WindowOperator(spec)
+        produced = feed(op, [0, 1, 2, 3])
+        assert sorted(w.values for w in produced) == [[0, 2], [1, 3]]
+        keys = {w.group_key for w in produced}
+        assert keys == {0, 1}
+
+    def test_group_by_field_name(self):
+        spec = WindowSpec.tokens(2, 2, group_by="car")
+        op = WindowOperator(spec)
+        events = [
+            make_event({"car": "a", "v": i}) for i in range(2)
+        ] + [make_event({"car": "b", "v": 9})]
+        produced = []
+        for event in events:
+            produced.extend(op.put(event))
+        assert len(produced) == 1
+        assert produced[0].group_key == "a"
+
+    def test_group_by_field_tuple(self):
+        spec = WindowSpec.tokens(1, 1, group_by=("x", "y"))
+        op = WindowOperator(spec)
+        produced = op.put(make_event({"x": 1, "y": 2}))
+        assert produced[0].group_key == (1, 2)
+
+    def test_group_keys_listing(self):
+        spec = WindowSpec.tokens(10, 1, group_by=lambda e: e.value)
+        op = WindowOperator(spec)
+        feed(op, ["a", "b", "a"])
+        assert op.group_keys == ["a", "b"]
+
+
+class TestWindowObject:
+    def test_window_timestamp_is_newest_event(self):
+        op = WindowOperator(WindowSpec.tokens(3, 1))
+        produced = feed(op, [1, 2, 3])
+        assert produced[0].timestamp == 20
+        assert produced[0].oldest_timestamp == 0
+
+    def test_empty_window_timestamp_raises(self):
+        with pytest.raises(WindowError):
+            Window([]).timestamp
+
+    def test_iteration_and_indexing(self):
+        op = WindowOperator(WindowSpec.tokens(2, 1))
+        produced = feed(op, ["a", "b"])
+        window = produced[0]
+        assert len(window) == 2
+        assert window[0].value == "a"
+        assert [e.value for e in window] == ["a", "b"]
+
+
+class TestForceTimeout:
+    def test_flushes_partial_token_windows(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        feed(op, [1, 2])
+        forced = op.force_timeout()
+        assert len(forced) == 1
+        assert forced[0].values == [1, 2]
+        assert forced[0].forced
+
+    def test_counts_toward_total_windows(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        feed(op, [1])
+        op.force_timeout()
+        assert op.total_windows == 1
+
+    def test_drain_expired(self):
+        op = WindowOperator(WindowSpec.tokens(2, 1))
+        feed(op, [1, 2, 3])
+        drained = op.drain_expired()
+        assert [e.value for e in drained] == [1, 2]
+        assert not op.expired
+
+
+class TestRecentMode:
+    def test_burst_collapses_to_newest_window(self):
+        spec = WindowSpec(
+            2, 1, Measure.TOKENS, mode=ConsumptionMode.RECENT
+        )
+        op = WindowOperator(spec)
+        event_a = make_event(1)
+        event_b = make_event(2)
+        op.put(event_a)
+        produced = op.put(event_b)
+        assert len(produced) == 1

@@ -1,0 +1,84 @@
+"""Wave-based window semantics: synchronizing complete waves."""
+
+from repro.core.events import CWEvent
+from repro.core.waves import WaveTag
+from repro.core.windows import WindowOperator, WindowSpec
+
+
+def wave_events(serial, count):
+    """A complete wave: *count* children of one root, last one marked."""
+    root = WaveTag.root(serial)
+    events = [
+        CWEvent(f"{serial}.{i}", serial * 100, root.child(i))
+        for i in range(1, count + 1)
+    ]
+    events[-1].last_in_wave = True
+    return events
+
+
+class TestWaveWindows:
+    def test_window_produced_when_wave_closes(self):
+        op = WindowOperator(WindowSpec.waves(1))
+        first, second, third = wave_events(1, 3)
+        assert op.put(first) == []
+        assert op.put(second) == []
+        produced = op.put(third)
+        assert len(produced) == 1
+        assert produced[0].values == ["1.1", "1.2", "1.3"]
+
+    def test_interleaved_waves_stay_separate(self):
+        op = WindowOperator(WindowSpec.waves(1))
+        wave_a = wave_events(1, 2)
+        wave_b = wave_events(2, 2)
+        produced = []
+        produced += op.put(wave_a[0])
+        produced += op.put(wave_b[0])
+        produced += op.put(wave_b[1])  # closes wave 2
+        assert len(produced) == 1
+        assert produced[0].values == ["2.1", "2.2"]
+        produced = op.put(wave_a[1])  # closes wave 1
+        assert produced[0].values == ["1.1", "1.2"]
+
+    def test_multi_wave_window(self):
+        op = WindowOperator(WindowSpec.waves(2))
+        produced = []
+        for event in wave_events(1, 2) + wave_events(2, 1):
+            produced.extend(op.put(event))
+        assert len(produced) == 1
+        assert sorted(produced[0].values) == ["1.1", "1.2", "2.1"]
+
+    def test_delete_used_consumes_waves(self):
+        op = WindowOperator(WindowSpec.waves(1, delete_used_events=True))
+        for event in wave_events(1, 2):
+            op.put(event)
+        # Wave 1 consumed; feeding wave 2 must not resurface wave 1.
+        produced = []
+        for event in wave_events(2, 2):
+            produced.extend(op.put(event))
+        assert len(produced) == 1
+        assert produced[0].values == ["2.1", "2.2"]
+
+    def test_unconsumed_waves_expire_on_step(self):
+        op = WindowOperator(
+            WindowSpec.waves(1, step=1, delete_used_events=False)
+        )
+        for event in wave_events(1, 2):
+            op.put(event)
+        assert [e.value for e in op.expired] == ["1.1", "1.2"]
+
+    def test_force_timeout_flushes_open_waves(self):
+        op = WindowOperator(WindowSpec.waves(1))
+        first, _, _ = wave_events(1, 3)
+        op.put(first)
+        produced = op.force_timeout()
+        assert len(produced) == 1
+        assert produced[0].values == ["1.1"]
+        assert produced[0].forced
+        assert op.pending_count() == 0
+
+    def test_single_event_wave(self):
+        # A root external event is its own closed wave.
+        op = WindowOperator(WindowSpec.waves(1))
+        event = CWEvent("solo", 5, WaveTag.root(9), last_in_wave=True)
+        produced = op.put(event)
+        assert [w.values for w in produced] == [["solo"]]
