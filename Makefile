@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick bench-paper figures examples clean
+.PHONY: install test lint ci bench bench-quick bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:  # ruff when available; otherwise a byte-compile syntax pass
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "lint: ruff not installed; falling back to compileall"; \
+		$(PYTHON) -m compileall -q src tests benchmarks examples; \
+	fi
+
+ci: lint test
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -19,15 +19,18 @@ Run:  python examples/astroshelf.py
 import math
 import random
 
-from repro.core import (
+from repro import (
     Actor,
+    CostModel,
+    FIFOScheduler,
+    SCWFDirector,
+    SimulationRuntime,
     SinkActor,
     SourceActor,
+    VirtualClock,
     WindowSpec,
     Workflow,
 )
-from repro.simulation import CostModel, SimulationRuntime, VirtualClock
-from repro.stafilos import FIFOScheduler, SCWFDirector
 
 OBJECTS_PER_BATCH = 8
 TRANSIENT_OBJECT = "SN-2026fc"

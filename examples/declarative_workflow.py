@@ -9,14 +9,16 @@ A Graphviz rendering of the graph is printed for good measure.
 Run:  python examples/declarative_workflow.py
 """
 
-from repro.core import build_workflow
-from repro.harness import latency_percentiles, render_statistics
-from repro.simulation import CostModel, SimulationRuntime, VirtualClock
-from repro.stafilos import (
-    EarliestDeadlineScheduler,
-    QuantumPriorityScheduler,
+from repro import (
+    build_workflow,
+    CostModel,
+    EDFScheduler,
+    QBSScheduler,
     SCWFDirector,
+    SimulationRuntime,
+    VirtualClock,
 )
+from repro.harness import latency_percentiles, render_statistics
 
 
 def make_spec():
@@ -85,8 +87,8 @@ def main() -> None:
     print(workflow.to_dot())
     print()
     for scheduler in (
-        QuantumPriorityScheduler(basic_quantum_us=500),
-        EarliestDeadlineScheduler(default_target_us=1_000_000),
+        QBSScheduler(basic_quantum_us=500),
+        EDFScheduler(default_target_us=1_000_000),
     ):
         workflow, director, sink = run_under(scheduler)
         pct = latency_percentiles(sink.response_times_us)

@@ -9,6 +9,12 @@ and audits every output with the independent validator.
 Run:  python examples/linear_road_demo.py
 """
 
+from repro import (
+    QBSScheduler,
+    SCWFDirector,
+    SimulationRuntime,
+    VirtualClock,
+)
 from repro.harness import default_cost_model
 from repro.linearroad import (
     build_linear_road,
@@ -18,8 +24,6 @@ from repro.linearroad import (
     WorkloadConfig,
 )
 from repro.linearroad.generator import AccidentScript
-from repro.simulation import SimulationRuntime, VirtualClock
-from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
 
 
 def main() -> None:
@@ -40,7 +44,7 @@ def main() -> None:
     system = build_linear_road(workload.arrivals())
     clock = VirtualClock()
     director = SCWFDirector(
-        QuantumPriorityScheduler(basic_quantum_us=500),
+        QBSScheduler(basic_quantum_us=500),
         clock,
         default_cost_model(),
     )

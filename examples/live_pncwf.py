@@ -11,8 +11,14 @@ Run:  python examples/live_pncwf.py
 
 import random
 
-from repro.core import MapActor, SinkActor, SourceActor, WindowSpec, Workflow
-from repro.directors import PNCWFDirector
+from repro import (
+    MapActor,
+    PNCWFDirector,
+    SinkActor,
+    SourceActor,
+    WindowSpec,
+    Workflow,
+)
 
 
 def build_ticks(seed=21, seconds=60):

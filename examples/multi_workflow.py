@@ -10,9 +10,16 @@ runtime.
 Run:  python examples/multi_workflow.py
 """
 
-from repro.core import MapActor, SinkActor, SourceActor, Workflow
-from repro.simulation import CostModel, VirtualClock
-from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
+from repro import (
+    CostModel,
+    MapActor,
+    QBSScheduler,
+    SCWFDirector,
+    SinkActor,
+    SourceActor,
+    VirtualClock,
+    Workflow,
+)
 from repro.stafilos.multi import (
     ConnectionController,
     GlobalScheduler,
@@ -33,7 +40,7 @@ def make_workflow(name, n_events, period_us, cost_us):
     workflow.connect(source, work)
     workflow.connect(work, sink)
     director = SCWFDirector(
-        QuantumPriorityScheduler(500), VirtualClock(), CostModel()
+        QBSScheduler(500), VirtualClock(), CostModel()
     )
     director.attach(workflow)
     return WorkflowInstance(name, director), sink

@@ -9,15 +9,18 @@ is deterministic and instant.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
+from repro import (
+    CostModel,
     MapActor,
+    RRScheduler,
+    SCWFDirector,
+    SimulationRuntime,
     SinkActor,
     SourceActor,
+    VirtualClock,
     WindowSpec,
     Workflow,
 )
-from repro.simulation import CostModel, SimulationRuntime, VirtualClock
-from repro.stafilos import RoundRobinScheduler, SCWFDirector
 
 
 def build_readings():
@@ -65,7 +68,7 @@ def main() -> None:
 
     clock = VirtualClock()
     director = SCWFDirector(
-        RoundRobinScheduler(slice_us=10_000), clock, CostModel()
+        RRScheduler(slice_us=10_000), clock, CostModel()
     )
     director.attach(workflow)
     SimulationRuntime(director, clock).run(until_s=10.0, drain=True)

@@ -19,16 +19,19 @@ Run:  python examples/supply_chain.py
 
 import random
 
-from repro.core import (
+from repro import (
     Actor,
+    CostModel,
+    QBSScheduler,
+    SCWFDirector,
+    SimulationRuntime,
     SinkActor,
     SourceActor,
+    VirtualClock,
     WindowSpec,
     Workflow,
 )
-from repro.simulation import CostModel, SimulationRuntime, VirtualClock
 from repro.sqldb import Database
-from repro.stafilos import QuantumPriorityScheduler, SCWFDirector
 
 ITEMS = ("widget", "gear", "sprocket")
 SAFETY_STOCK = 40
@@ -182,7 +185,7 @@ def main() -> None:
 
     clock = VirtualClock()
     director = SCWFDirector(
-        QuantumPriorityScheduler(basic_quantum_us=500), clock, CostModel()
+        QBSScheduler(basic_quantum_us=500), clock, CostModel()
     )
     director.attach(workflow)
     SimulationRuntime(director, clock).run(until_s=600, drain=True)

@@ -5,6 +5,19 @@ whose workflows are always active, reacting to unbounded streams through
 windowed active queues and wave-tagged events.  STAFiLOS is its pluggable
 STreAm FLOw Scheduling framework (Neophytou, Chrysanthis, Labrinidis).
 
+This module is the **public facade**: everything a user of the engine
+needs importable from one place::
+
+    from repro import (
+        Workflow, WindowSpec, SourceActor, MapActor, SinkActor,
+        SCWFDirector, QBSScheduler, VirtualClock, CostModel,
+        SimulationRuntime, RecordingTracer, export_chrome_trace,
+    )
+
+The deep module paths remain importable (``repro.core``,
+``repro.stafilos``...) and are the right place for advanced
+extension points; the facade re-exports the everyday surface.
+
 Top-level layout:
 
 * :mod:`repro.core` — the continuous-workflow kernel (actors, ports,
@@ -12,9 +25,12 @@ Top-level layout:
 * :mod:`repro.directors` — models of computation (SDF, DDF, DE, PN and the
   thread-based PNCWF continuous-workflow director);
 * :mod:`repro.stafilos` — the scheduled CWF director, TM windowed receiver,
-  abstract scheduler and the QBS/RR/RB policies;
+  abstract scheduler and the QBS/RR/RB/FIFO/EDF policies;
 * :mod:`repro.simulation` — the virtual-time runtime and cost model used by
   the benchmark harness;
+* :mod:`repro.observability` — engine-wide tracing and metrics export
+  (Chrome trace-event, JSONL, Prometheus text);
+* :mod:`repro.streams` — push sources, sinks and wire codecs;
 * :mod:`repro.sqldb` — the in-memory relational engine the Linear Road
   workflow stores segment statistics and accidents in;
 * :mod:`repro.linearroad` — the Linear Road benchmark: generator, workflow
@@ -23,8 +39,156 @@ Top-level layout:
   renderers for the paper's evaluation.
 """
 
-from . import core
+from . import core, directors, observability, simulation, stafilos, streams
+from .core import (
+    Actor,
+    ActorRegistry,
+    ActorStats,
+    build_workflow,
+    CompositeActor,
+    ConsumptionMode,
+    CWEvent,
+    FiringContext,
+    FunctionActor,
+    MapActor,
+    Measure,
+    Punctuation,
+    SinkActor,
+    SourceActor,
+    StatisticsRegistry,
+    WaveTag,
+    Window,
+    window_from_spec,
+    WindowSpec,
+    Workflow,
+)
+from .directors import (
+    DDFDirector,
+    DEDirector,
+    PNCWFDirector,
+    PNDirector,
+    SDFDirector,
+)
+from .observability import (
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    get_tracer,
+    NullTracer,
+    RecordingTracer,
+    set_tracer,
+    TraceRecord,
+    Tracer,
+    use_tracer,
+)
+from .simulation import CostModel, SimulationRuntime, VirtualClock, WallClock
+from .stafilos import (
+    AbstractScheduler,
+    ActorState,
+    EarliestDeadlineScheduler,
+    FIFOScheduler,
+    LoadShedder,
+    MulticoreSCWFDirector,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+    SCWFDirector,
+)
+from .streams import (
+    CallbackSink,
+    HTTPStreamSource,
+    PoissonSource,
+    publish_lines,
+    RecordingSink,
+    ReplaySource,
+    TCPStreamSource,
+    ThrottledAlertSink,
+)
 
-__version__ = "1.0.0"
+#: Policy-name aliases: the paper (and the facade's users) call the
+#: schedulers by their acronyms.
+QBSScheduler = QuantumPriorityScheduler
+RRScheduler = RoundRobinScheduler
+RBScheduler = RateBasedScheduler
+EDFScheduler = EarliestDeadlineScheduler
 
-__all__ = ["core", "__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    # sub-packages (deep paths stay supported)
+    "core",
+    "directors",
+    "observability",
+    "simulation",
+    "stafilos",
+    "streams",
+    # workflow model
+    "Actor",
+    "ActorRegistry",
+    "ActorStats",
+    "build_workflow",
+    "CompositeActor",
+    "ConsumptionMode",
+    "CWEvent",
+    "FiringContext",
+    "FunctionActor",
+    "MapActor",
+    "Measure",
+    "Punctuation",
+    "SinkActor",
+    "SourceActor",
+    "StatisticsRegistry",
+    "WaveTag",
+    "Window",
+    "window_from_spec",
+    "WindowSpec",
+    "Workflow",
+    # directors / models of computation
+    "DDFDirector",
+    "DEDirector",
+    "PNCWFDirector",
+    "PNDirector",
+    "SDFDirector",
+    # STAFiLOS
+    "AbstractScheduler",
+    "ActorState",
+    "EarliestDeadlineScheduler",
+    "EDFScheduler",
+    "FIFOScheduler",
+    "LoadShedder",
+    "MulticoreSCWFDirector",
+    "QBSScheduler",
+    "QuantumPriorityScheduler",
+    "RateBasedScheduler",
+    "RBScheduler",
+    "RoundRobinScheduler",
+    "RRScheduler",
+    "SCWFDirector",
+    # simulation substrate
+    "CostModel",
+    "SimulationRuntime",
+    "VirtualClock",
+    "WallClock",
+    # observability
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_prometheus",
+    "get_tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "set_tracer",
+    "TraceRecord",
+    "Tracer",
+    "use_tracer",
+    # streams
+    "CallbackSink",
+    "HTTPStreamSource",
+    "PoissonSource",
+    "publish_lines",
+    "RecordingSink",
+    "ReplaySource",
+    "TCPStreamSource",
+    "ThrottledAlertSink",
+    # misc
+    "__version__",
+]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
+from ..observability import tracer as _obs
 from .context import FiringContext
 from .exceptions import ActorError, PortError
 from .ports import InputPort, OutputPort
@@ -184,6 +185,11 @@ class SourceActor(Actor):
             emitted += 1
             if limit is not None and emitted >= limit:
                 break
+        if emitted:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "source.pump", ctx.now, self.name, emitted=emitted
+                )
         return emitted
 
     def emit_arrival(self, ctx: FiringContext, timestamp: int, value: Any) -> None:
@@ -281,16 +287,30 @@ class SinkActor(Actor):
         self._callback = callback
 
     def fire(self, ctx: FiringContext) -> None:
+        delivered = 0
+        last_response: Optional[int] = None
         while True:
             item = ctx.read("in")
             if item is None:
                 break
+            delivered += 1
             self.items.append((ctx.now, item))
             timestamp = getattr(item, "timestamp", None)
             if timestamp is not None:
-                self.response_times_us.append((ctx.now, ctx.now - timestamp))
+                last_response = ctx.now - timestamp
+                self.response_times_us.append((ctx.now, last_response))
             if self._callback is not None:
                 self._callback(ctx, item)
+        if delivered:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sink.deliver",
+                    ctx.now,
+                    self.name,
+                    count=delivered,
+                    response_us=last_response,
+                )
+                _obs._TRACER.counter("sink.total", ctx.now, len(self.items), self.name)
 
     @property
     def values(self) -> list:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Optional
 
+from ..observability import tracer as _obs
 from .actors import Actor
 from .context import FiringContext
 from .events import CWEvent
@@ -78,6 +79,14 @@ class Director(ABC):
             ctx.close()
             self.statistics.register(actor)
         self._initialized = True
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "workflow.initialize",
+                self.current_time(),
+                workflow=workflow.name,
+                actors=len(workflow.actors),
+                director=self.model_name,
+            )
 
     def wrapup_all(self) -> None:
         workflow = self._require_attached()
@@ -86,6 +95,12 @@ class Director(ABC):
             actor.wrapup(ctx)
             ctx.close()
         self._initialized = False
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "workflow.wrapup",
+                self.current_time(),
+                workflow=workflow.name,
+            )
 
     # ------------------------------------------------------------------
     # Context plumbing
@@ -101,6 +116,14 @@ class Director(ABC):
 
     def on_emit(self, actor: Actor, port_name: str, event: CWEvent) -> None:
         """Route a produced event to the connected receivers."""
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "actor.emit",
+                event.timestamp,
+                actor.name,
+                port=port_name,
+                wave=str(event.wave),
+            )
         actor.output(port_name).broadcast(event)
         self.statistics.record_output(actor, 1, event.timestamp)
 

@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from collections import deque
 from typing import Any, Optional
 
+from ..observability import tracer as _obs
 from .events import CWEvent
 from .exceptions import ReceiverError
 from .windows import Window, WindowOperator, WindowSpec
@@ -124,6 +125,14 @@ class WindowedReceiver(Receiver):
 
     def _deliver(self, window: Window) -> None:
         """Route a produced window; subclasses override to hand it off."""
+        if _obs.ENABLED and self.port is not None:
+            _obs._TRACER.instant(
+                "window.ready",
+                window.timestamp if len(window) else 0,
+                self.port.actor.name,
+                port=self.port.name,
+                size=len(window),
+            )
         self._windows.append(window)
 
     def _route_expired(self) -> None:

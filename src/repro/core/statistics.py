@@ -34,6 +34,8 @@ class ActorStats:
         "outputs_total",
         "_input_times",
         "_output_times",
+        "_input_window",
+        "_output_window",
     )
 
     def __init__(self):
@@ -42,8 +44,14 @@ class ActorStats:
         self.ewma_cost_us: Optional[float] = None
         self.inputs_total = 0
         self.outputs_total = 0
-        self._input_times: deque[int] = deque()
-        self._output_times: deque[int] = deque()
+        #: Rate windows hold ``(timestamp_us, count)`` pairs — one entry
+        #: per recording call, *not* one per token, so a batch of 10 000
+        #: tokens costs a single append.  The running in-horizon token
+        #: totals live in ``_input_window``/``_output_window``.
+        self._input_times: deque[tuple[int, int]] = deque()
+        self._output_times: deque[tuple[int, int]] = deque()
+        self._input_window = 0
+        self._output_window = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -57,22 +65,29 @@ class ActorStats:
             self.ewma_cost_us += EWMA_ALPHA * (cost_us - self.ewma_cost_us)
 
     def record_input(self, count: int, now_us: int) -> None:
+        if count <= 0:
+            return
         self.inputs_total += count
-        for _ in range(count):
-            self._input_times.append(now_us)
-        self._trim(self._input_times, now_us)
+        self._input_times.append((now_us, count))
+        self._input_window += count
+        self._input_window -= self._trim(self._input_times, now_us)
 
     def record_output(self, count: int, now_us: int) -> None:
+        if count <= 0:
+            return
         self.outputs_total += count
-        for _ in range(count):
-            self._output_times.append(now_us)
-        self._trim(self._output_times, now_us)
+        self._output_times.append((now_us, count))
+        self._output_window += count
+        self._output_window -= self._trim(self._output_times, now_us)
 
     @staticmethod
-    def _trim(times: deque[int], now_us: int) -> None:
+    def _trim(times: deque[tuple[int, int]], now_us: int) -> int:
+        """Evict pairs older than the horizon; returns evicted tokens."""
         horizon = now_us - RATE_HORIZON_US
-        while times and times[0] < horizon:
-            times.popleft()
+        evicted = 0
+        while times and times[0][0] < horizon:
+            evicted += times.popleft()[1]
+        return evicted
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -91,18 +106,18 @@ class ActorStats:
         return self.outputs_total / self.inputs_total
 
     def input_rate_per_s(self, now_us: int) -> float:
-        self._trim(self._input_times, now_us)
+        self._input_window -= self._trim(self._input_times, now_us)
         span = min(now_us, RATE_HORIZON_US)
         if span <= 0:
             return 0.0
-        return len(self._input_times) * 1_000_000 / span
+        return self._input_window * 1_000_000 / span
 
     def output_rate_per_s(self, now_us: int) -> float:
-        self._trim(self._output_times, now_us)
+        self._output_window -= self._trim(self._output_times, now_us)
         span = min(now_us, RATE_HORIZON_US)
         if span <= 0:
             return 0.0
-        return len(self._output_times) * 1_000_000 / span
+        return self._output_window * 1_000_000 / span
 
 
 class StatisticsRegistry:
@@ -110,6 +125,9 @@ class StatisticsRegistry:
 
     def __init__(self):
         self._stats: dict[str, ActorStats] = {}
+        #: Newest engine time any recording call has seen; lets
+        #: :meth:`snapshot` evaluate rates without being handed a clock.
+        self._last_now_us = 0
 
     def register(self, actor: "Actor") -> ActorStats:
         return self._stats.setdefault(actor.name, ActorStats())
@@ -121,18 +139,42 @@ class StatisticsRegistry:
         self.get(actor).record_invocation(cost_us)
 
     def record_input(self, actor: "Actor", count: int, now_us: int) -> None:
+        if now_us > self._last_now_us:
+            self._last_now_us = now_us
         self.get(actor).record_input(count, now_us)
 
     def record_output(self, actor: "Actor", count: int, now_us: int) -> None:
+        if now_us > self._last_now_us:
+            self._last_now_us = now_us
         self.get(actor).record_output(count, now_us)
 
-    def snapshot(self) -> dict[str, dict[str, float]]:
-        """A plain-dict view for logs, debugging and tests."""
+    def snapshot(
+        self, now_us: Optional[int] = None
+    ) -> dict[str, dict[str, float]]:
+        """The *single* metrics view of the runtime statistics module.
+
+        Every per-actor series a consumer could want is here: invocation
+        counts, mean and EWMA cost, token totals, selectivity, and the
+        input/output rates evaluated at *now_us* (default: the newest
+        engine time any recording call has seen).  The observability
+        Prometheus exporter and the harness reporting both read this —
+        nothing re-derives metrics from raw :class:`ActorStats` fields.
+        """
+        now = now_us if now_us is not None else self._last_now_us
         return {
             name: {
                 "invocations": stats.invocations,
                 "avg_cost_us": stats.avg_cost_us,
+                "ewma_cost_us": (
+                    stats.ewma_cost_us
+                    if stats.ewma_cost_us is not None
+                    else 0.0
+                ),
+                "inputs_total": stats.inputs_total,
+                "outputs_total": stats.outputs_total,
                 "selectivity": stats.selectivity,
+                "input_rate_per_s": stats.input_rate_per_s(now),
+                "output_rate_per_s": stats.output_rate_per_s(now),
             }
             for name, stats in self._stats.items()
         }

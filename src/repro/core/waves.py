@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from ..observability import tracer as _obs
+
 
 @dataclass(frozen=True, order=True)
 class WaveTag:
@@ -147,3 +149,10 @@ class WaveScope:
     def close(self) -> None:
         if self._last_event is not None:
             self._last_event.last_in_wave = True
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "wave.subwave_complete",
+                    self._last_event.timestamp,
+                    wave=str(self.consumed),
+                    produced=self.produced,
+                )

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from ..observability import tracer as _obs
 from .events import CWEvent
 from .exceptions import WindowError
 
@@ -315,6 +316,16 @@ class WindowOperator:
         else:
             produced = self._put_waves(state, key, event)
         self.total_windows += len(produced)
+        if produced:
+            if _obs.ENABLED:
+                for window in produced:
+                    _obs._TRACER.instant(
+                        "window.formed",
+                        window.timestamp,
+                        size=len(window),
+                        group=repr(window.group_key),
+                        measure=self.spec.measure.value,
+                    )
         return produced
 
     # -- tuple-based ----------------------------------------------------
@@ -470,12 +481,28 @@ class WindowOperator:
                 state.closed_roots.clear()
                 state.open_order.clear()
         self.total_windows += len(produced)
+        if produced:
+            if _obs.ENABLED:
+                for window in produced:
+                    _obs._TRACER.instant(
+                        "window.forced",
+                        window.timestamp if len(window) else (now or 0),
+                        size=len(window),
+                        group=repr(window.group_key),
+                    )
         return produced
 
     def drain_expired(self) -> list[CWEvent]:
         """Remove and return everything in the expired-items queue."""
         items = list(self.expired)
         self.expired.clear()
+        if items:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "window.expired",
+                    max(event.timestamp for event in items),
+                    count=len(items),
+                )
         return items
 
     # ------------------------------------------------------------------
@@ -503,4 +530,9 @@ class WindowOperator:
         for key in doomed:
             del self._groups[key]
             self._last_seen.pop(key, None)
+        if doomed:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "window.groups_evicted", before_ts, count=len(doomed)
+                )
         return len(doomed)

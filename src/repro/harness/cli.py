@@ -7,10 +7,15 @@
     python -m repro fig5                 # workload ramp
     python -m repro fig8 --duration 300 --seeds 1   # scheduler face-off
     python -m repro run QBS --quantum 500 --duration 300
+    python -m repro trace out.json --duration 120   # Chrome trace dump
+    python -m repro --trace out.json run QBS        # trace any command
 
 Everything prints to stdout; durations and seed counts default to the
 paper's (600 s, averaged over three runs takes a while — the default here
-is one seed).
+is one seed).  ``--trace PATH`` installs a :class:`RecordingTracer` around
+whatever command runs and writes a ``chrome://tracing`` JSON on exit; the
+``trace`` subcommand is the purpose-built variant that also knows how to
+dump JSONL and Prometheus snapshots.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ from typing import Optional, Sequence
 
 from ..directors.taxonomy import render_table
 from ..linearroad.generator import LinearRoadWorkload, WorkloadConfig
+from ..observability import (
+    export_chrome_trace,
+    export_jsonl,
+    export_prometheus,
+    RecordingTracer,
+    use_tracer,
+)
 from .configs import (
     ExperimentConfig,
     figure6_configs,
@@ -121,6 +133,52 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Run one Linear Road seed fully traced and export the artifacts."""
+    from .experiment import run_traced
+
+    spec = SchedulerSpec(
+        args.scheduler.upper(),
+        quantum_us=args.quantum,
+        source_interval=args.source_interval,
+    )
+    config = _tune(ExperimentConfig(spec), args)
+    tracer = RecordingTracer(capacity=args.capacity)
+    result, director, tracer = run_traced(config, seed=1, tracer=tracer)
+    events = export_chrome_trace(
+        tracer,
+        args.out,
+        metadata={
+            "scheduler": config.label,
+            "duration_s": config.workload.duration_s,
+        },
+    )
+    print(
+        f"{args.out}: {events} trace events "
+        f"({tracer.emitted} emitted, {tracer.dropped} dropped by the "
+        f"ring buffer) — load it at chrome://tracing"
+    )
+    if args.jsonl:
+        count = export_jsonl(tracer, args.jsonl)
+        print(f"{args.jsonl}: {count} JSONL records")
+    if args.metrics:
+        export_prometheus(
+            director.statistics,
+            now_us=director.current_time(),
+            path_or_file=args.metrics,
+            extra_gauges={
+                "repro_backlog": director.backlog(),
+                "repro_internal_firings": director.total_internal_firings,
+            },
+        )
+        print(f"{args.metrics}: Prometheus metrics snapshot")
+    print(
+        f"run summary: {result.tolls} tolls, {result.alerts} alerts, "
+        f"{result.internal_firings} internal firings"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree of ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -141,6 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="seeded runs to average (the paper used 3; default 1)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record an engine trace around the command and write a "
+            "chrome://tracing JSON to PATH"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="director taxonomy").set_defaults(
@@ -166,12 +233,48 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--source-interval", type=int,
                      default=QBS_SOURCE_INTERVAL)
     run.set_defaults(fn=_cmd_run)
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced Linear Road experiment and dump the trace",
+    )
+    trace.add_argument(
+        "out", nargs="?", default="trace.json",
+        help="chrome://tracing JSON output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--scheduler", default="qbs",
+        choices=["qbs", "rr", "rb", "fifo", "QBS", "RR", "RB", "FIFO"],
+    )
+    trace.add_argument("--quantum", type=int, default=None,
+                       help="basic quantum / slice in microseconds")
+    trace.add_argument("--source-interval", type=int,
+                       default=QBS_SOURCE_INTERVAL)
+    trace.add_argument(
+        "--capacity", type=int, default=1_000_000,
+        help="ring-buffer capacity in records (default 1e6)",
+    )
+    trace.add_argument(
+        "--jsonl", metavar="PATH", default=None,
+        help="also dump the raw records as JSON lines",
+    )
+    trace.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="also write a Prometheus text metrics snapshot",
+    )
+    trace.set_defaults(fn=_cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.trace and args.fn is not _cmd_trace:
+        tracer = RecordingTracer()
+        with use_tracer(tracer):
+            code = args.fn(args)
+        events = export_chrome_trace(tracer, args.trace)
+        print(f"{args.trace}: {events} trace events")
+        return code
     return args.fn(args)
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..core.exceptions import SimulationError
+from ..observability import RecordingTracer, use_tracer
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.metrics import ResponseTimeSeries
 from ..linearroad.workflow import build_linear_road, LinearRoadSystem
@@ -92,8 +93,10 @@ def make_scheduler(spec: SchedulerSpec) -> AbstractScheduler:
     raise SimulationError(f"unknown scheduler kind {spec.kind!r}")
 
 
-def run_once(config: ExperimentConfig, seed: int) -> RunResult:
-    """One seed: build workload + workflow, simulate, collect the series."""
+def _execute_seed(
+    config: ExperimentConfig, seed: int
+) -> tuple[RunResult, object, LinearRoadSystem]:
+    """Build + simulate one seed; returns (result, director, system)."""
     workload = LinearRoadWorkload(replace(config.workload, seed=seed))
     system: LinearRoadSystem = build_linear_road(workload.arrivals())
     clock = VirtualClock()
@@ -112,7 +115,7 @@ def run_once(config: ExperimentConfig, seed: int) -> RunResult:
         config.bucket_s,
         config.workload.duration_s,
     )
-    return RunResult(
+    result = RunResult(
         series=series,
         tolls=len(system.toll_out.items),
         alerts=len(system.accident_out.items),
@@ -120,6 +123,29 @@ def run_once(config: ExperimentConfig, seed: int) -> RunResult:
         internal_firings=director.total_internal_firings,
         backlog_at_end=director.backlog(),
     )
+    return result, director, system
+
+
+def run_once(config: ExperimentConfig, seed: int) -> RunResult:
+    """One seed: build workload + workflow, simulate, collect the series."""
+    result, _, _ = _execute_seed(config, seed)
+    return result
+
+
+def run_traced(
+    config: ExperimentConfig,
+    seed: int = 1,
+    tracer: Optional[RecordingTracer] = None,
+) -> tuple[RunResult, object, RecordingTracer]:
+    """One seed with a :class:`RecordingTracer` installed engine-wide.
+
+    Returns ``(result, director, tracer)`` so callers can export both the
+    trace and a Prometheus snapshot of the director's statistics registry.
+    """
+    tracer = tracer if tracer is not None else RecordingTracer()
+    with use_tracer(tracer):
+        result, director, _ = _execute_seed(config, seed)
+    return result, director, tracer
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:

@@ -1,0 +1,250 @@
+"""Trace and metrics exporters.
+
+Three output formats, all plain text, none requiring a dependency:
+
+* **JSONL** — one JSON object per trace record; trivially greppable and
+  the stable interchange form for tooling built on top;
+* **Chrome trace-event JSON** — load the file at ``chrome://tracing`` (or
+  https://ui.perfetto.dev) to see actor firings as spans on per-actor
+  tracks, scheduler decisions as instants, and queue depths as counter
+  tracks.  Engine virtual-time microseconds map directly onto the
+  format's ``ts`` field, so a 600-second simulated run renders as a
+  600-second timeline;
+* **Prometheus text** — a point-in-time metrics snapshot of the runtime
+  statistics module, routed through the single
+  :meth:`repro.core.statistics.StatisticsRegistry.snapshot` API.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Optional, Union
+
+from .tracer import RecordingTracer, TraceRecord
+
+RecordsLike = Union[RecordingTracer, Iterable[TraceRecord]]
+
+
+def _materialize(records: RecordsLike) -> list[TraceRecord]:
+    if isinstance(records, RecordingTracer):
+        return records.records()
+    return list(records)
+
+
+def _open_sink(path_or_file: Union[str, IO[str]]):
+    """(file, needs_close) for a path or an already-open text stream."""
+    if hasattr(path_or_file, "write"):
+        return path_or_file, False
+    return open(path_or_file, "w", encoding="utf-8"), True
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def export_jsonl(records: RecordsLike, path_or_file: Union[str, IO[str]]) -> int:
+    """Write one JSON object per record; returns the record count."""
+    materialized = _materialize(records)
+    sink, needs_close = _open_sink(path_or_file)
+    try:
+        for record in materialized:
+            sink.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    finally:
+        if needs_close:
+            sink.close()
+    return len(materialized)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+_PID = 1
+_ENGINE_TID = 0
+
+
+def chrome_trace_events(records: RecordsLike) -> list[dict]:
+    """The records as Chrome trace-event dicts (``traceEvents`` entries).
+
+    Spans become complete events (``ph: "X"``), instants become instant
+    events (``ph: "i"``), counters become counter events (``ph: "C"``).
+    Each actor gets its own thread row (tid), named via ``thread_name``
+    metadata; engine-level records (no actor) land on tid 0.
+    """
+    materialized = _materialize(records)
+    tids: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _ENGINE_TID,
+            "args": {"name": "engine"},
+        }
+    ]
+
+    def tid_for(actor: Optional[str]) -> int:
+        if actor is None:
+            return _ENGINE_TID
+        tid = tids.get(actor)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[actor] = tid
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "args": {"name": actor},
+                }
+            )
+        return tid
+
+    for record in materialized:
+        tid = tid_for(record.actor)
+        if record.kind == "span":
+            event = {
+                "name": record.name,
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "ts": record.ts,
+                "dur": record.dur,
+            }
+        elif record.kind == "counter":
+            # Counter tracks are per (name, actor) series; qualify the
+            # name so per-actor depth tracks do not collapse into one.
+            name = (
+                f"{record.name}:{record.actor}"
+                if record.actor is not None
+                else record.name
+            )
+            event = {
+                "name": name,
+                "ph": "C",
+                "pid": _PID,
+                "tid": tid,
+                "ts": record.ts,
+            }
+        else:
+            event = {
+                "name": record.name,
+                "ph": "i",
+                "pid": _PID,
+                "tid": tid,
+                "ts": record.ts,
+                "s": "g" if record.actor is None else "t",
+            }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(
+    records: RecordsLike,
+    path_or_file: Union[str, IO[str]],
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write a ``chrome://tracing`` JSON object; returns the event count.
+
+    The output is the object form (``{"traceEvents": [...]}``) so trace
+    metadata — e.g. the run's scheduler label, or how many records the
+    ring buffer dropped — survives alongside the events.
+    """
+    events = chrome_trace_events(records)
+    payload: dict = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": metadata or {},
+    }
+    if isinstance(records, RecordingTracer) and records.dropped:
+        payload["metadata"]["dropped_records"] = records.dropped
+    sink, needs_close = _open_sink(path_or_file)
+    try:
+        json.dump(payload, sink)
+    finally:
+        if needs_close:
+            sink.close()
+    return len(events)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text snapshot
+# ----------------------------------------------------------------------
+#: metric suffix -> (snapshot key, prometheus type, help string)
+_ACTOR_METRICS = (
+    ("invocations_total", "invocations", "counter",
+     "Total invocations of the actor."),
+    ("inputs_total", "inputs_total", "counter",
+     "Total input tokens consumed by the actor."),
+    ("outputs_total", "outputs_total", "counter",
+     "Total output tokens produced by the actor."),
+    ("avg_cost_us", "avg_cost_us", "gauge",
+     "Mean per-invocation cost in microseconds."),
+    ("ewma_cost_us", "ewma_cost_us", "gauge",
+     "Exponentially weighted per-invocation cost in microseconds."),
+    ("selectivity", "selectivity", "gauge",
+     "Output tokens per input token."),
+    ("input_rate_per_s", "input_rate_per_s", "gauge",
+     "Input tokens per second over the rate horizon."),
+    ("output_rate_per_s", "output_rate_per_s", "gauge",
+     "Output tokens per second over the rate horizon."),
+)
+
+
+def snapshot_metrics(registry, now_us: Optional[int] = None) -> dict:
+    """The registry's full snapshot (single source of metric truth).
+
+    Thin alias of :meth:`StatisticsRegistry.snapshot` so exporter callers
+    do not need to know which layer owns the statistics.
+    """
+    return registry.snapshot(now_us)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def export_prometheus(
+    registry,
+    now_us: Optional[int] = None,
+    path_or_file: Optional[Union[str, IO[str]]] = None,
+    extra_gauges: Optional[dict[str, float]] = None,
+) -> str:
+    """Render a Prometheus-style text snapshot of the runtime statistics.
+
+    All per-actor series come from one
+    :meth:`StatisticsRegistry.snapshot` call (rates are evaluated at
+    *now_us*); *extra_gauges* lets callers append engine-level gauges
+    (e.g. ``repro_backlog``).  Returns the text; optionally also writes
+    it to *path_or_file*.
+    """
+    snapshot = snapshot_metrics(registry, now_us)
+    lines: list[str] = []
+    for suffix, key, kind, help_text in _ACTOR_METRICS:
+        metric = f"repro_actor_{suffix}"
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for actor, stats in sorted(snapshot.items()):
+            if key not in stats:
+                continue
+            label = actor.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(
+                f'{metric}{{actor="{label}"}} '
+                f"{_format_value(stats[key])}"
+            )
+    for name, value in sorted((extra_gauges or {}).items()):
+        lines.append(f"# HELP {name} Engine-level gauge.")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    text = "\n".join(lines) + "\n"
+    if path_or_file is not None:
+        sink, needs_close = _open_sink(path_or_file)
+        try:
+            sink.write(text)
+        finally:
+            if needs_close:
+                sink.close()
+    return text

@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..core.exceptions import SimulationError
 from ..core.timekeeper import US_PER_S
+from ..observability import tracer as _obs
 from .clock import VirtualClock
 
 
@@ -82,6 +83,13 @@ class SimulationRuntime:
                 # to guarantee progress.
                 self.clock.advance(1)
             else:
+                if _obs.ENABLED:
+                    _obs._TRACER.instant(
+                        "runtime.idle_jump",
+                        now,
+                        to_us=next_time,
+                        slept_us=next_time - now,
+                    )
                 self.clock.jump_to(next_time)
         self.iterations_run += iterations
         return iterations

@@ -34,6 +34,7 @@ from ..core.events import CWEvent
 from ..core.exceptions import SchedulerError
 from ..core.statistics import StatisticsRegistry
 from ..core.windows import Window
+from ..observability import tracer as _obs
 from .ready import ReadyItem, ReadyQueue
 from .states import ActorState
 
@@ -103,6 +104,10 @@ class AbstractScheduler(ABC):
             )
         self.admit(actor, queue, port_name, item)
         self.invalidate_state(actor)
+        if _obs.ENABLED:
+            _obs._TRACER.counter(
+                "sched.queue_depth", self._now, len(queue), actor.name
+            )
         if self.shedder is not None:
             self.shedder.enforce(self)
 
@@ -122,8 +127,13 @@ class AbstractScheduler(ABC):
 
     def dequeue_item(self, actor: Actor) -> Optional[ReadyItem]:
         """Pop the next ready item for *actor* (director staging)."""
-        item = self.ready[actor.name].pop()
+        queue = self.ready[actor.name]
+        item = queue.pop()
         self.invalidate_state(actor)
+        if _obs.ENABLED and item is not None:
+            _obs._TRACER.counter(
+                "sched.queue_depth", self._now, len(queue), actor.name
+            )
         return item
 
     def ready_count(self, actor: Actor) -> int:
@@ -142,13 +152,34 @@ class AbstractScheduler(ABC):
     def state_of(self, actor: Actor) -> ActorState:
         """Current state, re-evaluated via the policy rules when stale."""
         if not self.state_valid[actor.name]:
-            self.states[actor.name] = self.evaluate_state(actor)
+            previous = self.states[actor.name]
+            state = self.evaluate_state(actor)
+            self.states[actor.name] = state
             self.state_valid[actor.name] = True
+            if state is not previous:
+                if _obs.ENABLED:
+                    _obs._TRACER.instant(
+                        "sched.state",
+                        self._now,
+                        actor.name,
+                        frm=previous.value,
+                        to=state.value,
+                    )
         return self.states[actor.name]
 
     def set_state(self, actor: Actor, state: ActorState) -> None:
+        previous = self.states[actor.name]
         self.states[actor.name] = state
         self.state_valid[actor.name] = True
+        if state is not previous:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sched.state",
+                    self._now,
+                    actor.name,
+                    frm=previous.value,
+                    to=state.value,
+                )
 
     @abstractmethod
     def evaluate_state(self, actor: Actor) -> ActorState:

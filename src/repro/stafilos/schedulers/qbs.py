@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ...core.actors import Actor, SourceActor
+from ...observability import tracer as _obs
 from ..abstract_scheduler import AbstractScheduler
 from ..states import ActorState
 
@@ -124,7 +125,17 @@ class QuantumPriorityScheduler(AbstractScheduler):
     # ------------------------------------------------------------------
     def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
         super().on_actor_fire_end(actor, cost_us, now)
-        self.quantum[actor.name] = self.quantum.get(actor.name, 0) - cost_us
+        before = self.quantum.get(actor.name, 0)
+        remaining = before - cost_us
+        self.quantum[actor.name] = remaining
+        if remaining <= 0 < before:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sched.quantum_expired",
+                    now,
+                    actor.name,
+                    remaining_us=remaining,
+                )
         if actor.is_source:
             self._fired_sources.add(actor.name)
             self._internal_since_source = 0
@@ -135,6 +146,10 @@ class QuantumPriorityScheduler(AbstractScheduler):
         """Re-quantification: swap active/waiting by re-granting quanta."""
         super().on_iteration_end(now)
         self.requantifications += 1
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "sched.requantify", now, round=self.requantifications
+            )
         for actor in self.actors:
             self.quantum[actor.name] = self.quantum.get(
                 actor.name, 0

@@ -31,6 +31,7 @@ from ...core.actors import Actor
 from ...core.events import CWEvent
 from ...core.statistics import rate_priorities
 from ...core.windows import Window
+from ...observability import tracer as _obs
 from ..abstract_scheduler import AbstractScheduler
 from ..ready import ReadyQueue
 from ..states import ActorState
@@ -124,6 +125,13 @@ class RateBasedScheduler(AbstractScheduler):
         for source in self.sources:
             self.invalidate_state(source)
         self._recompute_priorities()
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "sched.period_roll",
+                now,
+                period=self.periods,
+                released=len(buffered),
+            )
 
     def describe(self) -> str:
         return "RB(highest-rate)"

@@ -21,6 +21,7 @@ from typing import Any, Optional
 from ...core.actors import Actor, SourceActor
 from ...core.events import CWEvent
 from ...core.windows import Window
+from ...observability import tracer as _obs
 from ..abstract_scheduler import AbstractScheduler
 from ..ready import ReadyQueue
 from ..states import ActorState
@@ -131,6 +132,8 @@ class RoundRobinScheduler(AbstractScheduler):
         """Period roll-over: fresh equal slices for everyone."""
         super().on_iteration_end(now)
         self.periods += 1
+        if _obs.ENABLED:
+            _obs._TRACER.instant("sched.period_roll", now, period=self.periods)
         for actor in self.actors:
             self.quantum[actor.name] = self.slice_us
             self.invalidate_state(actor)

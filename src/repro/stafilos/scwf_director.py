@@ -36,6 +36,7 @@ from ..core.exceptions import DirectorError
 from ..core.ports import InputPort
 from ..core.receivers import Receiver
 from ..core.windows import Window
+from ..observability import tracer as _obs
 from .abstract_scheduler import AbstractScheduler
 from .tm_receiver import TMWindowedReceiver
 
@@ -110,7 +111,8 @@ class SCWFDirector(Director):
         workflow = self._require_attached()
         scheduler = self.scheduler
         self.iterations += 1
-        scheduler.on_iteration_start(self.clock.now_us)
+        iteration_start = self.clock.now_us
+        scheduler.on_iteration_start(iteration_start)
         internal_firings = 0
         source_emissions = 0
         fired_total = 0
@@ -118,6 +120,13 @@ class SCWFDirector(Director):
             actor = scheduler.get_next_actor()
             if actor is None:
                 break
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sched.dispatch",
+                    self.clock.now_us,
+                    actor.name,
+                    source=actor.is_source,
+                )
             self.clock.advance(self.cost_model.dispatch_overhead_us)
             if actor.is_source:
                 source_emissions += self._fire_source(actor)
@@ -131,7 +140,17 @@ class SCWFDirector(Director):
                     f"{self.max_firings_per_iteration} firings; "
                     "scheduler livelock?"
                 )
-        scheduler.on_iteration_end(self.clock.now_us)
+        now = self.clock.now_us
+        scheduler.on_iteration_end(now)
+        if _obs.ENABLED and fired_total:
+            _obs._TRACER.span(
+                "director.iteration",
+                iteration_start,
+                now - iteration_start,
+                internal=internal_firings,
+                sources=source_emissions,
+            )
+            _obs._TRACER.counter("sched.backlog", now, scheduler.total_backlog())
         self.total_internal_firings += internal_firings
         self.total_source_firings += source_emissions
         return internal_firings, source_emissions
@@ -139,6 +158,7 @@ class SCWFDirector(Director):
     def _fire_source(self, source: SourceActor) -> int:
         scheduler = self.scheduler
         now = self.clock.now_us
+        start = now
         scheduler.on_actor_fire_start(source, now)
         ctx = self.make_context(source, now)
         if not source.prefire(ctx):
@@ -151,6 +171,10 @@ class SCWFDirector(Director):
         now = self.clock.advance(cost)
         self.statistics.record_invocation(source, cost)
         scheduler.on_actor_fire_end(source, cost, now)
+        if _obs.ENABLED:
+            _obs._TRACER.span(
+                "actor.fire", start, cost, source.name, emitted=emitted
+            )
         return emitted
 
     def _fire_internal(self, actor: Actor) -> bool:
@@ -175,7 +199,7 @@ class SCWFDirector(Director):
                 actor.fire(ctx)
                 actor.postfire(ctx)
                 fired = True
-        except Exception:
+        except Exception as error:
             if self.error_policy == "raise":
                 raise
             # Fault barrier: discard the failed firing's partial
@@ -184,12 +208,29 @@ class SCWFDirector(Director):
             self.actor_errors[actor.name] = (
                 self.actor_errors.get(actor.name, 0) + 1
             )
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "actor.error",
+                    self.clock.now_us,
+                    actor.name,
+                    error=type(error).__name__,
+                )
             fired = False
         ctx.close()
         cost = self.cost_model.invocation_cost(actor, ctx)
+        start = now
         now = self.clock.advance(cost)
         self.statistics.record_invocation(actor, cost)
         scheduler.on_actor_fire_end(actor, cost, now)
+        if _obs.ENABLED:
+            _obs._TRACER.span(
+                "actor.fire",
+                start,
+                cost,
+                actor.name,
+                fired=fired,
+                port=ready.port_name,
+            )
         return fired
 
     # ------------------------------------------------------------------
@@ -221,6 +262,9 @@ class SCWFDirector(Director):
             boundary = receiver.next_deadline()
             if boundary is not None and boundary + timeout <= now:
                 produced += receiver.force_timeout(now - timeout)
+        if produced:
+            if _obs.ENABLED:
+                _obs._TRACER.instant("window.timeout_fired", now, produced=produced)
         return produced
 
     # ------------------------------------------------------------------

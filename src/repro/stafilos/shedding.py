@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..core.exceptions import SchedulerError
+from ..observability import tracer as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .abstract_scheduler import AbstractScheduler
@@ -71,6 +72,9 @@ class LoadShedder:
         for source in scheduler.sources:
             drops += source.shed_due(now, self.max_source_pending)
         self.dropped_at_sources += drops
+        if drops:
+            if _obs.ENABLED:
+                _obs._TRACER.instant("shed.sources", now, dropped=drops)
         return drops
 
     def _pick_victim(self, scheduler: "AbstractScheduler") -> Optional[str]:
@@ -104,3 +108,11 @@ class LoadShedder:
         self.dropped_by_actor[name] = self.dropped_by_actor.get(name, 0) + 1
         actor = next(a for a in scheduler.actors if a.name == name)
         scheduler.invalidate_state(actor)
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "shed.drop",
+                scheduler._now,
+                name,
+                strategy=self.strategy,
+                backlog=scheduler.total_backlog(),
+            )

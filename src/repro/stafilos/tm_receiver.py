@@ -23,6 +23,7 @@ from ..core.events import CWEvent
 from ..core.exceptions import ReceiverError
 from ..core.receivers import WindowedReceiver
 from ..core.windows import Window, WindowSpec
+from ..observability import tracer as _obs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .scwf_director import SCWFDirector
@@ -52,6 +53,16 @@ class TMWindowedReceiver(WindowedReceiver):
         if self._passthrough:
             item = window.events[0]
         assert self.port is not None
+        if _obs.ENABLED and not self._passthrough:
+            # Passthrough events are ubiquitous; window completions are
+            # the signal worth a record per delivery.
+            _obs._TRACER.instant(
+                "window.ready",
+                window.timestamp if len(window) else 0,
+                self.port.actor.name,
+                port=self.port.name,
+                size=len(window),
+            )
         self._director.schedule_ready(self.port.actor, self.port.name, item)
 
     # ------------------------------------------------------------------

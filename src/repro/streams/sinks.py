@@ -6,6 +6,7 @@ import io
 from typing import Any, Callable, Optional, TextIO
 
 from ..core.actors import SinkActor
+from ..observability import tracer as _obs
 from .codecs import JSONLinesCodec
 
 
@@ -43,6 +44,10 @@ class RecordingSink(SinkActor):
         payload = item.value if hasattr(item, "value") else item
         self.stream.write(self.codec.encode(payload) + "\n")
         self.records_written += 1
+        if _obs.ENABLED:
+            _obs._TRACER.counter(
+                "sink.records", ctx.now, self.records_written, self.name
+            )
 
     @property
     def text(self) -> str:
@@ -77,6 +82,10 @@ class ThrottledAlertSink(SinkActor):
         last = self._last_by_key.get(key)
         if last is not None and ctx.now - last < self.cooldown_us:
             self.suppressed += 1
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sink.suppressed", ctx.now, self.name, key=repr(key)
+                )
             return
         self._last_by_key[key] = ctx.now
         self.delivered.append((ctx.now, payload))

@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterable, Optional
 
 from ..core.actors import SourceActor
 from ..core.timekeeper import US_PER_S
+from ..observability import tracer as _obs
 from .codecs import JSONLinesCodec
 
 
@@ -158,6 +159,11 @@ class TCPStreamSource(SourceActor):
         with self._lock:
             self._pending.append((timestamp, payload))
             self.received += 1
+            received = self.received
+        if _obs.ENABLED:
+            # RecordingTracer appends to a deque, which is safe from the
+            # reader thread.
+            _obs._TRACER.counter("source.received", timestamp, received, self.name)
 
     def _now_us(self) -> int:
         if self.clock is not None:
@@ -202,6 +208,11 @@ class TCPStreamSource(SourceActor):
             emitted += 1
             if limit is not None and emitted >= limit:
                 break
+        if emitted:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "source.pump", ctx.now, self.name, emitted=emitted
+                )
         return emitted
 
 

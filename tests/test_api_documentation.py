@@ -75,3 +75,49 @@ FUNCTIONS = public_functions()
 )
 def test_function_docstring(fn):
     assert fn.__doc__ and fn.__doc__.strip(), fn
+
+
+# ----------------------------------------------------------------------
+# The public facade (``from repro import ...``)
+# ----------------------------------------------------------------------
+FACADE_EXPORTS = [name for name in repro.__all__ if name != "__version__"]
+
+
+def test_facade_all_is_complete():
+    """Every name in ``__all__`` exists as an attribute on the package."""
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ names missing {name}"
+
+
+@pytest.mark.parametrize("name", FACADE_EXPORTS)
+def test_facade_export_documented(name):
+    """Every facade export carries its own (or its target's) docstring."""
+    obj = getattr(repro, name)
+    assert obj.__doc__ and obj.__doc__.strip(), f"repro.{name}"
+
+
+def test_facade_acceptance_imports():
+    """The one-line import the redesign promises users."""
+    from repro import (  # noqa: F401
+        QBSScheduler,
+        RecordingTracer,
+        SCWFDirector,
+        Workflow,
+    )
+
+    from repro.stafilos import QuantumPriorityScheduler
+
+    assert QBSScheduler is QuantumPriorityScheduler
+
+
+def test_deep_paths_remain_importable():
+    """The old module paths survive the facade redesign as aliases."""
+    import repro.core
+    import repro.observability
+    import repro.stafilos
+
+    assert repro.core.Workflow is repro.Workflow
+    assert repro.stafilos.SCWFDirector is repro.SCWFDirector
+    assert (
+        repro.observability.RecordingTracer is repro.RecordingTracer
+    )
