@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper figures examples clean
+.PHONY: install test lint ci bench bench-quick bench-paper figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -38,6 +38,9 @@ figures:
 
 examples:
 	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done
+
+chaos:  # deterministic fault-injection suite (resilience + chaos runs)
+	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
 	rm -rf .pytest_cache .benchmarks src/repro.egg-info

@@ -30,6 +30,8 @@ Top-level layout:
   the benchmark harness;
 * :mod:`repro.observability` — engine-wide tracing and metrics export
   (Chrome trace-event, JSONL, Prometheus text);
+* :mod:`repro.resilience` — fault policies, supervision, dead-letter
+  queues and deterministic fault injection for continuous runs;
 * :mod:`repro.streams` — push sources, sinks and wire codecs;
 * :mod:`repro.sqldb` — the in-memory relational engine the Linear Road
   workflow stores segment statistics and accidents in;
@@ -39,7 +41,15 @@ Top-level layout:
   renderers for the paper's evaluation.
 """
 
-from . import core, directors, observability, simulation, stafilos, streams
+from . import (
+    core,
+    directors,
+    observability,
+    resilience,
+    simulation,
+    stafilos,
+    streams,
+)
 from .core import (
     Actor,
     ActorRegistry,
@@ -81,6 +91,15 @@ from .observability import (
     Tracer,
     use_tracer,
 )
+from .resilience import (
+    DeadLetter,
+    DeadLetterQueue,
+    FaultInjector,
+    FaultPolicy,
+    FaultSupervisor,
+    install_faults,
+    parse_fault_spec,
+)
 from .simulation import CostModel, SimulationRuntime, VirtualClock, WallClock
 from .stafilos import (
     AbstractScheduler,
@@ -119,6 +138,7 @@ __all__ = [
     "core",
     "directors",
     "observability",
+    "resilience",
     "simulation",
     "stafilos",
     "streams",
@@ -164,6 +184,14 @@ __all__ = [
     "RoundRobinScheduler",
     "RRScheduler",
     "SCWFDirector",
+    # resilience
+    "DeadLetter",
+    "DeadLetterQueue",
+    "FaultInjector",
+    "FaultPolicy",
+    "FaultSupervisor",
+    "install_faults",
+    "parse_fault_spec",
     # simulation substrate
     "CostModel",
     "SimulationRuntime",

@@ -21,10 +21,13 @@ from .director import Director
 from .events import CWEvent
 from .exceptions import (
     ActorError,
+    ActorQuarantinedError,
     ConfluenceError,
     DirectorError,
+    InjectedFault,
     PortError,
     ReceiverError,
+    ResilienceError,
     SchedulerError,
     SimulationError,
     WindowError,
@@ -48,6 +51,7 @@ from .workflow import Workflow
 __all__ = [
     "Actor",
     "ActorError",
+    "ActorQuarantinedError",
     "ActorRegistry",
     "ActorStats",
     "as_token",
@@ -64,6 +68,7 @@ __all__ = [
     "FiringContext",
     "FunctionActor",
     "global_rate_metrics",
+    "InjectedFault",
     "InputPort",
     "MapActor",
     "Measure",
@@ -74,6 +79,7 @@ __all__ = [
     "Receiver",
     "ReceiverError",
     "RecordToken",
+    "ResilienceError",
     "SchedulerError",
     "seconds_to_us",
     "SimulationError",

@@ -172,6 +172,24 @@ class SourceActor(Actor):
         self._cursor += excess
         return excess
 
+    def peek_arrival(self) -> Optional[tuple[int, Any]]:
+        """The undelivered ``(timestamp, value)`` at the cursor, if any."""
+        if self._cursor >= len(self._pending):
+            return None
+        return self._pending[self._cursor]
+
+    def skip_current(self) -> Optional[tuple[int, Any]]:
+        """Discard and return the arrival at the cursor.
+
+        Poison-pill recovery hook for supervising directors: when a pump
+        keeps failing on the same arrival, the supervisor dead-letters it
+        and skips past so the source does not loop on the poison forever.
+        """
+        arrival = self.peek_arrival()
+        if arrival is not None:
+            self._cursor += 1
+        return arrival
+
     def pump(self, ctx: FiringContext) -> int:
         """Emit due arrivals (up to ``batch_limit``); returns how many."""
         emitted = 0

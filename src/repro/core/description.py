@@ -58,13 +58,19 @@ def window_from_spec(spec: dict[str, Any]) -> WindowSpec:
             f"unknown window measure {measure_name!r} "
             f"(expected one of {sorted(_MEASURES)})"
         )
+    delete_used = spec.get("delete_used_events", False)
+    # Tumbling defaults: time windows advance by their size, and so do
+    # continuous-consumption windows (step must equal size there).
+    default_step = (
+        size if measure is Measure.TIME or delete_used else 1
+    )
     return WindowSpec(
         size=size,
-        step=spec.get("step", size if measure is Measure.TIME else 1),
+        step=spec.get("step", default_step),
         measure=measure,
         timeout=spec.get("timeout"),
         group_by=spec.get("group_by"),
-        delete_used_events=spec.get("delete_used_events", False),
+        delete_used_events=delete_used,
     )
 
 

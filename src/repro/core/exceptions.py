@@ -43,3 +43,21 @@ class SchedulerError(ConfluenceError):
 
 class SimulationError(ConfluenceError):
     """The virtual-time simulation runtime was misconfigured."""
+
+
+class ResilienceError(ConfluenceError):
+    """A fault policy or fault-injection spec is invalid."""
+
+
+class ActorQuarantinedError(ConfluenceError):
+    """An item was routed to the dead-letter queue because its actor is
+    quarantined (the per-actor error budget was exhausted)."""
+
+
+class InjectedFault(ConfluenceError):
+    """A deterministic fault raised by the fault-injection harness.
+
+    Raised by :class:`repro.resilience.FaultInjector` inside a wrapped
+    actor's ``fire`` so chaos runs exercise the exact same recovery paths
+    (retry, quarantine, dead-letter) as real actor failures.
+    """

@@ -32,6 +32,9 @@ class ActorStats:
         "ewma_cost_us",
         "inputs_total",
         "outputs_total",
+        "failures",
+        "retries",
+        "dead_letters",
         "_input_times",
         "_output_times",
         "_input_window",
@@ -44,6 +47,12 @@ class ActorStats:
         self.ewma_cost_us: Optional[float] = None
         self.inputs_total = 0
         self.outputs_total = 0
+        #: Failed firing attempts (each raise, including retried attempts).
+        self.failures = 0
+        #: Retries granted by the fault policy.
+        self.retries = 0
+        #: Items captured in the dead-letter queue for this actor.
+        self.dead_letters = 0
         #: Rate windows hold ``(timestamp_us, count)`` pairs — one entry
         #: per recording call, *not* one per token, so a batch of 10 000
         #: tokens costs a single append.  The running in-horizon token
@@ -79,6 +88,18 @@ class ActorStats:
         self._output_times.append((now_us, count))
         self._output_window += count
         self._output_window -= self._trim(self._output_times, now_us)
+
+    def record_failure(self) -> None:
+        """Count one failed firing attempt (the firing raised)."""
+        self.failures += 1
+
+    def record_retry(self) -> None:
+        """Count one policy-granted retry of a failed firing."""
+        self.retries += 1
+
+    def record_dead_letter(self) -> None:
+        """Count one item captured in the dead-letter queue."""
+        self.dead_letters += 1
 
     @staticmethod
     def _trim(times: deque[tuple[int, int]], now_us: int) -> int:
@@ -148,6 +169,18 @@ class StatisticsRegistry:
             self._last_now_us = now_us
         self.get(actor).record_output(count, now_us)
 
+    def record_failure(self, actor: "Actor") -> None:
+        """Count a failed firing attempt of *actor*."""
+        self.get(actor).record_failure()
+
+    def record_retry(self, actor: "Actor") -> None:
+        """Count a fault-policy retry granted to *actor*."""
+        self.get(actor).record_retry()
+
+    def record_dead_letter(self, actor: "Actor") -> None:
+        """Count a dead-lettered item attributed to *actor*."""
+        self.get(actor).record_dead_letter()
+
     def snapshot(
         self, now_us: Optional[int] = None
     ) -> dict[str, dict[str, float]]:
@@ -172,6 +205,9 @@ class StatisticsRegistry:
                 ),
                 "inputs_total": stats.inputs_total,
                 "outputs_total": stats.outputs_total,
+                "failures": stats.failures,
+                "retries": stats.retries,
+                "dead_letters": stats.dead_letters,
                 "selectivity": stats.selectivity,
                 "input_rate_per_s": stats.input_rate_per_s(now),
                 "output_rate_per_s": stats.output_rate_per_s(now),

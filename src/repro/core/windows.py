@@ -112,17 +112,37 @@ class WindowSpec:
                 else ConsumptionMode.UNRESTRICTED
             )
             object.__setattr__(self, "mode", mode)
+        if (
+            self.delete_used_events
+            and self.measure is not Measure.TIME
+            and self.step != self.size
+        ):
+            # Continuous consumption always removes the whole window, so a
+            # different step would be silently ignored — reject the
+            # inconsistent combination instead of surprising the user.
+            raise WindowError(
+                "delete_used_events consumes the full window: step must "
+                f"equal size (got size={self.size}, step={self.step}); "
+                "omit step or use sliding mode (delete_used_events=False)"
+            )
 
     @classmethod
     def tokens(
         cls,
         size: int,
-        step: int = 1,
+        step: Optional[int] = None,
         group_by=None,
         delete_used_events: bool = False,
         timeout: Optional[int] = None,
     ) -> "WindowSpec":
-        """A tuple-based window of *size* tokens advancing by *step* tokens."""
+        """A tuple-based window of *size* tokens advancing by *step* tokens.
+
+        *step* defaults to 1 for sliding windows and to *size* (tumbling)
+        when ``delete_used_events`` is set, keeping the default spec valid
+        under the step/size consistency check.
+        """
+        if step is None:
+            step = size if delete_used_events else 1
         return cls(size, step, Measure.TOKENS, timeout, group_by, delete_used_events)
 
     @classmethod
@@ -148,12 +168,19 @@ class WindowSpec:
     def waves(
         cls,
         size: int = 1,
-        step: int = 1,
+        step: Optional[int] = None,
         group_by=None,
         delete_used_events: bool = True,
         timeout: Optional[int] = None,
     ) -> "WindowSpec":
-        """A wave-based window of *size* complete waves."""
+        """A wave-based window of *size* complete waves.
+
+        *step* defaults to *size* (tumbling) under the default continuous
+        consumption, and to 1 (sliding) otherwise — ``waves(2)`` stays a
+        valid spec under the step/size consistency check.
+        """
+        if step is None:
+            step = size if delete_used_events else 1
         return cls(size, step, Measure.WAVES, timeout, group_by, delete_used_events)
 
     def key_function(self) -> Optional[Callable[[CWEvent], GroupKey]]:
@@ -465,8 +492,26 @@ class WindowOperator:
         elif self.spec.measure is Measure.TOKENS:
             for key, state in self._groups.items():
                 if state.queue:
-                    produced.append(Window(list(state.queue), key, forced=True))
+                    flushed = list(state.queue)
+                    produced.append(
+                        Window(
+                            flushed,
+                            key,
+                            start=min(e.timestamp for e in flushed),
+                            end=max(e.timestamp for e in flushed),
+                            forced=True,
+                        )
+                    )
+                    if not self.spec.delete_used_events:
+                        # Unrestricted/recent consumption: flushed events
+                        # slide out through the expired-items queue, same
+                        # as a normal advance — a forced flush must not
+                        # silently consume them.
+                        self.expired.extend(flushed)
                     state.queue.clear()
+                # A forced flush ends the current formation cycle, so any
+                # positions still owed to a past advance are forgiven.
+                state.skip_debt = 0
         else:
             for key, state in self._groups.items():
                 if not isinstance(state, _WaveGroupState):
@@ -476,7 +521,17 @@ class WindowOperator:
                     leftovers.extend(events)
                 if leftovers:
                     leftovers.sort()
-                    produced.append(Window(leftovers, key, forced=True))
+                    produced.append(
+                        Window(
+                            leftovers,
+                            key,
+                            start=min(e.timestamp for e in leftovers),
+                            end=max(e.timestamp for e in leftovers),
+                            forced=True,
+                        )
+                    )
+                    if not self.spec.delete_used_events:
+                        self.expired.extend(leftovers)
                 state.events_by_root.clear()
                 state.closed_roots.clear()
                 state.open_order.clear()

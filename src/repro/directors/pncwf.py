@@ -24,11 +24,12 @@ from typing import Optional
 from ..core.actors import Actor, SourceActor
 from ..core.director import Director
 from ..core.events import CWEvent
-from ..core.exceptions import DirectorError
+from ..core.exceptions import DirectorError, ResilienceError
 from ..core.ports import InputPort
 from ..core.receivers import Receiver, WindowedReceiver
 from ..core.timekeeper import US_PER_S
 from ..core.windows import Window, WindowSpec
+from ..resilience import FailureAction, FaultPolicy, FaultSupervisor
 
 
 class BlockingWindowedReceiver(WindowedReceiver):
@@ -107,7 +108,12 @@ class _CWActorThread(threading.Thread):
     def run(self) -> None:
         actor, director = self.actor, self.director
         while not director._stopping.is_set():
-            fired = director._iterate_internal(actor)
+            try:
+                fired = director._iterate_internal(actor)
+            except Exception as error:  # supervised thread loop
+                if director._on_thread_failure(actor, error):
+                    return  # fail-stop policy: the thread retires
+                continue  # restart the loop in place
             if fired is None:
                 break
 
@@ -122,6 +128,7 @@ class _SourceThread(threading.Thread):
 
     def run(self) -> None:
         director, source = self.director, self.source
+        attempt = 0
         while not director._stopping.is_set():
             next_at = source.next_arrival_time()
             if next_at is None:
@@ -138,8 +145,36 @@ class _SourceThread(threading.Thread):
                     return
                 continue
             ctx = director.make_context(source, director.current_time())
-            source.pump(ctx)
-            ctx.close()
+            try:
+                source.pump(ctx)
+                ctx.close()
+                attempt = 0
+            except Exception as error:  # supervised pump
+                ctx.abort()
+                ctx.close()
+                attempt += 1
+                decision = director.supervisor.on_failure(
+                    source,
+                    None,
+                    source.peek_arrival(),
+                    error,
+                    attempt,
+                    director.current_time(),
+                )
+                if decision.action is FailureAction.PROPAGATE:
+                    director._record_lost_thread(source, error)
+                    return  # fail-stop: the source thread retires
+                if decision.action is FailureAction.RETRY:
+                    wait_s = (
+                        decision.backoff_us / US_PER_S / director.time_scale
+                    )
+                    if director._stopping.wait(timeout=wait_s):
+                        return
+                    continue
+                # Dead-lettered: skip past the poison arrival so the pump
+                # does not loop on it forever.
+                source.skip_current()
+                attempt = 0
 
 
 class PNCWFDirector(Director):
@@ -153,13 +188,47 @@ class PNCWFDirector(Director):
 
     model_name = "PNCWF"
 
-    def __init__(self, time_scale: float = 1.0, poll_timeout_s: float = 0.05):
+    def __init__(
+        self,
+        time_scale: float = 1.0,
+        poll_timeout_s: float = 0.05,
+        error_policy: "FaultPolicy | str" = "drop",
+    ):
         super().__init__()
+        try:
+            policy = FaultPolicy.coerce(error_policy)
+        except ResilienceError as error:
+            raise DirectorError(str(error)) from None
         self.time_scale = time_scale
         self._poll_timeout_s = poll_timeout_s
+        #: Recovery configuration; a live continuous engine defaults to
+        #: ``"drop"`` (dead-letter poison events) because ``"raise"``
+        #: would silently kill the failing actor's thread instead of
+        #: surfacing the exception to the caller.
+        self.fault_policy = policy
+        #: Per-actor failure state + the dead-letter queue (shared with
+        #: the scheduled directors so poison events behave identically).
+        self.supervisor = FaultSupervisor(policy, self.statistics)
+        self.actor_errors: dict[str, int] = {}
+        #: ``(actor_name, error_repr)`` for every thread that retired due
+        #: to the fail-stop policy; folded into the :meth:`stop` report.
+        self._lost_threads: list[tuple[str, str]] = []
+        self._lost_lock = threading.Lock()
+        #: The last :meth:`stop` report (``None`` before the first stop).
+        self.stop_report: Optional[dict] = None
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._epoch: Optional[float] = None
+
+    @property
+    def error_policy(self) -> str:
+        """Legacy string view of :attr:`fault_policy` (back-compat)."""
+        return self.fault_policy.alias
+
+    @property
+    def dead_letters(self):
+        """The supervisor's dead-letter queue (convenience alias)."""
+        return self.supervisor.dead_letters
 
     def create_receiver(self, port: InputPort) -> Receiver:
         return BlockingWindowedReceiver(port.window, port)
@@ -185,21 +254,89 @@ class PNCWFDirector(Director):
             if primary.closed:
                 return None
             return False
-        ctx = self.make_context(actor, self.current_time())
-        self._stage(ctx, ports[0], window)
+        supervisor = self.supervisor
+        if supervisor.is_quarantined(actor.name):
+            # Open circuit: the item bypasses execution entirely.
+            supervisor.drop_quarantined(
+                actor, ports[0].name, window, self.current_time()
+            )
+            self._count_error(actor)
+            return False
+        # Drain the secondary ports up-front so a retried firing re-stages
+        # exactly the items the failed attempt consumed.
+        secondary: list[tuple[InputPort, object]] = []
         for port in ports[1:]:
             receiver = port.receiver
             while receiver is not None and receiver.has_token():
-                self._stage(ctx, port, receiver.get())
-        self.statistics.record_input(actor, 1, ctx.now)
-        started = time.perf_counter_ns()
-        if actor.prefire(ctx):
-            actor.fire(ctx)
-            actor.postfire(ctx)
-        ctx.close()
-        cost_us = (time.perf_counter_ns() - started) // 1_000
-        self.statistics.record_invocation(actor, int(cost_us))
-        return True
+                secondary.append((port, receiver.get()))
+        self.statistics.record_input(actor, 1, self.current_time())
+        attempt = 0
+        while True:
+            ctx = self.make_context(actor, self.current_time())
+            self._stage(ctx, ports[0], window)
+            for port, item in secondary:
+                self._stage(ctx, port, item)
+            started = time.perf_counter_ns()
+            try:
+                if actor.prefire(ctx):
+                    actor.fire(ctx)
+                    actor.postfire(ctx)
+                ctx.close()
+                cost_us = (time.perf_counter_ns() - started) // 1_000
+                self.statistics.record_invocation(actor, int(cost_us))
+                supervisor.on_success(actor)
+                return True
+            except Exception as error:
+                # Fault barrier: the failed firing's partial emissions are
+                # discarded; the supervisor decides what happens next.
+                ctx.abort()
+                ctx.close()
+                attempt += 1
+                decision = supervisor.on_failure(
+                    actor,
+                    ports[0].name,
+                    window,
+                    error,
+                    attempt,
+                    self.current_time(),
+                )
+                if decision.action is FailureAction.PROPAGATE:
+                    raise
+                if decision.action is FailureAction.RETRY:
+                    wait_s = decision.backoff_us / US_PER_S / self.time_scale
+                    if self._stopping.wait(timeout=wait_s):
+                        return None
+                    continue
+                # Dead-lettered by the supervisor.
+                self._count_error(actor)
+                return False
+
+    def _count_error(self, actor: Actor) -> None:
+        with self._lost_lock:
+            self.actor_errors[actor.name] = (
+                self.actor_errors.get(actor.name, 0) + 1
+            )
+
+    def _record_lost_thread(self, actor: Actor, error: BaseException) -> None:
+        with self._lost_lock:
+            self._lost_threads.append(
+                (actor.name, f"{type(error).__name__}: {error}")
+            )
+
+    def _on_thread_failure(self, actor: Actor, error: BaseException) -> bool:
+        """A supervised thread loop raised; True retires the thread.
+
+        Under the fail-stop (``"raise"``) policy the exception already
+        went through :meth:`FaultSupervisor.on_failure`, the thread is
+        recorded as lost and retires.  Under any other policy this can
+        only be an engine-machinery crash, so the loop is restarted in
+        place and counted as a thread restart.
+        """
+        if self.fault_policy.propagate:
+            self._record_lost_thread(actor, error)
+            return True
+        self.supervisor.on_thread_restart(actor, error, self.current_time())
+        return False
 
     def _stage(self, ctx, port: InputPort, item) -> None:
         receiver = port.receiver
@@ -242,16 +379,39 @@ class PNCWFDirector(Director):
         wall_s = event_time_s / self.time_scale
         self._stopping.wait(timeout=wall_s)
 
-    def stop(self, join_timeout_s: float = 2.0) -> None:
+    def stop(self, join_timeout_s: float = 2.0) -> dict:
+        """Stop every thread and return the per-actor error summary.
+
+        The report (also kept as :attr:`stop_report`) holds:
+
+        * ``lost_threads`` — actor names whose threads retired through the
+          fail-stop policy or failed to join within the timeout; a clean
+          supervised run reports an empty list;
+        * ``actors`` — per-actor :meth:`ActorHealth.as_dict` summaries for
+          every actor that ever failed;
+        * ``dead_letters`` — current depth of the dead-letter queue.
+        """
         self._stopping.set()
         workflow = self._require_attached()
         for actor in workflow.actors.values():
             for port in actor.input_ports.values():
                 if isinstance(port.receiver, BlockingWindowedReceiver):
                     port.receiver.close()
+        unjoined: list[str] = []
         for thread in self._threads:
             thread.join(timeout=join_timeout_s)
+            if thread.is_alive():
+                unjoined.append(thread.name)
         self._threads.clear()
+        with self._lost_lock:
+            lost = [name for name, _ in self._lost_threads] + unjoined
+        report = {
+            "lost_threads": lost,
+            "actors": self.supervisor.error_summary(),
+            "dead_letters": len(self.supervisor.dead_letters),
+        }
+        self.stop_report = report
+        return report
 
     def run_to_quiescence(self, now: int) -> int:
         raise DirectorError(

@@ -9,6 +9,7 @@
     python -m repro run QBS --quantum 500 --duration 300
     python -m repro trace out.json --duration 120   # Chrome trace dump
     python -m repro --trace out.json run QBS        # trace any command
+    python -m repro --inject-faults 'seg_stats:rate=0.02,seed=3' run QBS
 
 Everything prints to stdout; durations and seed counts default to the
 paper's (600 s, averaged over three runs takes a while — the default here
@@ -49,7 +50,24 @@ from .reporting import render_series_table, render_workload_figure
 
 def _tune(config: ExperimentConfig, args) -> ExperimentConfig:
     config = config.scaled_duration(args.duration)
-    return config.with_seeds(tuple(range(1, args.seeds + 1)))
+    config = config.with_seeds(tuple(range(1, args.seeds + 1)))
+    if getattr(args, "inject_faults", None):
+        config = replace(config, fault_spec=args.inject_faults)
+    return config
+
+
+def _print_fault_summary(results) -> None:
+    """One line per chaos run: injections, failures, dead letters."""
+    for result in results:
+        if result.config.fault_spec is None:
+            continue
+        for seed, run in zip(result.config.seeds, result.runs):
+            print(
+                f"faults[{result.label} seed {seed}]: "
+                f"{run.injected_faults} injected, "
+                f"{run.failures} failed attempts, "
+                f"{run.dead_letters} dead-lettered"
+            )
 
 
 def _cmd_table1(args) -> int:
@@ -77,6 +95,7 @@ def _cmd_fig5(args) -> int:
 def _run_family(configs, title: str, args) -> int:
     results = [run_experiment(_tune(config, args)) for config in configs]
     print(render_series_table(results, title))
+    _print_fault_summary(results)
     return 0
 
 
@@ -130,6 +149,7 @@ def _cmd_run(args) -> int:
             [result], f"Linear Road under {result.label}"
         )
     )
+    _print_fault_summary([result])
     return 0
 
 
@@ -207,6 +227,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "record an engine trace around the command and write a "
             "chrome://tracing JSON to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "deterministic fault injection, e.g. 'seg_stats:rate=0.05"
+            ",seed=3;toll*:every=50' — the run switches to a resilient "
+            "FaultPolicy (retries + dead letters) and reports a fault "
+            "summary"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)

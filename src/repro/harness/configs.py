@@ -78,6 +78,13 @@ class ExperimentConfig:
     seeds: tuple[int, ...] = DEFAULT_SEEDS
     bucket_s: int = 10
     cost_seed: int = 7
+    #: ``--inject-faults`` spec (see :mod:`repro.resilience.injection`);
+    #: ``None`` runs fault-free.
+    fault_spec: Optional[str] = None
+    #: Recovery policy handed to the director.  ``None`` means: fail-stop
+    #: (``"raise"``) for clean runs, :meth:`FaultPolicy.resilient` when a
+    #: ``fault_spec`` is set so chaos runs survive their own injections.
+    error_policy: Optional[object] = None
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

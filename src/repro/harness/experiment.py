@@ -15,6 +15,7 @@ from typing import Optional
 
 from ..core.exceptions import SimulationError
 from ..observability import RecordingTracer, use_tracer
+from ..resilience import FaultPolicy, install_faults
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.metrics import ResponseTimeSeries
 from ..linearroad.workflow import build_linear_road, LinearRoadSystem
@@ -42,6 +43,12 @@ class RunResult:
     accidents_recorded: int
     internal_firings: int
     backlog_at_end: int
+    #: Faults injected by the ``--inject-faults`` harness (0 = clean run).
+    injected_faults: int = 0
+    #: Failed firing attempts across every actor (includes retried ones).
+    failures: int = 0
+    #: Items left in the director's dead-letter queue at the end.
+    dead_letters: int = 0
 
 
 @dataclass
@@ -101,13 +108,29 @@ def _execute_seed(
     system: LinearRoadSystem = build_linear_road(workload.arrivals())
     clock = VirtualClock()
     cost_model = default_cost_model(seed=config.cost_seed + seed)
+    error_policy = config.error_policy
+    if error_policy is None:
+        # Chaos runs default to a keep-running policy; clean runs fail-stop.
+        error_policy = (
+            FaultPolicy.resilient() if config.fault_spec else "raise"
+        )
     if config.scheduler.kind == "PNCWF":
-        director = ThreadedCWFDirector(clock, cost_model)
+        director = ThreadedCWFDirector(
+            clock, cost_model, error_policy=error_policy
+        )
     else:
         director = SCWFDirector(
-            make_scheduler(config.scheduler), clock, cost_model
+            make_scheduler(config.scheduler),
+            clock,
+            cost_model,
+            error_policy=error_policy,
         )
     director.attach(system.workflow)
+    injectors = (
+        install_faults(system.workflow, config.fault_spec)
+        if config.fault_spec
+        else []
+    )
     runtime = SimulationRuntime(director, clock)
     runtime.run(config.workload.duration_s)
     series = ResponseTimeSeries.from_samples(
@@ -122,6 +145,9 @@ def _execute_seed(
         accidents_recorded=system.recorder.inserted,
         internal_firings=director.total_internal_firings,
         backlog_at_end=director.backlog(),
+        injected_faults=sum(inj.injected for inj in injectors),
+        failures=director.supervisor.total_failures,
+        dead_letters=len(director.supervisor.dead_letters),
     )
     return result, director, system
 
@@ -184,6 +210,9 @@ def result_to_dict(result: ExperimentResult) -> dict:
                 "accidents_recorded": run.accidents_recorded,
                 "internal_firings": run.internal_firings,
                 "backlog_at_end": run.backlog_at_end,
+                "injected_faults": run.injected_faults,
+                "failures": run.failures,
+                "dead_letters": run.dead_letters,
             }
             for run in result.runs
         ],

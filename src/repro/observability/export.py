@@ -179,6 +179,12 @@ _ACTOR_METRICS = (
      "Total input tokens consumed by the actor."),
     ("outputs_total", "outputs_total", "counter",
      "Total output tokens produced by the actor."),
+    ("failures_total", "failures", "counter",
+     "Total failed firing attempts (raises) of the actor."),
+    ("retries_total", "retries", "counter",
+     "Total fault-policy retries granted to the actor."),
+    ("dead_letters_total", "dead_letters", "counter",
+     "Total items dead-lettered for the actor."),
     ("avg_cost_us", "avg_cost_us", "gauge",
      "Mean per-invocation cost in microseconds."),
     ("ewma_cost_us", "ewma_cost_us", "gauge",

@@ -1,0 +1,103 @@
+"""The dead-letter queue: where exhausted failures are parked, not lost.
+
+When a firing fails past its retry budget the engine must keep flowing —
+but silently discarding the triggering item would make faults
+undiagnosable.  Instead the item and its exception metadata are captured
+as a :class:`DeadLetter` in a bounded :class:`DeadLetterQueue` owned by
+the director's :class:`~repro.resilience.supervisor.FaultSupervisor`:
+operators can inspect, count, export or replay them after the run.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass
+class DeadLetter:
+    """One failed item plus the metadata needed to diagnose (or replay) it."""
+
+    #: Name of the actor whose firing failed.
+    actor: str
+    #: Input port the triggering item was staged on (``None`` for sources).
+    port: Optional[str]
+    #: The triggering item itself (a ``Window``, ``CWEvent`` or raw value).
+    item: Any
+    #: ``type(error).__name__`` of the final exception.
+    error_type: str
+    #: ``str(error)`` of the final exception.
+    error_message: str
+    #: How many firing attempts were made (1 + retries).
+    attempts: int
+    #: Engine time (µs) at which the item was dead-lettered.
+    timestamp_us: int
+    #: True when the item never fired because the actor was quarantined.
+    quarantined: bool = False
+
+    def describe(self) -> str:
+        """A one-line human-readable summary (CLI reports, logs)."""
+        where = f"{self.actor}.{self.port}" if self.port else self.actor
+        cause = "quarantined" if self.quarantined else self.error_type
+        return (
+            f"[t={self.timestamp_us}us] {where}: {cause} "
+            f"after {self.attempts} attempt(s): {self.error_message}"
+        )
+
+
+@dataclass
+class DeadLetterQueue:
+    """A bounded FIFO of :class:`DeadLetter` records.
+
+    Capacity-bounded like the observability ring buffer: a pathological
+    poison stream cannot exhaust memory.  ``dropped`` counts evictions so
+    reports can disclose truncation; ``total_enqueued`` counts every
+    letter ever offered.
+    """
+
+    capacity: int = 1_024
+    _letters: deque = field(init=False, repr=False)
+    #: Letters evicted because the queue was full (oldest-first).
+    dropped: int = field(init=False, default=0)
+    #: Every letter ever offered (retained + dropped).
+    total_enqueued: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("DeadLetterQueue capacity must be positive")
+        self._letters = deque(maxlen=self.capacity)
+
+    # ------------------------------------------------------------------
+    def append(self, letter: DeadLetter) -> None:
+        """Enqueue *letter*, evicting the oldest when at capacity."""
+        if len(self._letters) == self.capacity:
+            self.dropped += 1
+        self._letters.append(letter)
+        self.total_enqueued += 1
+
+    def letters(self) -> list[DeadLetter]:
+        """The retained letters, oldest first."""
+        return list(self._letters)
+
+    def drain(self) -> list[DeadLetter]:
+        """Remove and return every retained letter (replay workflows)."""
+        items = list(self._letters)
+        self._letters.clear()
+        return items
+
+    def by_actor(self) -> dict[str, int]:
+        """Retained letter counts keyed by actor name."""
+        counts: dict[str, int] = {}
+        for letter in self._letters:
+            counts[letter.actor] = counts.get(letter.actor, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._letters)
+
+    def __iter__(self) -> Iterator[DeadLetter]:
+        return iter(self._letters)
+
+    def __bool__(self) -> bool:
+        return bool(self._letters)

@@ -1,0 +1,201 @@
+"""Deterministic fault injection: reproducible chaos for continuous runs.
+
+Recovery code that is never exercised is broken code.  This module wraps
+workflow actors so their ``fire`` raises
+:class:`~repro.core.exceptions.InjectedFault` on a *deterministic*
+schedule — driven purely by per-actor seeded RNG streams and firing
+counters, never by wall-clock time — so a chaos run under the virtual
+clock is bit-identical across invocations and failures can be replayed
+at will.
+
+The CLI harness exposes this as ``--inject-faults SPEC``.  A spec is a
+``;``-separated list of clauses, each ``pattern[:key=value[,key=value]]``
+where *pattern* is an ``fnmatch`` glob over internal actor names::
+
+    seg_stats:rate=0.05,seed=3        5% of seg_stats firings fail
+    toll*:every=50                    every 50th firing of toll* actors
+    car_filter:every=7,limit=3        only the first 3 multiples of 7
+
+Clauses compose; an actor matched by several clauses fails when *any* of
+them triggers.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.exceptions import InjectedFault, ResilienceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.actors import Actor
+    from ..core.workflow import Workflow
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed ``--inject-faults`` clause."""
+
+    #: ``fnmatch`` glob over actor names (``*`` matches every actor).
+    pattern: str
+    #: Probability that any given firing fails (seeded RNG stream).
+    rate: float = 0.0
+    #: Fail every Nth firing (1-based; ``None`` disables).
+    every: Optional[int] = None
+    #: Seed mixed with the actor name for the per-actor RNG stream.
+    seed: int = 0
+    #: Stop injecting after this many faults (``None`` = unbounded).
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ResilienceError("fault spec needs an actor pattern")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ResilienceError(f"fault rate must be in [0,1], got {self.rate}")
+        if self.every is not None and self.every <= 0:
+            raise ResilienceError("fault 'every' must be a positive integer")
+        if self.limit is not None and self.limit <= 0:
+            raise ResilienceError("fault 'limit' must be a positive integer")
+        if self.rate == 0.0 and self.every is None:
+            raise ResilienceError(
+                f"fault spec {self.pattern!r} never fires: give rate= or every="
+            )
+
+    def matches(self, actor_name: str) -> bool:
+        """True when this clause applies to *actor_name*."""
+        return fnmatch.fnmatchcase(actor_name, self.pattern)
+
+
+def parse_fault_spec(text: str) -> list[FaultSpec]:
+    """Parse a full ``--inject-faults`` string into :class:`FaultSpec` list.
+
+    Raises :class:`~repro.core.exceptions.ResilienceError` on malformed
+    clauses so the CLI can report the offending fragment verbatim.
+    """
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        pattern, _, tail = clause.partition(":")
+        fields: dict[str, object] = {}
+        if tail:
+            for pair in tail.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip()
+                if not sep or key not in ("rate", "every", "seed", "limit"):
+                    raise ResilienceError(
+                        f"bad fault spec field {pair!r} in clause {clause!r}"
+                    )
+                try:
+                    fields[key] = (
+                        float(value) if key == "rate" else int(value)
+                    )
+                except ValueError:
+                    raise ResilienceError(
+                        f"bad fault spec value {value!r} for {key!r}"
+                    ) from None
+        specs.append(FaultSpec(pattern.strip(), **fields))  # type: ignore[arg-type]
+    if not specs:
+        raise ResilienceError(f"empty fault spec {text!r}")
+    return specs
+
+
+class FaultInjector:
+    """Wraps one actor's ``fire`` with a deterministic failure schedule.
+
+    The wrapper shadows the actor's bound ``fire`` with an instance
+    attribute; :meth:`uninstall` restores the original.  Decisions are
+    drawn from a :class:`random.Random` seeded with the spec seed mixed
+    with a CRC of the actor name (stable across processes, unlike
+    ``hash``), plus the firing counter — wall-clock time never enters.
+    """
+
+    def __init__(self, actor: "Actor", specs: list[FaultSpec]):
+        if not specs:
+            raise ResilienceError("FaultInjector needs at least one FaultSpec")
+        self.actor = actor
+        self.specs = list(specs)
+        self.firings = 0
+        self.injected = 0
+        self._per_spec_injected = [0] * len(self.specs)
+        self._rngs = [
+            random.Random(
+                (spec.seed << 32) ^ zlib.crc32(actor.name.encode("utf-8"))
+            )
+            for spec in self.specs
+        ]
+        self._original_fire = actor.fire
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Activate the wrapper (idempotent); returns self for chaining."""
+        if not self._installed:
+            injector = self
+
+            def fire(ctx):
+                """Injected-fault guard around the wrapped actor's fire."""
+                injector.before_fire()
+                return injector._original_fire(ctx)
+
+            self.actor.fire = fire  # type: ignore[method-assign]
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the actor's original ``fire``."""
+        if self._installed:
+            del self.actor.fire  # removes the instance shadow
+            self._installed = False
+
+    # ------------------------------------------------------------------
+    def before_fire(self) -> None:
+        """Advance the schedule; raise on the firings chosen to fail.
+
+        Every call counts one firing attempt — retries re-enter the
+        schedule, so a retried firing may deterministically fail again.
+        """
+        self.firings += 1
+        for index, spec in enumerate(self.specs):
+            if (
+                spec.limit is not None
+                and self._per_spec_injected[index] >= spec.limit
+            ):
+                continue
+            triggered = False
+            if spec.every is not None and self.firings % spec.every == 0:
+                triggered = True
+            if spec.rate > 0.0 and self._rngs[index].random() < spec.rate:
+                triggered = True
+            if triggered:
+                self._per_spec_injected[index] += 1
+                self.injected += 1
+                raise InjectedFault(
+                    f"injected fault #{self.injected} in {self.actor.name} "
+                    f"(firing {self.firings}, clause {spec.pattern!r})"
+                )
+
+
+def install_faults(
+    workflow: "Workflow", spec: "str | list[FaultSpec]"
+) -> list[FaultInjector]:
+    """Install injectors on every *internal* actor the spec matches.
+
+    Sources are skipped — they pump external arrivals rather than fire on
+    staged items, and the interesting fault surface is the processing
+    pipeline.  Returns the installed injectors (empty list when nothing
+    matched) so callers can report per-actor injection counts.
+    """
+    specs = parse_fault_spec(spec) if isinstance(spec, str) else list(spec)
+    injectors: list[FaultInjector] = []
+    for actor in workflow.actors.values():
+        if actor.is_source:
+            continue
+        matched = [s for s in specs if s.matches(actor.name)]
+        if matched:
+            injectors.append(FaultInjector(actor, matched).install())
+    return injectors

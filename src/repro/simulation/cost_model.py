@@ -42,6 +42,11 @@ class CostModel:
     source_per_event_us: int = 50
     #: Fixed overhead of a director scheduling decision (one getNextActor).
     dispatch_overhead_us: int = 5
+    #: Base cost of a firing attempt that raised (fault-barrier path):
+    #: failed firings abort early, so they are charged this instead of the
+    #: full invocation cost — drop/retry accounting must not inflate the
+    #: actor's cost statistics.
+    failure_cost_us: int = 50
     #: Simulated-OS context switch (PNCWF baseline only).
     context_switch_us: int = 120
     #: Per queue operation lock/notify overhead (PNCWF baseline only).
@@ -75,6 +80,17 @@ class CostModel:
             + self.per_input_us * ctx.inputs_consumed
             + self.per_output_us * ctx.outputs_produced
         )
+        return self._jittered(cost)
+
+    def failure_cost(self, actor: "Actor", ctx: "FiringContext") -> int:
+        """Virtual cost of a firing attempt that raised and was aborted.
+
+        Deliberately *not* the invocation cost: the firing tore down
+        mid-way, its partial emissions were discarded, and charging the
+        full cost (or recording a full invocation) would inflate the
+        actor's cost statistics — the feed of every QoS scheduler.
+        """
+        cost = self.failure_cost_us + self.per_input_us * ctx.inputs_consumed
         return self._jittered(cost)
 
     def source_cost(self, source: "SourceActor", emitted: int) -> int:

@@ -30,10 +30,11 @@ from typing import Optional
 from ..core.actors import Actor, SourceActor
 from ..core.director import Director
 from ..core.events import CWEvent
-from ..core.exceptions import DirectorError
+from ..core.exceptions import DirectorError, ResilienceError
 from ..core.ports import InputPort
 from ..core.receivers import Receiver, WindowedReceiver
 from ..core.windows import Window, WindowSpec
+from ..resilience import FailureAction, FaultPolicy, FaultSupervisor
 from .clock import VirtualClock
 from .cost_model import CostModel
 
@@ -67,11 +68,22 @@ class ThreadedCWFDirector(Director):
         clock: VirtualClock,
         cost_model: CostModel,
         os_slice_us: int = 4_000,
+        error_policy: "FaultPolicy | str" = "raise",
     ):
         super().__init__()
+        try:
+            policy = FaultPolicy.coerce(error_policy)
+        except ResilienceError as error:
+            raise DirectorError(str(error)) from None
         self.clock = clock
         self.cost_model = cost_model
         self.os_slice_us = os_slice_us
+        #: Recovery configuration (same semantics as the SCWF director;
+        #: defaults to fail-stop so simulation bugs surface loudly).
+        self.fault_policy = policy
+        #: Per-actor failure state + the dead-letter queue.
+        self.supervisor = FaultSupervisor(policy, self.statistics)
+        self.actor_errors: dict[str, int] = {}
         #: name -> deque of (port_name, item) ready for consumption.
         self._ready: dict[str, deque] = {}
         self._rotation: deque[str] = deque()
@@ -79,6 +91,16 @@ class ThreadedCWFDirector(Director):
         self._sync_charge = 0
         self.context_switches = 0
         self.total_internal_firings = 0
+
+    @property
+    def error_policy(self) -> str:
+        """Legacy string view of :attr:`fault_policy` (back-compat)."""
+        return self.fault_policy.alias
+
+    @property
+    def dead_letters(self):
+        """The supervisor's dead-letter queue (convenience alias)."""
+        return self.supervisor.dead_letters
 
     # ------------------------------------------------------------------
     def create_receiver(self, port: InputPort) -> Receiver:
@@ -176,19 +198,69 @@ class ThreadedCWFDirector(Director):
 
     def _fire_internal(self, actor: Actor) -> tuple[int, bool]:
         port_name, item = self._ready[actor.name].popleft()
-        ctx = self.make_context(actor, self.clock.now_us)
-        ctx.stage(port_name, item)
-        self._sync_charge = self.cost_model.sync_per_event_us  # the get()
+        supervisor = self.supervisor
+        if supervisor.is_quarantined(actor.name):
+            # Open circuit: the item bypasses execution entirely.
+            supervisor.drop_quarantined(
+                actor, port_name, item, self.clock.now_us
+            )
+            self.actor_errors[actor.name] = (
+                self.actor_errors.get(actor.name, 0) + 1
+            )
+            cost = self.cost_model.sync_per_event_us  # the wasted get()
+            self.clock.advance(cost)
+            return cost, False
+        total_cost = 0
         fired = False
-        if actor.prefire(ctx):
-            actor.fire(ctx)
-            actor.postfire(ctx)
-            fired = True
-        ctx.close()
-        cost = self.cost_model.invocation_cost(actor, ctx) + self._sync_charge
-        self.clock.advance(cost)
-        self.statistics.record_invocation(actor, cost)
-        return cost, fired
+        attempt = 0
+        while True:
+            ctx = self.make_context(actor, self.clock.now_us)
+            ctx.stage(port_name, item)
+            self._sync_charge = self.cost_model.sync_per_event_us  # the get()
+            try:
+                if actor.prefire(ctx):
+                    actor.fire(ctx)
+                    actor.postfire(ctx)
+                    fired = True
+                ctx.close()
+                cost = (
+                    self.cost_model.invocation_cost(actor, ctx)
+                    + self._sync_charge
+                )
+                self.clock.advance(cost)
+                total_cost += cost
+                self.statistics.record_invocation(actor, cost)
+                supervisor.on_success(actor)
+                break
+            except Exception as error:
+                # Fault barrier: discard partial emissions, charge the
+                # cheaper failure cost, let the supervisor decide.
+                ctx.abort()
+                ctx.close()
+                attempt += 1
+                decision = supervisor.on_failure(
+                    actor, port_name, item, error, attempt, self.clock.now_us
+                )
+                if decision.action is FailureAction.PROPAGATE:
+                    raise
+                cost = (
+                    self.cost_model.failure_cost(actor, ctx)
+                    + self._sync_charge
+                )
+                self.clock.advance(cost)
+                total_cost += cost
+                if decision.action is FailureAction.RETRY:
+                    # The thread sleeps through the backoff in engine time.
+                    self.clock.advance(decision.backoff_us)
+                    total_cost += decision.backoff_us
+                    continue
+                # Dead-lettered by the supervisor.
+                self.actor_errors[actor.name] = (
+                    self.actor_errors.get(actor.name, 0) + 1
+                )
+                fired = False
+                break
+        return total_cost, fired
 
     # ------------------------------------------------------------------
     # Runtime protocol (shared with the SCWF director)

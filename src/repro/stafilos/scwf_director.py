@@ -35,8 +35,10 @@ from ..core.events import CWEvent
 from ..core.exceptions import DirectorError
 from ..core.ports import InputPort
 from ..core.receivers import Receiver
+from ..core.exceptions import ResilienceError
 from ..core.windows import Window
 from ..observability import tracer as _obs
+from ..resilience import FailureAction, FaultPolicy, FaultSupervisor
 from .abstract_scheduler import AbstractScheduler
 from .tm_receiver import TMWindowedReceiver
 
@@ -52,25 +54,42 @@ class SCWFDirector(Director):
         clock,
         cost_model,
         max_firings_per_iteration: int = 5_000_000,
-        error_policy: str = "raise",
+        error_policy: "FaultPolicy | str" = "raise",
     ):
         super().__init__()
-        if error_policy not in ("raise", "drop"):
-            raise DirectorError(f"unknown error_policy {error_policy!r}")
+        try:
+            policy = FaultPolicy.coerce(error_policy)
+        except ResilienceError as error:
+            raise DirectorError(str(error)) from None
         self.scheduler = scheduler
         self.clock = clock
         self.cost_model = cost_model
         self.max_firings_per_iteration = max_firings_per_iteration
-        #: "raise" propagates actor exceptions (fail-stop); "drop" treats
-        #: a failing firing as a fault barrier — the triggering item is
-        #: consumed, partial emissions are discarded, the error counted.
-        self.error_policy = error_policy
+        #: The recovery configuration.  ``error_policy`` accepts a full
+        #: :class:`~repro.resilience.FaultPolicy` or the legacy string
+        #: aliases: ``"raise"`` propagates actor exceptions (fail-stop);
+        #: ``"drop"`` treats a failing firing as a fault barrier — the
+        #: triggering item is consumed, partial emissions are discarded,
+        #: the error counted and the item dead-lettered.
+        self.fault_policy = policy
+        #: Per-actor failure state + the dead-letter queue.
+        self.supervisor = FaultSupervisor(policy, self.statistics)
         self.iterations = 0
         self.total_internal_firings = 0
         self.total_source_firings = 0
         self.total_events_admitted = 0
         self.actor_errors: dict[str, int] = {}
         self._timed_receivers: list[TMWindowedReceiver] = []
+
+    @property
+    def error_policy(self) -> str:
+        """Legacy string view of :attr:`fault_policy` (back-compat)."""
+        return self.fault_policy.alias
+
+    @property
+    def dead_letters(self):
+        """The supervisor's dead-letter queue (convenience alias)."""
+        return self.supervisor.dead_letters
 
     # ------------------------------------------------------------------
     # Wiring
@@ -185,51 +204,93 @@ class SCWFDirector(Director):
             # empty (e.g. state staleness); treat as a no-op dispatch.
             scheduler.invalidate_state(actor)
             return False
+        supervisor = self.supervisor
+        if supervisor.is_quarantined(actor.name):
+            # Open circuit: the item bypasses execution entirely.
+            now = self.clock.now_us
+            scheduler.on_actor_fire_start(actor, now)
+            supervisor.drop_quarantined(
+                actor, ready.port_name, ready.item, now
+            )
+            self.actor_errors[actor.name] = (
+                self.actor_errors.get(actor.name, 0) + 1
+            )
+            scheduler.on_actor_fire_end(actor, 0, now)
+            return False
         now = self.clock.now_us
+        start = now
         scheduler.on_actor_fire_start(actor, now)
         port = actor.input(ready.port_name)
         receiver = port.receiver
         assert isinstance(receiver, TMWindowedReceiver)
-        receiver.stage(ready.item)
-        ctx = self.make_context(actor, now)
-        ctx.stage(ready.port_name, receiver.get())
         fired = False
-        try:
-            if actor.prefire(ctx):
-                actor.fire(ctx)
-                actor.postfire(ctx)
-                fired = True
-        except Exception as error:
-            if self.error_policy == "raise":
-                raise
-            # Fault barrier: discard the failed firing's partial
-            # emissions, count the error, and move on.
-            ctx.abort()
-            self.actor_errors[actor.name] = (
-                self.actor_errors.get(actor.name, 0) + 1
-            )
-            if _obs.ENABLED:
-                _obs._TRACER.instant(
-                    "actor.error",
+        attempt = 0
+        while True:
+            receiver.stage(ready.item)
+            ctx = self.make_context(actor, self.clock.now_us)
+            ctx.stage(ready.port_name, receiver.get())
+            try:
+                if actor.prefire(ctx):
+                    actor.fire(ctx)
+                    actor.postfire(ctx)
+                    fired = True
+                ctx.close()
+                # Only a completed attempt records a full invocation.
+                cost = self.cost_model.invocation_cost(actor, ctx)
+                self.clock.advance(cost)
+                self.statistics.record_invocation(actor, cost)
+                supervisor.on_success(actor)
+                break
+            except Exception as error:
+                # Fault barrier: discard the failed firing's partial
+                # emissions, charge the (cheaper) failure cost, and let
+                # the supervisor decide: retry, dead-letter or propagate.
+                ctx.abort()
+                ctx.close()
+                attempt += 1
+                decision = supervisor.on_failure(
+                    actor,
+                    ready.port_name,
+                    ready.item,
+                    error,
+                    attempt,
                     self.clock.now_us,
-                    actor.name,
-                    error=type(error).__name__,
                 )
-            fired = False
-        ctx.close()
-        cost = self.cost_model.invocation_cost(actor, ctx)
-        start = now
-        now = self.clock.advance(cost)
-        self.statistics.record_invocation(actor, cost)
-        scheduler.on_actor_fire_end(actor, cost, now)
+                if decision.action is FailureAction.PROPAGATE:
+                    raise
+                self.clock.advance(
+                    self.cost_model.failure_cost(actor, ctx)
+                )
+                if _obs.ENABLED:
+                    _obs._TRACER.instant(
+                        "actor.error",
+                        self.clock.now_us,
+                        actor.name,
+                        error=type(error).__name__,
+                        attempt=attempt,
+                    )
+                if decision.action is FailureAction.RETRY:
+                    # Exponential backoff charged in engine time.
+                    self.clock.advance(decision.backoff_us)
+                    continue
+                # Dead-lettered by the supervisor.
+                self.actor_errors[actor.name] = (
+                    self.actor_errors.get(actor.name, 0) + 1
+                )
+                fired = False
+                break
+        now = self.clock.now_us
+        elapsed = now - start
+        scheduler.on_actor_fire_end(actor, elapsed, now)
         if _obs.ENABLED:
             _obs._TRACER.span(
                 "actor.fire",
                 start,
-                cost,
+                elapsed,
                 actor.name,
                 fired=fired,
                 port=ready.port_name,
+                attempts=attempt + 1 if fired or attempt else 1,
             )
         return fired
 

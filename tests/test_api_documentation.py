@@ -121,3 +121,20 @@ def test_deep_paths_remain_importable():
     assert (
         repro.observability.RecordingTracer is repro.RecordingTracer
     )
+
+
+def test_resilience_facade_exports():
+    """The fault-tolerance surface is reachable from the top facade."""
+    import repro.resilience
+
+    for name in (
+        "DeadLetter",
+        "DeadLetterQueue",
+        "FaultInjector",
+        "FaultPolicy",
+        "FaultSupervisor",
+        "install_faults",
+        "parse_fault_spec",
+    ):
+        assert name in repro.__all__, f"repro.__all__ missing {name}"
+        assert getattr(repro, name) is getattr(repro.resilience, name)

@@ -37,7 +37,7 @@ class TestUnrestrictedMode:
 class TestContinuousMode:
     def test_each_event_used_exactly_once(self):
         op = WindowOperator(
-            WindowSpec(3, 1, Measure.TOKENS, mode=ConsumptionMode.CONTINUOUS)
+            WindowSpec(3, 3, Measure.TOKENS, mode=ConsumptionMode.CONTINUOUS)
         )
         produced = []
         for i in range(9):
@@ -76,12 +76,12 @@ class TestRecentMode:
 
 class TestModeInference:
     def test_delete_used_infers_continuous(self):
-        spec = WindowSpec(4, 1, delete_used_events=True)
+        spec = WindowSpec(4, 4, delete_used_events=True)
         assert spec.mode is ConsumptionMode.CONTINUOUS
 
     def test_default_is_unrestricted(self):
         assert WindowSpec(4, 1).mode is ConsumptionMode.UNRESTRICTED
 
     def test_continuous_mode_forces_delete_flag(self):
-        spec = WindowSpec(4, 2, mode=ConsumptionMode.CONTINUOUS)
+        spec = WindowSpec(4, 4, mode=ConsumptionMode.CONTINUOUS)
         assert spec.delete_used_events

@@ -28,7 +28,7 @@ class TestWindowFromSpec:
         spec = window_from_spec(
             {
                 "size": 2,
-                "step": 1,
+                "step": 2,
                 "measure": "waves",
                 "timeout": 5,
                 "group_by": "car",

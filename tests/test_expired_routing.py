@@ -67,7 +67,7 @@ class TestExpiredRouting:
     def test_delete_used_events_never_expire(self):
         arrivals = [(i * 1000, i) for i in range(6)]
         _, director, clock, main, handler = build(
-            WindowSpec.tokens(3, 1, delete_used_events=True), arrivals
+            WindowSpec.tokens(3, delete_used_events=True), arrivals
         )
         SimulationRuntime(director, clock).run(1.0, drain=True)
         assert handler.values == []

@@ -57,7 +57,7 @@ class TestTokenWindowInvariants:
     def test_conservation_with_delete_used(self, size, values):
         """delete_used: every event is consumed at most once, none expire."""
         op = WindowOperator(
-            WindowSpec.tokens(size, 1, delete_used_events=True)
+            WindowSpec.tokens(size, delete_used_events=True)
         )
         consumed = 0
         for index, value in enumerate(values):

@@ -1,0 +1,124 @@
+"""Regression tests for forced-window bookkeeping and spec validation.
+
+Two historical bugs in :meth:`WindowOperator.force_timeout` for token and
+wave measures: the flush silently *consumed* events even under unrestricted
+consumption (they belong in the expired-items queue), never reset the
+``skip_debt`` owed by a past ``step > size`` advance, and emitted forced
+windows without ``start``/``end`` boundaries.  Plus: ``WindowSpec`` used to
+silently ignore ``step`` under ``delete_used_events=True``.
+"""
+
+import pytest
+
+from repro.core.events import CWEvent
+from repro.core.exceptions import WindowError
+from repro.core.waves import WaveTag
+from repro.core.windows import (
+    ConsumptionMode,
+    Measure,
+    WindowOperator,
+    WindowSpec,
+)
+
+
+def event(value, ts, serial=None, last=True):
+    serial = serial if serial is not None else ts
+    return CWEvent(value, ts, WaveTag.root(serial), last_in_wave=last)
+
+
+class TestForcedTokenWindows:
+    def test_forced_flush_routes_to_expired_when_unrestricted(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        for i in range(2):
+            op.put(event(i, i * 10))
+        windows = op.force_timeout()
+        assert len(windows) == 1 and windows[0].values == [0, 1]
+        # Unrestricted consumption: flushed events slide out through the
+        # expired-items queue instead of being silently consumed.
+        assert [e.value for e in op.drain_expired()] == [0, 1]
+
+    def test_forced_flush_consumes_when_continuous(self):
+        op = WindowOperator(WindowSpec.tokens(4, delete_used_events=True))
+        for i in range(2):
+            op.put(event(i, i * 10))
+        windows = op.force_timeout()
+        assert len(windows) == 1
+        assert op.drain_expired() == []
+
+    def test_forced_window_carries_boundaries(self):
+        op = WindowOperator(WindowSpec.tokens(4, 1))
+        op.put(event("a", 100))
+        op.put(event("b", 250))
+        (window,) = op.force_timeout()
+        assert window.forced
+        assert window.start == 100
+        assert window.end == 250
+
+    def test_forced_flush_resets_skip_debt(self):
+        # step > size owes skipped positions; a forced flush forgives them.
+        op = WindowOperator(WindowSpec(2, 4, Measure.TOKENS))
+        produced = []
+        for i in range(2):
+            produced.extend(op.put(event(i, i)))
+        assert [w.values for w in produced] == [[0, 1]]
+        state = op._groups[None]
+        assert state.skip_debt == 2
+        op.force_timeout()
+        assert state.skip_debt == 0
+        # The next two events open a fresh window instead of being
+        # swallowed by the stale debt.
+        produced = []
+        for i in (10, 11):
+            produced.extend(op.put(event(i, i)))
+        assert [w.values for w in produced] == [[10, 11]]
+
+
+class TestForcedWaveWindows:
+    def test_forced_flush_routes_to_expired_when_unrestricted(self):
+        op = WindowOperator(
+            WindowSpec.waves(3, delete_used_events=False)
+        )
+        op.put(event("a", 1, serial=1))
+        op.put(event("b", 2, serial=2))
+        (window,) = op.force_timeout()
+        assert window.forced and window.values == ["a", "b"]
+        assert window.start == 1 and window.end == 2
+        assert [e.value for e in op.drain_expired()] == ["a", "b"]
+
+    def test_forced_flush_consumes_when_continuous(self):
+        op = WindowOperator(WindowSpec.waves(3))
+        op.put(event("a", 1, serial=1))
+        (window,) = op.force_timeout()
+        assert window.forced
+        assert op.drain_expired() == []
+
+
+class TestSpecValidation:
+    def test_delete_used_with_mismatched_step_rejected(self):
+        with pytest.raises(WindowError):
+            WindowSpec(4, 2, Measure.TOKENS, delete_used_events=True)
+        with pytest.raises(WindowError):
+            WindowSpec(3, 1, Measure.WAVES, delete_used_events=True)
+
+    def test_continuous_mode_with_mismatched_step_rejected(self):
+        with pytest.raises(WindowError):
+            WindowSpec(4, 2, mode=ConsumptionMode.CONTINUOUS)
+
+    def test_time_windows_keep_free_step(self):
+        # Time windows advance window_start by step even when deleting.
+        spec = WindowSpec(10, 4, Measure.TIME, delete_used_events=True)
+        assert spec.step == 4
+
+    def test_classmethod_defaults_stay_valid(self):
+        assert WindowSpec.tokens(3, delete_used_events=True).step == 3
+        assert WindowSpec.tokens(3).step == 1
+        assert WindowSpec.waves(2).step == 2
+        assert WindowSpec.waves(2, delete_used_events=False).step == 1
+
+    def test_description_layer_defaults_stay_valid(self):
+        from repro.core import window_from_spec
+
+        spec = window_from_spec(
+            {"size": 4, "delete_used_events": True}
+        )
+        assert spec.step == 4

@@ -44,12 +44,12 @@ class TestSpecValidation:
             WindowSpec(4, 1, timeout=0)
 
     def test_continuous_mode_forces_delete(self):
-        spec = WindowSpec(4, 1, mode=ConsumptionMode.CONTINUOUS)
+        spec = WindowSpec(4, 4, mode=ConsumptionMode.CONTINUOUS)
         assert spec.delete_used_events
 
     def test_mode_inferred_from_delete_flag(self):
         assert (
-            WindowSpec(4, 1, delete_used_events=True).mode
+            WindowSpec(4, 4, delete_used_events=True).mode
             is ConsumptionMode.CONTINUOUS
         )
         assert (
@@ -80,7 +80,7 @@ class TestSlidingWindows:
 
     def test_delete_used_events_consumes_whole_window(self):
         op = WindowOperator(
-            WindowSpec.tokens(3, 1, delete_used_events=True)
+            WindowSpec.tokens(3, delete_used_events=True)
         )
         produced = feed(op, list(range(7)))
         assert [w.values for w in produced] == [[0, 1, 2], [3, 4, 5]]
