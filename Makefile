@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -31,6 +31,12 @@ bench-quick:
 bench-paper:  # the paper's methodology: 600 s, three seeded runs averaged
 	REPRO_BENCH_SEEDS=3 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+bench-smoke:  # dispatch + windowed-put micros vs. the committed baseline (2x gate)
+	$(PYTHON) -m pytest benchmarks/bench_engine_micro.py \
+		-k "dispatch_throughput or windowed_put" -q \
+		--benchmark-json=.benchmark-smoke.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-smoke.json
+
 figures:
 	$(PYTHON) -m repro table1
 	$(PYTHON) -m repro fig5
@@ -43,5 +49,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,88 @@
+"""Compare a ``--benchmark-json`` results file against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_baseline.py RESULTS.json \
+        [--baseline benchmarks/baselines/dispatch.json] [--tolerance 2.0]
+
+The gate is deliberately generous: a benchmark fails only when its mean
+exceeds ``baseline_mean * tolerance`` (default from the baseline file,
+2.0x).  That catches complexity regressions — an O(A) scan sneaking back
+into the dispatch path shows up as a 10x+ jump on the micro numbers —
+without making tier-1 flaky across machines of different speeds.
+Benchmarks present in the results but absent from the baseline are
+reported and skipped; baseline entries missing from the results fail,
+so the gate cannot be silenced by deselecting a benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "dispatch.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", type=Path, help="pytest --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's tolerance factor",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    results = json.loads(args.results.read_text())
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else float(baseline.get("tolerance", 2.0))
+    )
+
+    measured = {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in results.get("benchmarks", [])
+    }
+    expected = baseline["benchmarks"]
+
+    failures: list[str] = []
+    print(f"baseline: {args.baseline} (tolerance {tolerance:g}x)")
+    print(f"{'benchmark':<40} {'baseline':>10} {'measured':>10} {'ratio':>7}")
+    for name, entry in sorted(expected.items()):
+        base_mean = float(entry["mean_s"])
+        if name not in measured:
+            failures.append(f"{name}: missing from results")
+            print(f"{name:<40} {base_mean:>10.4f} {'MISSING':>10}")
+            continue
+        mean = measured[name]
+        ratio = mean / base_mean
+        verdict = "ok" if ratio <= tolerance else "REGRESSED"
+        print(
+            f"{name:<40} {base_mean:>10.4f} {mean:>10.4f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{name}: mean {mean:.4f}s is {ratio:.2f}x the baseline "
+                f"{base_mean:.4f}s (tolerance {tolerance:g}x)"
+            )
+    for name in sorted(set(measured) - set(expected)):
+        print(f"{name:<40} {'(no baseline; skipped)':>22}")
+
+    if failures:
+        print("\nbench-smoke regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbench-smoke regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

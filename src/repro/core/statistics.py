@@ -151,7 +151,13 @@ class StatisticsRegistry:
         self._last_now_us = 0
 
     def register(self, actor: "Actor") -> ActorStats:
-        return self._stats.setdefault(actor.name, ActorStats())
+        # Not ``setdefault(name, ActorStats())``: that would construct
+        # (and immediately discard) a full ActorStats on every call — a
+        # measurable cost on the per-firing hot path.
+        stats = self._stats.get(actor.name)
+        if stats is None:
+            stats = self._stats[actor.name] = ActorStats()
+        return stats
 
     def get(self, actor: "Actor") -> ActorStats:
         return self.register(actor)
@@ -235,9 +241,10 @@ def global_rate_metrics(
     fall back to their local selectivity and cost.  Actors that have never
     fired use *default_cost_us* so priorities are defined from the start.
     """
-    import networkx as nx
-
-    graph = workflow.graph()
+    # The structural skeleton (topological order + successor map) is
+    # cached on the workflow: RB re-evaluates priorities every period,
+    # and only the statistics change between periods, never the graph.
+    order, successor_map = workflow.topology()
     metrics: dict[str, tuple[float, float]] = {}
 
     def local(name: str) -> tuple[float, float]:
@@ -245,17 +252,15 @@ def global_rate_metrics(
         cost = stats.avg_cost_us if stats.invocations else default_cost_us
         return stats.selectivity, max(cost, 1e-9)
 
-    try:
-        order = list(nx.topological_sort(graph))
-    except nx.NetworkXUnfeasible:
+    if order is None:
         # Cyclic workflow: everyone uses local metrics.
-        for name in graph.nodes:
+        for name in successor_map:
             metrics[name] = local(name)
         return metrics
 
     for name in reversed(order):
         s_local, c_local = local(name)
-        successors = list(graph.successors(name))
+        successors = successor_map[name]
         if not successors:
             metrics[name] = (s_local, c_local)
             continue

@@ -253,11 +253,16 @@ class _TokenGroupState:
 class _TimeGroupState:
     """Per-group formation state for time-based windows."""
 
-    __slots__ = ("queue", "window_start")
+    __slots__ = ("queue", "window_start", "last_ts", "monotone")
 
     def __init__(self) -> None:
         self.queue: deque[CWEvent] = deque()
         self.window_start: Optional[int] = None
+        #: Timestamp of the most recently appended event and whether the
+        #: queue is still in non-decreasing timestamp order — the common
+        #: case, which unlocks O(consumed) popleft-based eviction.
+        self.last_ts: Optional[int] = None
+        self.monotone = True
 
 
 class _WaveGroupState:
@@ -367,17 +372,21 @@ class WindowOperator:
         state.queue.append(event)
         produced: list[Window] = []
         size, step = self.spec.size, self.spec.step
+        popleft = state.queue.popleft
         while len(state.queue) >= size:
-            window_events = list(itertools.islice(state.queue, 0, size))
-            produced.append(Window(window_events, key))
             if self.spec.delete_used_events:
-                for _ in range(size):
-                    state.queue.popleft()
+                # Continuous consumption is always tumbling (the spec
+                # enforces step == size for tokens): drain the window in
+                # one popleft pass, O(size), instead of materializing an
+                # islice copy and then popping the same events again.
+                window_events = [popleft() for _ in range(size)]
             else:
+                window_events = list(itertools.islice(state.queue, 0, size))
                 dropped = min(step, len(state.queue))
                 for _ in range(dropped):
-                    self.expired.append(state.queue.popleft())
+                    self.expired.append(popleft())
                 state.skip_debt += step - dropped
+            produced.append(Window(window_events, key))
         if self.spec.mode is ConsumptionMode.RECENT and len(produced) > 1:
             produced = [produced[-1]]
         return produced
@@ -393,6 +402,9 @@ class WindowOperator:
         # Close every window whose right boundary the new event has crossed.
         while event.timestamp >= state.window_start + size:
             produced.extend(self._close_time_window(state, key, forced=False))
+        if state.last_ts is not None and event.timestamp < state.last_ts:
+            state.monotone = False
+        state.last_ts = event.timestamp
         state.queue.append(event)
         if self.spec.mode is ConsumptionMode.RECENT and len(produced) > 1:
             produced = [produced[-1]]
@@ -405,17 +417,48 @@ class WindowOperator:
         start = state.window_start
         assert start is not None
         end = start + size
-        window_events = [e for e in state.queue if start <= e.timestamp < end]
+        queue = state.queue
         produced = []
-        if window_events:
-            produced.append(Window(window_events, key, start, end, forced))
-        if self.spec.delete_used_events:
-            used = set(id(e) for e in window_events)
-            state.queue = deque(e for e in state.queue if id(e) not in used)
+        if self.spec.delete_used_events and state.monotone:
+            # Fast path (the common in-order stream): consumed events are
+            # a queue prefix, so eviction is popleft-based and O(consumed)
+            # — no id()-set, no full-deque rebuild.
+            window_events: list[CWEvent] = []
+            while queue and queue[0].timestamp < end:
+                head = queue.popleft()
+                if head.timestamp >= start:
+                    window_events.append(head)
+                else:  # pre-start straggler: expires, same as the sweep
+                    self.expired.append(head)
+            if window_events:
+                produced.append(Window(window_events, key, start, end, forced))
+        else:
+            if state.monotone:
+                # In-order sliding window: the in-range events are a
+                # prefix, so stop scanning at the right boundary.
+                window_events = []
+                for e in queue:
+                    if e.timestamp >= end:
+                        break
+                    if e.timestamp >= start:
+                        window_events.append(e)
+            else:
+                window_events = [
+                    e for e in queue if start <= e.timestamp < end
+                ]
+            if window_events:
+                produced.append(Window(window_events, key, start, end, forced))
+            if self.spec.delete_used_events:
+                # Out-of-order continuous consumption: one-pass split into
+                # kept/consumed (the consumed set is exactly the in-range
+                # events, so no identity bookkeeping is needed).
+                queue = state.queue = deque(
+                    e for e in queue if not start <= e.timestamp < end
+                )
         state.window_start = start + step
         # Expire events that can no longer belong to any future window.
-        while state.queue and state.queue[0].timestamp < state.window_start:
-            self.expired.append(state.queue.popleft())
+        while queue and queue[0].timestamp < state.window_start:
+            self.expired.append(queue.popleft())
         return produced
 
     # -- wave-based -----------------------------------------------------

@@ -28,6 +28,15 @@ class Workflow:
         self.channels: list[Channel] = []
         self.expired_routes: list[tuple[InputPort, InputPort]] = []
         self.wave_generator = WaveGenerator()
+        # Structure-versioned caches: the graph view and the topology are
+        # rebuilt only when an actor or channel is added, not per query.
+        # The RB scheduler re-derives rate priorities every period — with
+        # a static structure that must not pay a graph rebuild each time.
+        self._structure_version = 0
+        self._graph_cache: Optional[nx.DiGraph] = None
+        self._graph_version = -1
+        self._topology_cache = None
+        self._topology_version = -1
 
     # ------------------------------------------------------------------
     # Construction
@@ -46,6 +55,7 @@ class Workflow:
             )
         actor.workflow = self
         self.actors[actor.name] = actor
+        self._structure_version += 1
         return actor
 
     def add_all(self, actors: Iterable[Actor]) -> None:
@@ -74,6 +84,7 @@ class Workflow:
                 )
         channel = Channel(out_port, in_port)
         self.channels.append(channel)
+        self._structure_version += 1
         return channel
 
     @staticmethod
@@ -153,13 +164,53 @@ class Workflow:
         ]
 
     def graph(self) -> nx.DiGraph:
-        """The actor-level connection graph (one node per actor)."""
+        """The actor-level connection graph (one node per actor).
+
+        Cached against the structure version: repeated queries on a
+        static workflow (validation, SDF schedule compilation, the RB
+        scheduler's per-period rate aggregation) share one build.
+        Callers must treat the returned graph as read-only.
+        """
+        if (
+            self._graph_cache is not None
+            and self._graph_version == self._structure_version
+        ):
+            return self._graph_cache
         g = nx.DiGraph()
         for actor in self.actors.values():
             g.add_node(actor.name, actor=actor)
         for channel in self.channels:
             g.add_edge(channel.source.actor.name, channel.sink.actor.name)
+        self._graph_cache = g
+        self._graph_version = self._structure_version
         return g
+
+    def topology(
+        self,
+    ) -> tuple[Optional[list[str]], dict[str, tuple[str, ...]]]:
+        """``(topological_order, successors)`` — cached like :meth:`graph`.
+
+        ``topological_order`` is ``None`` for cyclic workflows.  The
+        successor map covers every actor.  This is the static skeleton
+        the Rate-Based scheduler walks once per period; deriving it per
+        call made rate re-evaluation O(A + E) in graph-build work alone.
+        """
+        if (
+            self._topology_cache is not None
+            and self._topology_version == self._structure_version
+        ):
+            return self._topology_cache
+        graph = self.graph()
+        successors = {
+            name: tuple(graph.successors(name)) for name in graph.nodes
+        }
+        try:
+            order: Optional[list[str]] = list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible:
+            order = None
+        self._topology_cache = (order, successors)
+        self._topology_version = self._structure_version
+        return self._topology_cache
 
     def downstream_of(self, actor: Actor) -> list[Actor]:
         """Actors directly connected downstream of *actor*."""

@@ -7,8 +7,8 @@ scheduler but it is not a complete scheduler": it owns
   sorted by timestamp (:mod:`repro.stafilos.ready`);
 * the mapping from actors to their current :class:`ActorState` plus a
   dirty flag per actor so states are re-evaluated lazily;
-* the *active* and *waiting* collections ordered by a policy-provided
-  comparator key;
+* the *active* set, maintained as an incrementally repaired **dispatch
+  index** ordered by a policy-provided comparator key;
 * the hooks the director uses to signal its state changes (start/end of a
   director iteration, start/end of an actor's invocation, source firings).
 
@@ -16,12 +16,23 @@ Concrete policies (QBS, RR, RB...) extend it by implementing the abstract
 methods: the comparator key, the state-condition rules of Table 2, and the
 end-of-iteration maintenance (re-quantification, period roll-over...).
 
-A note on data structures: the paper uses two priority queues.  Because
-several policies (RB) change priorities dynamically, this implementation
-keeps the two sets as plain collections and selects the minimum-key ACTIVE
-actor on demand — semantically identical to a priority queue with lazy
-re-keying, and the actor counts of a workflow (tens) make O(n) selection
-free of any measurable cost while staying deterministic.
+A note on data structures: the paper uses two priority queues, and so does
+this implementation — but with *incremental maintenance* instead of the
+naive rescan an O(A) ``min()`` would be.  Every state-transition point
+(``enqueue``/``dequeue_item``/``on_actor_fire_end``/``set_state``/
+``invalidate_state``) adds the touched actor to a **dirty set** (O(1));
+``get_next_actor`` first *flushes* the dirty set — re-evaluating only the
+touched actors and repairing their index entries — and then selects the
+minimum in O(1)/O(log A) from the policy's
+:mod:`~repro.stafilos.dispatch_index` (a Linux-style priority-bucket
+array + occupancy bitmap for QBS, a rotating ready-ring for RR,
+lazy-deletion min-heaps for EDF/RB/FIFO).  Selection is bit-identical to
+the historical scan — ``min`` over the actor list equals the
+``(comparator_key, actor_order)`` minimum — which the oracle property
+test in ``tests/test_dispatch_index.py`` enforces.  The scan-based
+selection stopped being "free" the moment workflows scaled past tens of
+actors; see ``benchmarks/bench_dispatch_scaling.py`` for the measured
+flat-to-logarithmic per-dispatch cost.
 """
 
 from __future__ import annotations
@@ -35,6 +46,7 @@ from ..core.exceptions import SchedulerError
 from ..core.statistics import StatisticsRegistry
 from ..core.windows import Window
 from ..observability import tracer as _obs
+from .dispatch_index import LazyHeapIndex
 from .ready import ReadyItem, ReadyQueue
 from .states import ActorState
 
@@ -47,6 +59,12 @@ class AbstractScheduler(ABC):
 
     #: Short policy name used in experiment reports ("QBS", "RR", ...).
     policy_name = "abstract"
+
+    #: Whether sources belong in the dispatch index.  Policies that serve
+    #: sources through a separate interval-regulated rotation (QBS, RR,
+    #: EDF) exclude them; policies whose comparator ranks sources together
+    #: with internal actors (FIFO, RB, the default) include them.
+    index_includes_sources = True
 
     def __init__(self):
         self.workflow: Optional["Workflow"] = None
@@ -62,6 +80,18 @@ class AbstractScheduler(ABC):
         self.internal_firings = 0
         #: Optional load-shedding policy (see repro.stafilos.shedding).
         self.shedder = None
+        # ---- dispatch index state -----------------------------------
+        #: Actor names whose state/key may have changed since the last
+        #: index flush.  Adding is O(1); ``get_next_actor`` drains it.
+        self._index_dirty: set[str] = set()
+        #: Tie-break: position in the actor list (mirrors the historical
+        #: ``min()``-returns-first-minimum semantics).
+        self._actor_order: dict[str, int] = {}
+        self._actors_by_name: dict[str, Actor] = {}
+        self._index = None
+        # ---- O(1) backlog accounting --------------------------------
+        self._backlog = 0
+        self._nonempty_internal = 0
 
     # ------------------------------------------------------------------
     # Initialization (invoked by the SCWF director)
@@ -73,15 +103,43 @@ class AbstractScheduler(ABC):
         self.statistics = statistics
         self.actors = list(workflow.actors.values())
         self.sources = []
+        self._actor_order = {
+            actor.name: order for order, actor in enumerate(self.actors)
+        }
+        self._actors_by_name = {actor.name: actor for actor in self.actors}
+        self._backlog = 0
+        self._nonempty_internal = 0
         for actor in self.actors:
-            self.ready[actor.name] = ReadyQueue()
+            self.ready[actor.name] = ReadyQueue(
+                on_size_change=self._make_size_listener(actor)
+            )
             self.states[actor.name] = ActorState.INACTIVE
             # Invalid until first queried: the policy's Table 2 rules
             # decide the real initial state once quanta etc. exist.
             self.state_valid[actor.name] = False
         for source in workflow.sources:
             self.register_source(source)
+        self._index = self._make_dispatch_index()
+        self._index_dirty = set(self._actor_order)
         self.on_initialize()
+
+    def _make_dispatch_index(self):
+        """Policy hook: the index structure holding ACTIVE actors."""
+        return LazyHeapIndex()
+
+    def _make_size_listener(self, actor: Actor):
+        """Per-queue closure maintaining the O(1) backlog counters."""
+        internal = not actor.is_source
+
+        def on_size_change(old_len: int, new_len: int) -> None:
+            self._backlog += new_len - old_len
+            if internal:
+                if old_len == 0 and new_len > 0:
+                    self._nonempty_internal += 1
+                elif old_len > 0 and new_len == 0:
+                    self._nonempty_internal -= 1
+
+        return on_size_change
 
     def register_source(self, source: SourceActor) -> None:
         """Sources are registered so policies can treat them specially."""
@@ -140,14 +198,19 @@ class AbstractScheduler(ABC):
         return len(self.ready[actor.name])
 
     def total_backlog(self) -> int:
-        """Ready items across every actor (thrash diagnostics)."""
-        return sum(len(queue) for queue in self.ready.values())
+        """Ready items across every actor — O(1), incrementally counted."""
+        return self._backlog
+
+    def nonempty_internal_count(self) -> int:
+        """Distinct internal actors currently holding ready work — O(1)."""
+        return self._nonempty_internal
 
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
     def invalidate_state(self, actor: Actor) -> None:
         self.state_valid[actor.name] = False
+        self._index_dirty.add(actor.name)
 
     def state_of(self, actor: Actor) -> ActorState:
         """Current state, re-evaluated via the policy rules when stale."""
@@ -171,6 +234,7 @@ class AbstractScheduler(ABC):
         previous = self.states[actor.name]
         self.states[actor.name] = state
         self.state_valid[actor.name] = True
+        self._index_dirty.add(actor.name)
         if state is not previous:
             if _obs.ENABLED:
                 _obs._TRACER.instant(
@@ -206,16 +270,68 @@ class AbstractScheduler(ABC):
             if self.state_of(actor) is ActorState.WAITING
         ]
 
+    # ------------------------------------------------------------------
+    # The incrementally maintained dispatch index
+    # ------------------------------------------------------------------
+    def _mark_index_dirty_all(self) -> None:
+        """Refresh every index entry (e.g. after a bulk re-keying).
+
+        Unlike :meth:`invalidate_state` this does *not* discard cached
+        states — only the comparator keys are recomputed at the next
+        flush (used by RB when its dynamic rates are re-evaluated).
+        """
+        self._index_dirty.update(self._actor_order)
+
+    def _flush_index(self) -> None:
+        """Drain the dirty set, repairing the affected index entries.
+
+        Dirty actors are processed in actor-list order so lazy state
+        re-evaluation (and its trace events) happens in the same order
+        the historical full scan used.
+        """
+        dirty = self._index_dirty
+        if not dirty:
+            return
+        if len(dirty) > 1:
+            names = sorted(dirty, key=self._actor_order.__getitem__)
+        else:
+            names = list(dirty)
+        dirty.clear()
+        index = self._index
+        include_sources = self.index_includes_sources
+        for name in names:
+            actor = self._actors_by_name.get(name)
+            if actor is None:  # pragma: no cover - defensive
+                continue
+            if actor.is_source and not include_sources:
+                continue
+            index.invalidate(name)
+            if self.state_of(actor) is ActorState.ACTIVE:
+                index.insert(
+                    name, self.comparator_key(actor), self._actor_order[name]
+                )
+
+    def _peek_indexed(self) -> Optional[Actor]:
+        """The minimum-key ACTIVE actor per the index, or ``None``."""
+        if self._index is None:  # not initialized yet
+            return None
+        self._flush_index()
+        name = self._index.peek()
+        if name is None:
+            return None
+        return self._actors_by_name[name]
+
     def get_next_actor(self) -> Optional[Actor]:
         """The next actor to fire, or ``None`` to end the iteration.
 
-        Default: the minimum-comparator-key ACTIVE actor.  Policies override
-        or extend this (QBS injects regular source firings, RR rotates).
+        Default: the minimum-comparator-key ACTIVE actor, served from the
+        dispatch index in O(1)/O(log A).  Policies override or extend this
+        (QBS injects regular source firings, RR rotates).
         """
-        candidates = self.active_actors()
-        if not candidates:
+        actor = self._peek_indexed()
+        if actor is None:
             return self.on_active_queue_empty()
-        return min(candidates, key=self.comparator_key)
+        return actor
 
     def on_active_queue_empty(self) -> Optional[Actor]:
         """Hook: last chance to produce an actor before the iteration ends."""

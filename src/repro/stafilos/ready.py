@@ -5,6 +5,12 @@ them to queues of events (sorted by timestamp) that should be propagated to
 each actor's corresponding input ports when they are to be scheduled for
 execution."  A :class:`ReadyItem` remembers which input port the window or
 event belongs to so the director can stage it correctly.
+
+Ready queues sit on the per-event enqueue path, so they stay lean: the
+sort key is read straight off the item (windows and events expose the same
+``timestamp`` attribute — no type dispatch needed), and an optional
+``on_size_change`` listener lets the owning scheduler keep O(1) aggregate
+backlog counters instead of re-summing every queue.
 """
 
 from __future__ import annotations
@@ -12,18 +18,12 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
-
-from ..core.events import CWEvent
-from ..core.windows import Window
+from typing import Any, Callable, Optional
 
 _TIEBREAK = itertools.count()
 
-
-def _timestamp_of(item: Window | CWEvent) -> int:
-    if isinstance(item, Window):
-        return item.timestamp
-    return item.timestamp
+#: Listener signature: ``(old_len, new_len)`` after a push/pop/clear.
+SizeListener = Callable[[int, int], None]
 
 
 @dataclass(order=True)
@@ -35,7 +35,9 @@ class ReadyItem:
     item: Any = field(compare=False)
 
     def __post_init__(self) -> None:
-        self.sort_key = (_timestamp_of(self.item), next(_TIEBREAK))
+        # Windows and events both carry a ``timestamp`` attribute; read it
+        # once (this runs on every enqueue).
+        self.sort_key = (self.item.timestamp, next(_TIEBREAK))
 
     @property
     def timestamp(self) -> int:
@@ -45,18 +47,28 @@ class ReadyItem:
 class ReadyQueue:
     """A timestamp-ordered queue of :class:`ReadyItem` for one actor."""
 
-    def __init__(self):
-        self._heap: list[ReadyItem] = []
+    __slots__ = ("_heap", "_on_size_change")
 
-    def push(self, port_name: str, item: Window | CWEvent) -> ReadyItem:
+    def __init__(self, on_size_change: Optional[SizeListener] = None):
+        self._heap: list[ReadyItem] = []
+        self._on_size_change = on_size_change
+
+    def push(self, port_name: str, item: Any) -> ReadyItem:
         ready = ReadyItem(port_name, item)
         heapq.heappush(self._heap, ready)
+        if self._on_size_change is not None:
+            size = len(self._heap)
+            self._on_size_change(size - 1, size)
         return ready
 
     def pop(self) -> Optional[ReadyItem]:
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)
+        item = heapq.heappop(self._heap)
+        if self._on_size_change is not None:
+            size = len(self._heap)
+            self._on_size_change(size + 1, size)
+        return item
 
     def peek(self) -> Optional[ReadyItem]:
         return self._heap[0] if self._heap else None
@@ -68,4 +80,7 @@ class ReadyQueue:
         return bool(self._heap)
 
     def clear(self) -> None:
+        size = len(self._heap)
         self._heap.clear()
+        if size and self._on_size_change is not None:
+            self._on_size_change(size, 0)

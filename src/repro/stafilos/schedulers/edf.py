@@ -18,6 +18,7 @@ from typing import Any, Optional
 
 from ...core.actors import Actor
 from ..abstract_scheduler import AbstractScheduler
+from ..dispatch_index import INF_TIME
 from ..states import ActorState
 
 
@@ -25,6 +26,10 @@ class EarliestDeadlineScheduler(AbstractScheduler):
     """Deadline-ordered service with priority-scaled latency targets."""
 
     policy_name = "EDF"
+
+    #: Sources are interval-regulated separately; the deadline heap holds
+    #: internal actors only.
+    index_includes_sources = False
 
     def __init__(
         self,
@@ -66,27 +71,22 @@ class EarliestDeadlineScheduler(AbstractScheduler):
         return ActorState.INACTIVE
 
     def comparator_key(self, actor: Actor) -> Any:
+        # Event-less actors sort last: "no deadline" must never beat a
+        # real one (the +inf sentinel; ACTIVE actors always hold events).
         deadline = self.deadline_of(actor)
-        return (deadline if deadline is not None else 2**62, actor.name)
+        return (deadline if deadline is not None else INF_TIME, actor.name)
 
     def get_next_actor(self) -> Optional[Actor]:
-        internals = [
-            actor
-            for actor in self.actors
-            if not actor.is_source
-            and self.state_of(actor) is ActorState.ACTIVE
-        ]
+        internal = self._peek_indexed()
         source_due = (
             self._internal_since_source >= self.source_interval
-            or not internals
+            or internal is None
         )
         if source_due:
             source = self._next_runnable_source()
             if source is not None:
                 return source
-        if internals:
-            return min(internals, key=self.comparator_key)
-        return None
+        return internal
 
     def _next_runnable_source(self):
         count = len(self.sources)

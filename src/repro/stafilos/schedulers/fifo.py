@@ -9,10 +9,11 @@ they have due arrivals and nothing older is pending.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ...core.actors import Actor
 from ..abstract_scheduler import AbstractScheduler
+from ..dispatch_index import INF_TIME
 from ..states import ActorState
 
 
@@ -31,21 +32,16 @@ class FIFOScheduler(AbstractScheduler):
         return ActorState.INACTIVE
 
     def comparator_key(self, actor: Actor) -> Any:
+        # The +inf sentinel keeps event-less actors last; ACTIVE actors
+        # always hold events (or due arrivals), so it is a guard only.
         if actor.is_source:
             arrival = actor.next_arrival_time()
-            return (arrival if arrival is not None else 2**62, 0)
+            return (arrival if arrival is not None else INF_TIME, 0)
         head = self.ready[actor.name].peek()
-        return (head.timestamp if head is not None else 2**62, 1)
+        return (head.timestamp if head is not None else INF_TIME, 1)
 
-    def get_next_actor(self) -> Optional[Actor]:
-        candidates = [
-            actor
-            for actor in self.actors
-            if self.state_of(actor) is ActorState.ACTIVE
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=self.comparator_key)
+    # The default indexed ``get_next_actor`` applies as-is: FIFO ranks
+    # sources and internal actors together by earliest timestamp.
 
     def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
         super().on_actor_fire_end(actor, cost_us, now)

@@ -30,6 +30,7 @@ from typing import Any, Optional
 from ...core.actors import Actor, SourceActor
 from ...observability import tracer as _obs
 from ..abstract_scheduler import AbstractScheduler
+from ..dispatch_index import INF_TIME, PriorityBucketIndex
 from ..states import ActorState
 
 
@@ -44,6 +45,10 @@ class QuantumPriorityScheduler(AbstractScheduler):
     """Priority + quantum scheduling in the style of the Linux kernel."""
 
     policy_name = "QBS"
+
+    #: Sources are interval-regulated through their own rotation; only
+    #: internal actors live in the priority-bucket index.
+    index_includes_sources = False
 
     def __init__(self, basic_quantum_us: int = 500, source_interval: int = 5):
         super().__init__()
@@ -62,6 +67,14 @@ class QuantumPriorityScheduler(AbstractScheduler):
                 actor.priority, self.basic_quantum_us
             )
 
+    def _make_dispatch_index(self):
+        """Linux-O(1)-style bucket array + occupancy bitmap (the paper's
+        own inspiration): one bucket per designer priority, FIFO within
+        a class by head-event timestamp."""
+        return PriorityBucketIndex(
+            [actor.priority for actor in self.actors if not actor.is_source]
+        )
+
     # ------------------------------------------------------------------
     # Table 2: state conditions under QBS
     # ------------------------------------------------------------------
@@ -79,32 +92,32 @@ class QuantumPriorityScheduler(AbstractScheduler):
         return ActorState.WAITING
 
     def comparator_key(self, actor: Actor) -> Any:
-        """Ascending designer priority; FIFO (earliest event) within a class."""
+        """Ascending designer priority; FIFO (earliest event) within a class.
+
+        An event-less actor sorts *last* within its priority class (the
+        ``+inf`` sentinel): FIFO-within-class means actors holding older
+        events win, and "no event" is the oldest possible claim, not the
+        newest.  (ACTIVE internal actors always hold events, so this
+        fallback only shows up when the key is probed externally.)
+        """
         head = self.ready[actor.name].peek()
-        head_time = head.timestamp if head is not None else 0
+        head_time = head.timestamp if head is not None else INF_TIME
         return (actor.priority, head_time)
 
     # ------------------------------------------------------------------
     # Selection: interval-regulated sources + priority-ordered internals
     # ------------------------------------------------------------------
     def get_next_actor(self) -> Optional[Actor]:
-        internals = [
-            actor
-            for actor in self.actors
-            if not actor.is_source
-            and self.state_of(actor) is ActorState.ACTIVE
-        ]
+        internal = self._peek_indexed()
         source_due = (
             self._internal_since_source >= self.source_interval
-            or not internals
+            or internal is None
         )
         if source_due:
             source = self._next_runnable_source()
             if source is not None:
                 return source
-        if internals:
-            return min(internals, key=self.comparator_key)
-        return None
+        return internal
 
     def _next_runnable_source(self) -> Optional[SourceActor]:
         count = len(self.sources)

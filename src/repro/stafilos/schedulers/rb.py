@@ -25,7 +25,7 @@ exactly this (tokens wait longer to enter the workflow).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from ...core.actors import Actor
 from ...core.events import CWEvent
@@ -48,6 +48,7 @@ class RateBasedScheduler(AbstractScheduler):
         self.periods = 0
         self.priorities: dict[str, float] = {}
         self._next_period_buffer: list[tuple[Actor, str, Any]] = []
+        self._buffered_counts: dict[str, int] = {}
         self._fired_sources: set[str] = set()
 
     # ------------------------------------------------------------------
@@ -56,9 +57,22 @@ class RateBasedScheduler(AbstractScheduler):
 
     def _recompute_priorities(self) -> None:
         assert self.workflow is not None and self.statistics is not None
+        old = self.priorities
         self.priorities = rate_priorities(
             self.workflow, self.statistics, self.default_cost_us
         )
+        if not old:
+            # First evaluation: every comparator key is new.
+            self._mark_index_dirty_all()
+            return
+        # Re-key only the actors whose rate actually moved (cached states
+        # stay valid either way).  In steady state most rates are stable,
+        # so the per-period index repair is proportional to the churn,
+        # not the actor count.
+        new = self.priorities
+        changed = [name for name in new if old.get(name) != new[name]]
+        changed.extend(name for name in old if name not in new)
+        self._index_dirty.update(changed)
 
     # ------------------------------------------------------------------
     # Period-buffered admission
@@ -72,11 +86,13 @@ class RateBasedScheduler(AbstractScheduler):
     ) -> None:
         """Mid-period arrivals wait in the next-period buffer."""
         self._next_period_buffer.append((actor, port_name, item))
+        self._buffered_counts[actor.name] = (
+            self._buffered_counts.get(actor.name, 0) + 1
+        )
 
     def buffered_for(self, actor: Actor) -> int:
-        return sum(
-            1 for owner, _, _ in self._next_period_buffer if owner is actor
-        )
+        """Events held for *actor* until the period rolls over — O(1)."""
+        return self._buffered_counts.get(actor.name, 0)
 
     # ------------------------------------------------------------------
     # Table 2: state conditions under RB
@@ -96,16 +112,8 @@ class RateBasedScheduler(AbstractScheduler):
         """Highest dynamic rate first (min-key ordering, so negate)."""
         return (-self.priorities.get(actor.name, 0.0), actor.name)
 
-    # ------------------------------------------------------------------
-    def get_next_actor(self) -> Optional[Actor]:
-        candidates = [
-            actor
-            for actor in self.actors
-            if self.state_of(actor) is ActorState.ACTIVE
-        ]
-        if not candidates:
-            return None
-        return min(candidates, key=self.comparator_key)
+    # The default indexed ``get_next_actor`` applies as-is: RB ranks
+    # sources and internal actors together by dynamic rate.
 
     # ------------------------------------------------------------------
     def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
@@ -118,6 +126,7 @@ class RateBasedScheduler(AbstractScheduler):
         super().on_iteration_end(now)
         self.periods += 1
         buffered, self._next_period_buffer = self._next_period_buffer, []
+        self._buffered_counts.clear()
         for actor, port_name, item in buffered:
             self.ready[actor.name].push(port_name, item)
             self.invalidate_state(actor)

@@ -32,6 +32,13 @@ class RoundRobinScheduler(AbstractScheduler):
 
     policy_name = "RR"
 
+    #: Sources are interval-regulated through their own rotation; only
+    #: internal actors enter the ready-ring.  The LazyHeapIndex keyed by
+    #: the rotation ticket *is* the rotating ready-ring: actors enter at
+    #: the back (a fresh, higher ticket) and the earliest ticket is
+    #: served first.
+    index_includes_sources = False
+
     def __init__(self, slice_us: int = 10_000, source_interval: int = 5):
         super().__init__()
         self.slice_us = slice_us
@@ -86,23 +93,16 @@ class RoundRobinScheduler(AbstractScheduler):
 
     # ------------------------------------------------------------------
     def get_next_actor(self) -> Optional[Actor]:
-        internals = [
-            actor
-            for actor in self.actors
-            if not actor.is_source
-            and self.state_of(actor) is ActorState.ACTIVE
-        ]
+        internal = self._peek_indexed()
         source_due = (
             self._internal_since_source >= self.source_interval
-            or not internals
+            or internal is None
         )
         if source_due:
             source = self._next_runnable_source()
             if source is not None:
                 return source
-        if internals:
-            return min(internals, key=self.comparator_key)
-        return None
+        return internal
 
     def _next_runnable_source(self) -> Optional[SourceActor]:
         count = len(self.sources)

@@ -27,6 +27,7 @@ in :mod:`repro.simulation`.
 
 from __future__ import annotations
 
+import heapq
 from typing import Optional
 
 from ..core.actors import Actor, SourceActor
@@ -80,6 +81,21 @@ class SCWFDirector(Director):
         self.total_events_admitted = 0
         self.actor_errors: dict[str, int] = {}
         self._timed_receivers: list[TMWindowedReceiver] = []
+        # ---- timed-window deadline heap -----------------------------
+        #: Receivers whose spec declares a formation timeout, by slot.
+        self._deadline_watch: list[TMWindowedReceiver] = []
+        #: Lazy min-heap of ``(deadline_us, slot)``; an entry is live iff
+        #: it equals ``_deadline_cache[slot]``.
+        self._deadline_heap: list[tuple[int, int]] = []
+        self._deadline_cache: list[Optional[int]] = []
+        #: Slots whose window operator changed since the last flush.
+        self._deadline_dirty: set[int] = set()
+        # ---- next-arrival cache -------------------------------------
+        self._arrival_cache: Optional[int] = None
+        self._arrival_cache_valid = False
+        #: Live (unbounded) sources can grow their arrival schedule from
+        #: a background thread; caching is only safe without them.
+        self._sources_static = False
 
     @property
     def error_policy(self) -> str:
@@ -98,12 +114,21 @@ class SCWFDirector(Director):
         receiver = TMWindowedReceiver(port.window, self, port)
         if port.window is not None and port.window.measure.value == "time":
             self._timed_receivers.append(receiver)
+            if port.window.timeout is not None:
+                slot = len(self._deadline_watch)
+                self._deadline_watch.append(receiver)
+                self._deadline_cache.append(None)
+                self._deadline_dirty.add(slot)
+                receiver.watch_deadline(slot)
         return receiver
 
     def initialize_all(self) -> None:
         super().initialize_all()
         workflow = self._require_attached()
         self.scheduler.initialize(workflow, self.statistics)
+        self._sources_static = all(
+            not source.unbounded for source in workflow.sources
+        )
 
     def current_time(self) -> int:
         return self.clock.now_us
@@ -131,6 +156,9 @@ class SCWFDirector(Director):
         scheduler = self.scheduler
         self.iterations += 1
         iteration_start = self.clock.now_us
+        if scheduler.shedder is not None:
+            # Input-side shedding may advance source cursors.
+            self._arrival_cache_valid = False
         scheduler.on_iteration_start(iteration_start)
         internal_firings = 0
         source_emissions = 0
@@ -186,6 +214,7 @@ class SCWFDirector(Director):
         emitted = source.pump(ctx)
         source.postfire(ctx)
         ctx.close()
+        self._arrival_cache_valid = False
         cost = self.cost_model.source_cost(source, emitted)
         now = self.clock.advance(cost)
         self.statistics.record_invocation(source, cost)
@@ -297,32 +326,77 @@ class SCWFDirector(Director):
     # ------------------------------------------------------------------
     # Window timeout events
     # ------------------------------------------------------------------
+    def _mark_deadline_dirty(self, slot: int) -> None:
+        """A timed receiver's window operator changed; its deadline is
+        stale.  O(1) — recomputation is deferred to the next flush."""
+        self._deadline_dirty.add(slot)
+
+    def _flush_deadlines(self) -> None:
+        """Recompute the deadline of every dirty receiver (O(dirty·G))
+        and repair the lazy heap (O(dirty·log R))."""
+        dirty = self._deadline_dirty
+        if not dirty:
+            return
+        heap = self._deadline_heap
+        cache = self._deadline_cache
+        for slot in dirty:
+            receiver = self._deadline_watch[slot]
+            boundary = receiver.next_deadline()
+            deadline = (
+                None if boundary is None else boundary + receiver.spec.timeout
+            )
+            cache[slot] = deadline
+            if deadline is not None:
+                heapq.heappush(heap, (deadline, slot))
+        dirty.clear()
+
+    def _peek_deadline(self) -> Optional[tuple[int, int]]:
+        """The earliest live ``(deadline, slot)``, discarding stale tops."""
+        heap = self._deadline_heap
+        cache = self._deadline_cache
+        while heap:
+            deadline, slot = heap[0]
+            if cache[slot] == deadline:
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
     def next_window_deadline(self) -> Optional[int]:
         """Earliest engine time a timed-window timeout must fire.
 
         A receiver participates only when its spec declares a
         ``window_formation_timeout``; the timeout fires that long after the
-        window's event-time right boundary.
+        window's event-time right boundary.  Served from a lazily repaired
+        min-heap: O(dirty·log R) amortized instead of an O(R) rescan.
         """
-        deadlines = []
-        for receiver in self._timed_receivers:
-            if receiver.spec.timeout is None:
-                continue
-            boundary = receiver.next_deadline()
-            if boundary is not None:
-                deadlines.append(boundary + receiver.spec.timeout)
-        return min(deadlines, default=None)
+        self._flush_deadlines()
+        top = self._peek_deadline()
+        return top[0] if top is not None else None
 
     def fire_window_timeouts(self, now: int) -> int:
-        """Force-produce every timed window whose timeout passed by *now*."""
+        """Force-produce every timed window whose timeout passed by *now*.
+
+        Only *due* receivers are popped from the deadline heap
+        (O(due·log R)); the historical full rescan of ``_timed_receivers``
+        is gone.  Due receivers fire in registration order, matching the
+        rescan's firing order exactly.
+        """
+        self._flush_deadlines()
+        due: list[int] = []
+        while True:
+            top = self._peek_deadline()
+            if top is None or top[0] > now:
+                break
+            _, slot = heapq.heappop(self._deadline_heap)
+            self._deadline_cache[slot] = None
+            due.append(slot)
         produced = 0
-        for receiver in self._timed_receivers:
-            timeout = receiver.spec.timeout
-            if timeout is None:
-                continue
-            boundary = receiver.next_deadline()
-            if boundary is not None and boundary + timeout <= now:
-                produced += receiver.force_timeout(now - timeout)
+        for slot in sorted(due):
+            receiver = self._deadline_watch[slot]
+            produced += receiver.force_timeout(now - receiver.spec.timeout)
+            # force_timeout marks the slot dirty via the receiver hook;
+            # ensure it is re-examined even when nothing was produced.
+            self._deadline_dirty.add(slot)
         if produced:
             if _obs.ENABLED:
                 _obs._TRACER.instant("window.timeout_fired", now, produced=produced)
@@ -331,14 +405,31 @@ class SCWFDirector(Director):
     # ------------------------------------------------------------------
     # Idle bookkeeping for the runtime
     # ------------------------------------------------------------------
+    def invalidate_arrival_cache(self) -> None:
+        """Forget the cached earliest arrival (source cursors moved)."""
+        self._arrival_cache_valid = False
+
     def next_arrival_time(self) -> Optional[int]:
+        """Earliest undelivered external arrival across all sources.
+
+        Cached between source firings when every source is static (live
+        push sources can grow their schedule asynchronously, so caching
+        is disabled the moment one is attached).  An exhausted schedule
+        (``None``) is never cached: a late ``load()`` must be seen.
+        """
+        if self._arrival_cache_valid:
+            return self._arrival_cache
         workflow = self._require_attached()
         times = [
             arrival
             for source in workflow.sources
             if (arrival := source.next_arrival_time()) is not None
         ]
-        return min(times, default=None)
+        value = min(times, default=None)
+        if self._sources_static and value is not None:
+            self._arrival_cache = value
+            self._arrival_cache_valid = True
+        return value
 
     def backlog(self) -> int:
         return self.scheduler.total_backlog()

@@ -45,6 +45,49 @@ class TMWindowedReceiver(WindowedReceiver):
         super().__init__(effective, port)
         self._director = director
         self._buffer: deque = deque()
+        #: Slot in the director's timed-deadline heap, or ``None`` when
+        #: this receiver has no formation timeout to watch.
+        self._deadline_slot: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Timed-deadline index participation
+    # ------------------------------------------------------------------
+    def watch_deadline(self, slot: int) -> None:
+        """Director-assigned slot in its timed-window deadline heap."""
+        self._deadline_slot = slot
+
+    def put(self, event: CWEvent) -> None:
+        if self._passthrough:
+            # Fast path: a windowless port wraps every event in a
+            # tokens(1, 1) singleton window only to unwrap it again in
+            # ``_deliver``.  Skip the window operator entirely — the
+            # passthrough spec never pends, expires, or times out, so
+            # the observable behaviour is bit-identical.  (The threaded
+            # engine's receiver takes the same shortcut.)
+            from ..core.punctuation import Punctuation
+
+            if isinstance(event.value, Punctuation):
+                return  # token windows ignore time punctuations
+            assert self.port is not None
+            self._director.schedule_ready(
+                self.port.actor, self.port.name, event
+            )
+            return
+        super().put(event)
+        if self._deadline_slot is not None:
+            # The window operator's pending boundaries may have moved.
+            self._director._mark_deadline_dirty(self._deadline_slot)
+
+    def force_timeout(self, now: Optional[int] = None) -> int:
+        produced = super().force_timeout(now)
+        if self._deadline_slot is not None:
+            self._director._mark_deadline_dirty(self._deadline_slot)
+        return produced
+
+    def clear(self) -> None:
+        super().clear()
+        if self._deadline_slot is not None:
+            self._director._mark_deadline_dirty(self._deadline_slot)
 
     # ------------------------------------------------------------------
     def _deliver(self, window: Window) -> None:

@@ -1,0 +1,294 @@
+"""The dispatch index: unit behaviour + the bit-identical dispatch oracle.
+
+The tentpole claim of the incremental dispatch index is that it changes
+*nothing* observable: ``get_next_actor()`` must return the exact actor
+the historical O(A) scan would have returned, tie-breaking included, for
+every policy.  ``TestDispatchOracle`` enforces that against the naive
+reference implementations kept in :mod:`tests.naive_schedulers` across
+randomly generated workflows, arrival patterns, priorities and policies.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.simulation.clock import VirtualClock
+from repro.simulation.cost_model import CostModel
+from repro.simulation.runtime import SimulationRuntime
+from repro.stafilos.dispatch_index import (
+    INF_TIME,
+    LazyHeapIndex,
+    PriorityBucketIndex,
+)
+from repro.stafilos.schedulers.qbs import QuantumPriorityScheduler
+from repro.stafilos.scwf_director import SCWFDirector
+
+from tests.naive_schedulers import POLICY_PAIRS
+
+
+# ---------------------------------------------------------------------------
+# Index structures in isolation
+# ---------------------------------------------------------------------------
+class TestLazyHeapIndex:
+    def test_peek_returns_min_key_then_order(self):
+        index = LazyHeapIndex()
+        index.insert("b", (5, 0), 1)
+        index.insert("a", (5, 0), 0)
+        index.insert("c", (1, 0), 2)
+        assert index.peek() == "c"
+        index.invalidate("c")
+        assert index.peek() == "a"  # equal keys -> lower actor order
+
+    def test_invalidate_then_reinsert_uses_new_key(self):
+        index = LazyHeapIndex()
+        index.insert("a", (10,), 0)
+        index.insert("b", (20,), 1)
+        index.invalidate("a")
+        index.insert("a", (30,), 0)
+        assert index.peek() == "b"
+
+    def test_stale_entries_compact_away(self):
+        index = LazyHeapIndex()
+        # Churn one name far past the compaction threshold while a second
+        # name stays live; the heap must not grow without bound.
+        index.insert("keep", (0,), 0)
+        for i in range(1, 400):
+            index.invalidate("churn")
+            index.insert("churn", (i,), 1)
+        assert index.peek() == "keep"
+        assert index.heap_size() < 400
+
+    def test_empty_peek(self):
+        index = LazyHeapIndex()
+        assert index.peek() is None
+        index.insert("a", (1,), 0)
+        index.invalidate("a")
+        assert index.peek() is None
+
+
+class TestPriorityBucketIndex:
+    def test_lowest_occupied_priority_wins(self):
+        index = PriorityBucketIndex([10, 20, 30])
+        index.insert("low", (30, 7), 2)
+        index.insert("mid", (20, 3), 1)
+        assert index.peek() == "mid"
+        index.insert("hot", (10, 99), 0)
+        assert index.peek() == "hot"
+
+    def test_fifo_within_class(self):
+        index = PriorityBucketIndex([20, 20])
+        index.insert("young", (20, 500), 0)
+        index.insert("old", (20, 100), 1)
+        # Same priority class: the older head event wins despite the
+        # other actor's lower list position.
+        assert index.peek() == "old"
+
+    def test_occupancy_bitmap_tracks_levels(self):
+        index = PriorityBucketIndex([10, 20])
+        assert index.occupancy_bitmap() == 0
+        index.insert("a", (20, 0), 0)
+        assert index.occupancy_bitmap() != 0
+        index.invalidate("a")
+        assert index.peek() is None
+        assert index.occupancy_bitmap() == 0
+
+    def test_unknown_priority_adds_level(self):
+        index = PriorityBucketIndex([20])
+        index.insert("a", (20, 5), 0)
+        # A priority never seen at construction (RB-style re-keying or a
+        # dynamically added actor) must still be accepted and ordered.
+        index.insert("b", (5, 9), 1)
+        assert index.peek() == "b"
+
+
+# ---------------------------------------------------------------------------
+# Satellite regression: the comparator's empty-queue sentinel
+# ---------------------------------------------------------------------------
+class TestComparatorSentinel:
+    def _scheduler_with(self, *actors):
+        workflow = Workflow("cmp")
+        source = SourceActor("src", arrivals=[(0, 1)])
+        source.add_output("out")
+        workflow.add(source)
+        for actor in actors:
+            workflow.add(actor)
+            workflow.connect(source, actor)
+        scheduler = QuantumPriorityScheduler(500)
+        director = SCWFDirector(scheduler, VirtualClock(), CostModel())
+        director.attach(workflow)
+        director.initialize_all()
+        return scheduler
+
+    def test_event_less_actor_sorts_after_loaded_peer(self):
+        """Same priority class: "no event" must lose to *any* real event.
+
+        The historical fallback keyed an empty queue as timestamp 0 —
+        which would have made an event-less actor beat every peer in its
+        class, inverting FIFO-within-class.  The sentinel is +inf.
+        """
+        loaded = MapActor("loaded", lambda v: v)
+        empty = MapActor("empty", lambda v: v)
+        loaded.priority = empty.priority = 20
+        scheduler = self._scheduler_with(loaded, empty)
+        scheduler.ready["loaded"].push("in", _event(123_456))
+        key_loaded = scheduler.comparator_key(loaded)
+        key_empty = scheduler.comparator_key(empty)
+        assert key_empty == (20, INF_TIME)
+        assert key_loaded < key_empty
+
+    def test_priority_still_dominates_sentinel(self):
+        urgent_empty = MapActor("urgent", lambda v: v)
+        urgent_empty.priority = 10
+        lazy_loaded = MapActor("lazy", lambda v: v)
+        lazy_loaded.priority = 20
+        scheduler = self._scheduler_with(urgent_empty, lazy_loaded)
+        scheduler.ready["lazy"].push("in", _event(5))
+        assert scheduler.comparator_key(
+            urgent_empty
+        ) < scheduler.comparator_key(lazy_loaded)
+
+
+def _event(ts):
+    from repro.core.events import CWEvent
+    from repro.core.waves import WaveTag
+
+    return CWEvent("x", ts, WaveTag.root(ts))
+
+
+# ---------------------------------------------------------------------------
+# O(1) accounting counters
+# ---------------------------------------------------------------------------
+class TestIncrementalCounters:
+    def test_backlog_and_nonempty_match_recount(self):
+        seq, scheduler = _run_recorded("QBS", _spec_example(), indexed=True)
+        assert seq  # the run actually dispatched something
+        assert scheduler.total_backlog() == sum(
+            len(q) for q in scheduler.ready.values()
+        )
+        assert scheduler.nonempty_internal_count() == sum(
+            1
+            for actor in scheduler.actors
+            if not actor.is_source and len(scheduler.ready[actor.name]) > 0
+        )
+
+
+# ---------------------------------------------------------------------------
+# The oracle: indexed dispatch == naive scan dispatch, bit for bit
+# ---------------------------------------------------------------------------
+def _build_workflow(spec):
+    """Deterministically materialize a drawn workflow description."""
+    (n_sources, relay_parents, priorities, arrival_sets, windowed) = spec
+    # Every source must feed someone: force relay i to hang off source i.
+    n_sources = min(n_sources, len(relay_parents))
+    relay_parents = list(relay_parents)
+    for s in range(n_sources):
+        relay_parents[s] = s
+    workflow = Workflow("oracle")
+    nodes = []
+    for s in range(n_sources):
+        arrivals = [
+            (ts, i) for i, ts in enumerate(sorted(arrival_sets[s]))
+        ]
+        source = SourceActor(f"src{s}", arrivals=arrivals)
+        source.add_output("out")
+        workflow.add(source)
+        nodes.append(source)
+    sink_feed = None
+    for i, parent_idx in enumerate(relay_parents):
+        window = None
+        if windowed and i == 0:
+            window = WindowSpec.tokens(2, 2, delete_used_events=True)
+        relay = MapActor(
+            f"relay{i}",
+            lambda v: sum(v) if isinstance(v, list) else v,
+            window=window,
+        )
+        relay.priority = priorities[i]
+        workflow.add(relay)
+        workflow.connect(nodes[parent_idx % len(nodes)], relay)
+        nodes.append(relay)
+        sink_feed = relay
+    sink = SinkActor("sink")
+    workflow.add(sink)
+    workflow.connect(sink_feed, sink)
+    return workflow
+
+
+def _run_recorded(policy, spec, indexed):
+    """Run the workflow under the policy; record every dispatch decision."""
+    indexed_cls, naive_cls = POLICY_PAIRS[policy]
+    scheduler = (indexed_cls if indexed else naive_cls)()
+    sequence = []
+    original = scheduler.get_next_actor
+
+    def recording():
+        actor = original()
+        sequence.append(actor.name if actor is not None else None)
+        return actor
+
+    scheduler.get_next_actor = recording
+    clock = VirtualClock()
+    director = SCWFDirector(scheduler, clock, CostModel())
+    director.attach(_build_workflow(spec))
+    SimulationRuntime(director, clock).run(10.0, drain=True)
+    return sequence, scheduler
+
+
+def _spec_example():
+    return (
+        2,
+        [0, 1, 2, 2],
+        [20, 10, 20, 30],
+        [[0, 100, 5_000, 5_000, 90_000], [10, 10, 200_000]],
+        True,
+    )
+
+
+_spec_strategy = st.tuples(
+    st.integers(min_value=1, max_value=2),  # n_sources
+    st.lists(  # relay parent links (index into nodes-so-far)
+        st.integers(min_value=0, max_value=6), min_size=1, max_size=6
+    ),
+    st.lists(  # relay priorities (few classes -> many ties)
+        st.sampled_from([10, 20, 20, 20, 30]), min_size=6, max_size=6
+    ),
+    st.lists(  # per-source arrival timestamps
+        st.lists(
+            st.integers(min_value=0, max_value=1_000_000),
+            min_size=1,
+            max_size=25,
+        ),
+        min_size=2,
+        max_size=2,
+    ),
+    st.booleans(),  # put a token window on relay0
+)
+
+
+class TestDispatchOracle:
+    @given(
+        spec=_spec_strategy,
+        policy=st.sampled_from(sorted(POLICY_PAIRS)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_indexed_dispatch_is_bit_identical_to_naive_scan(
+        self, spec, policy
+    ):
+        indexed_seq, _ = _run_recorded(policy, spec, indexed=True)
+        naive_seq, _ = _run_recorded(policy, spec, indexed=False)
+        assert indexed_seq == naive_seq
+
+    def test_known_workflow_all_policies(self):
+        """Cheap smoke form of the oracle, run on every pytest pass."""
+        for policy in sorted(POLICY_PAIRS):
+            indexed_seq, _ = _run_recorded(
+                policy, _spec_example(), indexed=True
+            )
+            naive_seq, _ = _run_recorded(
+                policy, _spec_example(), indexed=False
+            )
+            assert indexed_seq == naive_seq, policy
+            assert any(name is not None for name in indexed_seq)
