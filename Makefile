@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -20,7 +20,7 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
 
-ci: lint test
+ci: lint test checkpoint-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -37,6 +37,15 @@ bench-smoke:  # dispatch + windowed-put micros vs. the committed baseline (2x ga
 		--benchmark-json=.benchmark-smoke.json
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-smoke.json
 
+checkpoint-smoke:  # checkpoint tests + example + <10% overhead gate on fig-8
+	$(PYTHON) -m pytest tests/test_checkpoint.py -q
+	$(PYTHON) examples/checkpoint_resume.py
+	REPRO_BENCH_DURATION=120 $(PYTHON) -m pytest \
+		benchmarks/bench_checkpoint_overhead.py --benchmark-only -q \
+		--benchmark-json=.benchmark-checkpoint.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-checkpoint.json \
+		--baseline benchmarks/baselines/checkpoint.json
+
 figures:
 	$(PYTHON) -m repro table1
 	$(PYTHON) -m repro fig5
@@ -49,5 +58,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

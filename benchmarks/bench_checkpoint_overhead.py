@@ -1,0 +1,123 @@
+"""Checkpoint overhead on the figure-8 head-to-head workload.
+
+The wave-aligned checkpoint subsystem (``repro.checkpoint``) must stay
+cheap enough to leave on in production runs.  This benchmark runs the
+figure-8 Linear Road workload under the best RR scheduler twice — once
+plain, once publishing snapshots to a directory store at a cadence of
+two checkpoints per run (mid-run + horizon) — and enforces two gates:
+
+* **overhead**: the engine's own ``checkpoint_duration_us_total``
+  counter (every capture/serialize/publish happens inside that timed
+  section; the trigger checks outside it measure as noise) must stay
+  below 10% of the checkpointed run's wall time.  The counter-based
+  attribution keeps the gate deterministic — a plain wall-clock ratio
+  of two ~2.5 s runs would swing several percent with machine load.
+* **purity**: the checkpointed run must produce the exact series,
+  toll/alert counts and firing totals of the plain run.  Snapshots are
+  pure observations; any divergence means a capture consumed a serial
+  or drew from an RNG.
+
+Snapshot payloads grow with engine time (windowed receivers accumulate
+events over their horizons as Linear Road's load ramps), so the cadence
+scales with ``REPRO_BENCH_DURATION`` to keep the measured fraction
+comparable between the 120 s smoke pass and the paper's 600 s runs
+(~6.5% attributable at both).
+"""
+
+import tempfile
+import time
+from dataclasses import replace
+
+from conftest import bench_duration_s, tune
+
+from repro.checkpoint import DirectoryCheckpointStore
+from repro.harness import figure8_configs
+from repro.harness.experiment import _execute_seed
+
+#: Hard gate from the subsystem's design budget.
+MAX_OVERHEAD_FRACTION = 0.10
+
+_SEED = 7
+
+
+def _fig8_rr_config():
+    """The figure-8 head-to-head's best RR scheduler, env-tuned."""
+    config = tune(figure8_configs()[0])
+    assert config.scheduler.label == "RR-q40000"
+    return config
+
+
+def test_checkpoint_overhead_fig8(benchmark):
+    """Checkpointed fig-8 run: <10% attributable overhead, pure snapshots."""
+    config = _fig8_rr_config()
+    cadence_s = bench_duration_s() / 2  # mid-run + horizon snapshot
+    checkpointed = replace(config, checkpoint_every_s=cadence_s)
+
+    plain_result, _, _ = _execute_seed(config, _SEED)
+
+    runs = []
+
+    def run():
+        with tempfile.TemporaryDirectory() as directory:
+            store = DirectoryCheckpointStore(directory)
+            started = time.perf_counter()
+            result, director, _ = _execute_seed(
+                checkpointed, _SEED, store=store
+            )
+            wall_s = time.perf_counter() - started
+            counters = dict(director.statistics.engine_counters)
+            runs.append((result, counters, wall_s))
+        return result
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+    for result, counters, wall_s in runs:
+        # Purity: a run that checkpoints is bit-identical to one that
+        # does not — capture is a pure observation.
+        assert result.series.responses_s == plain_result.series.responses_s
+        assert result.tolls == plain_result.tolls
+        assert result.alerts == plain_result.alerts
+        assert result.internal_firings == plain_result.internal_firings
+
+        # Overhead: everything the checkpointer does (barrier, capture,
+        # serialize, CRC, atomic publish) is inside the timed section.
+        assert counters["checkpoints_total"] >= 2.0
+        overhead = counters["checkpoint_duration_us_total"] / 1e6 / wall_s
+        assert overhead < MAX_OVERHEAD_FRACTION, (
+            f"checkpointing cost {overhead:.1%} of a {wall_s:.2f}s run "
+            f"(budget {MAX_OVERHEAD_FRACTION:.0%}; "
+            f"{counters['checkpoints_total']:.0f} snapshots, "
+            f"last {counters['checkpoint_bytes_last'] / 1024:.0f} KiB)"
+        )
+
+    mean_overhead = sum(
+        c["checkpoint_duration_us_total"] / 1e6 / w for _, c, w in runs
+    ) / len(runs)
+    print(
+        f"\ncheckpoint overhead (fig-8 RR, cadence {cadence_s:.0f}s): "
+        f"{mean_overhead:.1%} of wall time over {len(runs)} runs"
+    )
+
+
+def test_snapshot_cycle_cost(benchmark):
+    """Capture+serialize cost of one loaded-engine snapshot in isolation.
+
+    This is the number the ``__reduce__`` fast paths on events, tokens,
+    wave-tags, windows and window-group states protect; the committed
+    baseline gates it at 2x so the per-event pickle cost cannot quietly
+    regress to the slot-protocol path (~5x slower).
+    """
+    from repro.checkpoint import serialize_snapshot
+    from repro.checkpoint.snapshot import capture_snapshot
+
+    config = _fig8_rr_config()
+    # Run a fixed quarter-horizon so the snapshot has a loaded engine
+    # (windowed receivers populated across thousands of group states).
+    warm = config.scaled_duration(max(30, bench_duration_s() // 4))
+    _, director, _ = _execute_seed(warm, _SEED)
+
+    def cycle():
+        return len(serialize_snapshot(capture_snapshot(director)))
+
+    payload_bytes = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert payload_bytes > 0

@@ -1,0 +1,99 @@
+"""Wave-aligned checkpointing: survive a crash, resume bit-identically.
+
+A continuous workflow is always mid-stream, so "rerun it from the
+start" is not a recovery strategy.  This example runs a small pipeline
+under the SCWF director with periodic snapshots into a
+``DirectoryCheckpointStore``, simulates a hard crash half-way through,
+then rebuilds a **fresh** engine, restores the newest snapshot onto it
+and finishes the run.  The resumed sink output is identical to an
+uninterrupted run: snapshots are taken at quiescent wave boundaries and
+capture queues, window panes, wave/event counters, scheduler state and
+source cursors, so the resumed engine cannot tell it ever died.
+
+Run:  python examples/checkpoint_resume.py
+"""
+
+import tempfile
+
+from repro import (
+    CostModel,
+    DirectoryCheckpointStore,
+    EngineCheckpointer,
+    MapActor,
+    restore_latest,
+    RRScheduler,
+    SCWFDirector,
+    SimulationRuntime,
+    SinkActor,
+    SourceActor,
+    VirtualClock,
+    Workflow,
+)
+
+
+def build_engine():
+    """A deterministic source -> square -> sink pipeline.
+
+    Checkpoint/restore splits the engine into *structure* (this
+    function: graph, lambdas, scheduler, seeds) and *data* (the
+    snapshot payload).  Restore rebuilds the structure by calling the
+    same builder, then applies the data in place.
+    """
+    workflow = Workflow("meter-feed")
+    source = SourceActor(
+        "meter", arrivals=[(i * 50_000, i) for i in range(40)]
+    )
+    source.add_output("out")
+    square = MapActor("square", lambda v: v * v)
+    sink = SinkActor("dashboard")
+    workflow.add_all([source, square, sink])
+    workflow.connect(source, square)
+    workflow.connect(square, sink)
+    clock = VirtualClock()
+    director = SCWFDirector(
+        RRScheduler(10_000), clock, CostModel(seed=42)
+    )
+    director.attach(workflow)
+    return director, clock, sink
+
+
+def main() -> None:
+    # --- reference: the run nothing ever happens to -------------------
+    director, clock, sink = build_engine()
+    SimulationRuntime(director, clock).run(3.0)
+    reference = list(sink.values)
+    print(f"uninterrupted run produced {len(reference)} results")
+
+    checkpoint_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
+    store = DirectoryCheckpointStore(checkpoint_dir, retain=3)
+
+    # --- the run that crashes -----------------------------------------
+    director, clock, sink = build_engine()
+    checkpointer = EngineCheckpointer(
+        director, store, every_us=500_000  # snapshot every 0.5 engine-s
+    )
+    SimulationRuntime(director, clock, checkpointer=checkpointer).run(1.0)
+    print(
+        f"'crash' after 1.0 engine-seconds: {len(sink.values)} results "
+        f"so far, {len(store.manifests())} snapshot(s) on disk"
+    )
+    del director, clock, sink  # the process is gone
+
+    # --- recovery: fresh structure + newest snapshot's data -----------
+    director, clock, sink = build_engine()
+    director.initialize_all()
+    manifest = restore_latest(director, store)
+    print(
+        f"restored checkpoint {manifest.checkpoint_id} "
+        f"(engine t={manifest.engine_time_us}us, "
+        f"{manifest.payload_bytes} bytes)"
+    )
+    SimulationRuntime(director, clock).run(3.0)
+    print(f"resumed run finished with {len(sink.values)} results")
+
+    assert sink.values == reference, "resume must be bit-identical"
+    print("resumed output is identical to the uninterrupted run")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,9 @@ Top-level layout:
   (Chrome trace-event, JSONL, Prometheus text);
 * :mod:`repro.resilience` — fault policies, supervision, dead-letter
   queues and deterministic fault injection for continuous runs;
+* :mod:`repro.checkpoint` — wave-aligned checkpointing and crash
+  recovery: the ``Checkpointable`` protocol, snapshot stores, the
+  engine snapshot orchestrator and the periodic/barrier trigger layer;
 * :mod:`repro.streams` — push sources, sinks and wire codecs;
 * :mod:`repro.sqldb` — the in-memory relational engine the Linear Road
   workflow stores segment statistics and accidents in;
@@ -42,6 +45,7 @@ Top-level layout:
 """
 
 from . import (
+    checkpoint,
     core,
     directors,
     observability,
@@ -49,6 +53,15 @@ from . import (
     simulation,
     stafilos,
     streams,
+)
+from .checkpoint import (
+    Checkpointable,
+    CheckpointManifest,
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    EngineCheckpointer,
+    MemoryCheckpointStore,
+    restore_latest,
 )
 from .core import (
     Actor,
@@ -99,6 +112,7 @@ from .resilience import (
     FaultSupervisor,
     install_faults,
     parse_fault_spec,
+    replay_dead_letters,
 )
 from .simulation import CostModel, SimulationRuntime, VirtualClock, WallClock
 from .stafilos import (
@@ -135,6 +149,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     # sub-packages (deep paths stay supported)
+    "checkpoint",
     "core",
     "directors",
     "observability",
@@ -142,6 +157,14 @@ __all__ = [
     "simulation",
     "stafilos",
     "streams",
+    # checkpointing & recovery
+    "Checkpointable",
+    "CheckpointManifest",
+    "CheckpointStore",
+    "DirectoryCheckpointStore",
+    "EngineCheckpointer",
+    "MemoryCheckpointStore",
+    "restore_latest",
     # workflow model
     "Actor",
     "ActorRegistry",
@@ -192,6 +215,7 @@ __all__ = [
     "FaultSupervisor",
     "install_faults",
     "parse_fault_spec",
+    "replay_dead_letters",
     # simulation substrate
     "CostModel",
     "SimulationRuntime",

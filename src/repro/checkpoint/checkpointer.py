@@ -1,0 +1,181 @@
+"""The checkpoint trigger layer: periodic snapshots plus crash recovery.
+
+:class:`EngineCheckpointer` sits between a director and a
+:class:`~repro.checkpoint.store.CheckpointStore`.  Execution loops call
+:meth:`~EngineCheckpointer.maybe_checkpoint` at their quiescent points —
+the SCWF simulation loop after every productive iteration, the live
+PNCWF director from its supervision loop — and the checkpointer decides,
+from the configured ``every_us`` engine-time interval, when to actually
+capture a snapshot.  :meth:`~EngineCheckpointer.checkpoint` is the
+explicit barrier API: it drains the director to a quiescent wave
+boundary (via the director's optional ``checkpoint_barrier()`` context
+manager — the live engine pauses its actor threads there; the scheduled
+engine is quiescent between iterations by construction) and publishes
+one snapshot unconditionally.
+
+Every snapshot emits ``checkpoint.begin`` / ``checkpoint.complete``
+trace events and updates the engine-wide checkpoint counters in the
+:class:`~repro.core.statistics.StatisticsRegistry` (count, bytes,
+cumulative wall-clock duration) which surface in ``snapshot()`` reports
+and the Prometheus export.  :func:`restore_latest` is the recovery
+entry point: it loads the newest snapshot that passes integrity checks
+and applies it onto a rebuilt engine, emitting ``checkpoint.restore``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from typing import Any, Dict, Optional
+
+from ..observability import tracer as _obs
+from .snapshot import (
+    capture_snapshot,
+    deserialize_snapshot,
+    restore_snapshot,
+    serialize_snapshot,
+)
+from .store import CheckpointManifest, CheckpointStore
+
+
+class EngineCheckpointer:
+    """Drives periodic and on-demand snapshots of one director."""
+
+    def __init__(
+        self,
+        director: Any,
+        store: CheckpointStore,
+        every_us: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ):
+        #: The engine being checkpointed (must stay attached throughout).
+        self.director = director
+        #: Where snapshots are published.
+        self.store = store
+        #: Engine-time period between automatic snapshots; ``None``
+        #: disables :meth:`maybe_checkpoint` (explicit barriers only).
+        self.every_us = every_us
+        #: Free-form metadata copied into every manifest (the harness
+        #: records scheduler/workload/seed here for ``repro resume``).
+        self.meta = dict(meta or {})
+        #: Snapshots taken by this checkpointer instance.
+        self.checkpoints_taken = 0
+        existing = store.manifests()
+        self._next_id = (
+            existing[-1].checkpoint_id + 1 if existing else 1
+        )
+        self._next_due = every_us if every_us is not None else None
+
+    # ------------------------------------------------------------------
+    def note_resumed(self, manifest: CheckpointManifest) -> None:
+        """Align the schedule with a snapshot the run was restored from.
+
+        Ids continue after the restored snapshot and the next automatic
+        checkpoint is due one full interval past its engine time, so a
+        resumed run checkpoints on the same engine-time grid as the
+        uninterrupted run it replays.
+        """
+        self._next_id = max(self._next_id, manifest.checkpoint_id + 1)
+        if self.every_us is not None:
+            self._next_due = manifest.engine_time_us + self.every_us
+
+    # ------------------------------------------------------------------
+    def maybe_checkpoint(self, now_us: int) -> Optional[CheckpointManifest]:
+        """Snapshot iff engine time crossed the next scheduled boundary."""
+        if self._next_due is None or now_us < self._next_due:
+            return None
+        manifest = self.checkpoint(now_us)
+        assert self.every_us is not None
+        while self._next_due is not None and self._next_due <= now_us:
+            self._next_due += self.every_us
+        return manifest
+
+    def checkpoint(
+        self, now_us: Optional[int] = None
+    ) -> CheckpointManifest:
+        """Capture, serialize and publish one snapshot unconditionally.
+
+        Drains to a quiescent wave boundary first when the director
+        exposes a ``checkpoint_barrier()`` context manager (the live
+        PNCWF engine pauses its actor threads inside it; the scheduled
+        SCWF engine is already quiescent between iterations).
+        """
+        if now_us is None:
+            now_us = self.director.current_time()
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "checkpoint.begin", now_us, checkpoint_id=self._next_id
+            )
+        started = time.perf_counter()
+        barrier = getattr(self.director, "checkpoint_barrier", None)
+        if barrier is not None:
+            with barrier():
+                snapshot = capture_snapshot(self.director)
+                payload = serialize_snapshot(snapshot)
+        else:
+            snapshot = capture_snapshot(self.director)
+            payload = serialize_snapshot(snapshot)
+        manifest = CheckpointManifest(
+            checkpoint_id=self._next_id,
+            engine_time_us=int(now_us),
+            payload_bytes=len(payload),
+            crc32=zlib.crc32(payload),
+            created_at=time.time(),
+            meta=dict(self.meta),
+        )
+        self.store.save(manifest, payload)
+        duration_us = (time.perf_counter() - started) * 1e6
+        self._next_id += 1
+        self.checkpoints_taken += 1
+        counters = self.director.statistics.engine_counters
+        counters["checkpoints_total"] = (
+            counters.get("checkpoints_total", 0.0) + 1.0
+        )
+        counters["checkpoint_bytes_last"] = float(len(payload))
+        counters["checkpoint_bytes_total"] = (
+            counters.get("checkpoint_bytes_total", 0.0) + float(len(payload))
+        )
+        counters["checkpoint_duration_us_last"] = duration_us
+        counters["checkpoint_duration_us_total"] = (
+            counters.get("checkpoint_duration_us_total", 0.0) + duration_us
+        )
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "checkpoint.complete",
+                now_us,
+                checkpoint_id=manifest.checkpoint_id,
+                bytes=manifest.payload_bytes,
+                duration_us=int(duration_us),
+            )
+        return manifest
+
+
+def restore_latest(
+    director: Any, store: CheckpointStore
+) -> Optional[CheckpointManifest]:
+    """Restore the newest valid snapshot onto a rebuilt engine.
+
+    The director must be attached and initialized (fresh state); returns
+    the manifest restored from, or ``None`` when the store holds no
+    valid snapshot.  Corrupt latest snapshots are skipped by
+    :meth:`~repro.checkpoint.store.CheckpointStore.latest`, so recovery
+    degrades to the previous interval instead of failing.
+    """
+    found = store.latest()
+    if found is None:
+        return None
+    manifest, payload = found
+    snapshot = deserialize_snapshot(payload)
+    restore_snapshot(director, snapshot)
+    counters = director.statistics.engine_counters
+    counters["checkpoint_restores_total"] = (
+        counters.get("checkpoint_restores_total", 0.0) + 1.0
+    )
+    if _obs.ENABLED:
+        _obs._TRACER.instant(
+            "checkpoint.restore",
+            manifest.engine_time_us,
+            checkpoint_id=manifest.checkpoint_id,
+            bytes=manifest.payload_bytes,
+        )
+    return manifest

@@ -1,0 +1,232 @@
+"""Pluggable checkpoint stores: in-memory (tests) and atomic directory.
+
+A *snapshot* is an opaque pickled payload plus a :class:`CheckpointManifest`
+describing it (engine time, size, CRC32, free-form metadata such as the
+scheduler/workload/seed needed by ``repro resume`` to rebuild the engine).
+
+The :class:`DirectoryCheckpointStore` is the production store: each
+snapshot is a ``ckpt-<id>.bin`` payload next to a ``ckpt-<id>.json``
+manifest, both written to a temporary file first and published with an
+atomic :func:`os.replace` so a crash mid-write can never corrupt an
+already-published snapshot.  ``latest()`` verifies the CRC32 of the
+payload against the manifest and *falls back* to the newest earlier
+snapshot that still verifies, so a torn or bit-rotted latest snapshot
+degrades recovery by one checkpoint interval instead of losing the run.
+Only the last *retain* snapshots are kept on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """Metadata published next to every snapshot payload.
+
+    ``meta`` carries whatever the trigger layer wants to round-trip —
+    the harness records the scheduler spec, workload parameters and seed
+    there so ``repro resume`` can rebuild the exact engine structure the
+    payload's data belongs to.
+    """
+
+    checkpoint_id: int
+    engine_time_us: int
+    payload_bytes: int
+    crc32: int
+    created_at: float
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Serialize the manifest as pretty-printed JSON."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointManifest":
+        """Parse a manifest previously produced by :meth:`to_json`."""
+        raw = json.loads(text)
+        return cls(
+            checkpoint_id=int(raw["checkpoint_id"]),
+            engine_time_us=int(raw["engine_time_us"]),
+            payload_bytes=int(raw["payload_bytes"]),
+            crc32=int(raw["crc32"]),
+            created_at=float(raw["created_at"]),
+            meta=dict(raw.get("meta", {})),
+        )
+
+
+class CheckpointStore:
+    """Abstract snapshot store: save payloads, list them, load the latest.
+
+    Concrete stores must implement :meth:`save`, :meth:`manifests` and
+    :meth:`load`; :meth:`latest` has a shared default that walks the
+    manifests newest-first and returns the first snapshot whose payload
+    passes its CRC32 integrity check.
+    """
+
+    def save(self, manifest: CheckpointManifest, payload: bytes) -> None:
+        """Persist one snapshot (manifest + payload) atomically."""
+        raise NotImplementedError
+
+    def manifests(self) -> List[CheckpointManifest]:
+        """All stored manifests, ordered oldest → newest."""
+        raise NotImplementedError
+
+    def load(self, checkpoint_id: int) -> Tuple[CheckpointManifest, bytes]:
+        """Load one snapshot by id; raises ``CheckpointError`` if missing."""
+        raise NotImplementedError
+
+    def latest(self) -> Optional[Tuple[CheckpointManifest, bytes]]:
+        """Newest snapshot that passes integrity checks, or ``None``.
+
+        Walks manifests newest-first; a snapshot whose payload is
+        missing, truncated, or fails the CRC32 check is skipped so a
+        corrupted latest snapshot falls back to the previous valid one.
+        """
+        from ..core.exceptions import CheckpointError
+
+        for manifest in reversed(self.manifests()):
+            try:
+                manifest, payload = self.load(manifest.checkpoint_id)
+            except CheckpointError:
+                continue
+            if zlib.crc32(payload) == manifest.crc32:
+                return manifest, payload
+        return None
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Keeps snapshots as bytes in a dict — the store used by unit tests."""
+
+    def __init__(self, retain: int = 3):
+        self.retain = retain
+        self._snapshots: Dict[int, Tuple[CheckpointManifest, bytes]] = {}
+
+    def save(self, manifest: CheckpointManifest, payload: bytes) -> None:
+        """Store the snapshot and evict beyond the retention limit."""
+        self._snapshots[manifest.checkpoint_id] = (manifest, bytes(payload))
+        while len(self._snapshots) > self.retain:
+            del self._snapshots[min(self._snapshots)]
+
+    def manifests(self) -> List[CheckpointManifest]:
+        """Manifests oldest → newest (ids are monotone)."""
+        return [
+            self._snapshots[cid][0] for cid in sorted(self._snapshots)
+        ]
+
+    def load(self, checkpoint_id: int) -> Tuple[CheckpointManifest, bytes]:
+        """Return the stored (manifest, payload) pair for *checkpoint_id*."""
+        from ..core.exceptions import CheckpointError
+
+        try:
+            return self._snapshots[checkpoint_id]
+        except KeyError:
+            raise CheckpointError(
+                f"no snapshot {checkpoint_id} in memory store"
+            ) from None
+
+    def corrupt(self, checkpoint_id: int) -> None:
+        """Testing hook: truncate a stored payload so its CRC fails."""
+        manifest, payload = self.load(checkpoint_id)
+        self._snapshots[checkpoint_id] = (manifest, payload[:-1] + b"\0")
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """Directory-backed store with atomic publication and retention.
+
+    Layout (``<dir>/``)::
+
+        ckpt-00000001.bin    pickled engine snapshot payload
+        ckpt-00000001.json   CheckpointManifest for the payload
+
+    Writes go to ``<name>.tmp`` first and are published with
+    :func:`os.replace`; the payload is published *before* the manifest so
+    a manifest on disk always implies a fully-written payload.
+    """
+
+    def __init__(self, directory: str | os.PathLike, retain: int = 3):
+        self.directory = Path(directory)
+        self.retain = retain
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _payload_path(self, checkpoint_id: int) -> Path:
+        """Path of the payload file for *checkpoint_id*."""
+        return self.directory / f"ckpt-{checkpoint_id:08d}.bin"
+
+    def _manifest_path(self, checkpoint_id: int) -> Path:
+        """Path of the manifest file for *checkpoint_id*."""
+        return self.directory / f"ckpt-{checkpoint_id:08d}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        """Write *data* to *path* via a tmp file and atomic rename."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def save(self, manifest: CheckpointManifest, payload: bytes) -> None:
+        """Atomically publish payload then manifest; enforce retention."""
+        self._atomic_write(self._payload_path(manifest.checkpoint_id), payload)
+        self._atomic_write(
+            self._manifest_path(manifest.checkpoint_id),
+            manifest.to_json().encode("utf-8"),
+        )
+        self._enforce_retention()
+
+    def _enforce_retention(self) -> None:
+        """Delete the oldest snapshots beyond the last *retain*."""
+        ids = sorted(self._snapshot_ids())
+        for cid in ids[: max(0, len(ids) - self.retain)]:
+            for path in (self._payload_path(cid), self._manifest_path(cid)):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def _snapshot_ids(self) -> List[int]:
+        """Checkpoint ids present on disk (manifest files found)."""
+        ids = []
+        for path in self.directory.glob("ckpt-*.json"):
+            stem = path.stem  # ckpt-00000001
+            try:
+                ids.append(int(stem.split("-", 1)[1]))
+            except (IndexError, ValueError):  # pragma: no cover
+                continue
+        return sorted(ids)
+
+    def manifests(self) -> List[CheckpointManifest]:
+        """Parse every manifest on disk, oldest → newest; skip unreadable."""
+        out = []
+        for cid in self._snapshot_ids():
+            try:
+                text = self._manifest_path(cid).read_text("utf-8")
+                out.append(CheckpointManifest.from_json(text))
+            except (OSError, ValueError, KeyError):
+                continue
+        return out
+
+    def load(self, checkpoint_id: int) -> Tuple[CheckpointManifest, bytes]:
+        """Read one snapshot off disk; raises ``CheckpointError`` on I/O."""
+        from ..core.exceptions import CheckpointError
+
+        try:
+            manifest = CheckpointManifest.from_json(
+                self._manifest_path(checkpoint_id).read_text("utf-8")
+            )
+            payload = self._payload_path(checkpoint_id).read_bytes()
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(
+                f"cannot load snapshot {checkpoint_id} "
+                f"from {self.directory}: {exc}"
+            ) from exc
+        return manifest, payload

@@ -54,6 +54,17 @@ class ActorQuarantinedError(ConfluenceError):
     quarantined (the per-actor error budget was exhausted)."""
 
 
+class CheckpointError(ConfluenceError):
+    """A checkpoint could not be captured, stored, or restored.
+
+    Raised by the :mod:`repro.checkpoint` subsystem when a snapshot is
+    requested from a component that does not support the
+    ``Checkpointable`` protocol, when a stored snapshot fails its
+    integrity check, or when a restore is applied to an engine whose
+    structure does not match the manifest.
+    """
+
+
 class InjectedFault(ConfluenceError):
     """A deterministic fault raised by the fault-injection harness.
 

@@ -85,6 +85,17 @@ class FIFOReceiver(Receiver):
     def clear(self) -> None:
         self._queue.clear()
 
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the buffered events (Checkpointable protocol)."""
+        return {"queue": list(self._queue)}
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply dumped buffered events (Checkpointable protocol)."""
+        self._queue = deque(state["queue"])
+
 
 class WindowedReceiver(Receiver):
     """The CONFLuEnCE windowed receiver.
@@ -186,3 +197,18 @@ class WindowedReceiver(Receiver):
     def clear(self) -> None:
         self._windows.clear()
         self.operator = WindowOperator(self.spec)
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot operator state + produced-window queue (Checkpointable)."""
+        return {
+            "operator": self.operator.state_dump(),
+            "windows": list(self._windows),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump in place on the rebuilt receiver (Checkpointable)."""
+        self.operator.state_restore(state["operator"])
+        self._windows = deque(state["windows"])

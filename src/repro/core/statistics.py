@@ -101,6 +101,47 @@ class ActorStats:
         """Count one item captured in the dead-letter queue."""
         self.dead_letters += 1
 
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot every statistics field (Checkpointable protocol).
+
+        Copies the rate deques instead of calling the rate accessors —
+        those *trim* their windows, and a checkpoint must be a pure
+        observation so a checkpointed run stays bit-identical to an
+        uninterrupted one.
+        """
+        return {
+            "invocations": self.invocations,
+            "total_cost_us": self.total_cost_us,
+            "ewma_cost_us": self.ewma_cost_us,
+            "inputs_total": self.inputs_total,
+            "outputs_total": self.outputs_total,
+            "failures": self.failures,
+            "retries": self.retries,
+            "dead_letters": self.dead_letters,
+            "input_times": list(self._input_times),
+            "output_times": list(self._output_times),
+            "input_window": self._input_window,
+            "output_window": self._output_window,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dumped statistics record (Checkpointable protocol)."""
+        self.invocations = state["invocations"]
+        self.total_cost_us = state["total_cost_us"]
+        self.ewma_cost_us = state["ewma_cost_us"]
+        self.inputs_total = state["inputs_total"]
+        self.outputs_total = state["outputs_total"]
+        self.failures = state["failures"]
+        self.retries = state["retries"]
+        self.dead_letters = state["dead_letters"]
+        self._input_times = deque(state["input_times"])
+        self._output_times = deque(state["output_times"])
+        self._input_window = state["input_window"]
+        self._output_window = state["output_window"]
+
     @staticmethod
     def _trim(times: deque[tuple[int, int]], now_us: int) -> int:
         """Evict pairs older than the horizon; returns evicted tokens."""
@@ -149,6 +190,11 @@ class StatisticsRegistry:
         #: Newest engine time any recording call has seen; lets
         #: :meth:`snapshot` evaluate rates without being handed a clock.
         self._last_now_us = 0
+        #: Engine-wide (non-per-actor) counters — the checkpoint subsystem
+        #: records snapshot count/bytes/duration here.  Exposed in
+        #: :meth:`snapshot` under the reserved ``"__engine__"`` key when
+        #: non-empty, and rendered as ``repro_engine_*`` Prometheus gauges.
+        self.engine_counters: dict[str, float] = {}
 
     def register(self, actor: "Actor") -> ActorStats:
         # Not ``setdefault(name, ActorStats())``: that would construct
@@ -200,7 +246,7 @@ class StatisticsRegistry:
         nothing re-derives metrics from raw :class:`ActorStats` fields.
         """
         now = now_us if now_us is not None else self._last_now_us
-        return {
+        out: dict[str, dict[str, float]] = {
             name: {
                 "invocations": stats.invocations,
                 "avg_cost_us": stats.avg_cost_us,
@@ -220,6 +266,37 @@ class StatisticsRegistry:
             }
             for name, stats in self._stats.items()
         }
+        if self.engine_counters:
+            # Reserved pseudo-actor entry carrying engine-wide counters
+            # (checkpoint sizes/durations/counts).  Only present when a
+            # producer wrote something, so actor-oriented consumers that
+            # predate it are unaffected.
+            out["__engine__"] = dict(self.engine_counters)
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot every actor's statistics record (Checkpointable)."""
+        return {
+            "stats": {
+                name: stats.state_dump()
+                for name, stats in self._stats.items()
+            },
+            "last_now_us": self._last_now_us,
+            "engine_counters": dict(self.engine_counters),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply dumped statistics onto the rebuilt registry."""
+        for name, stats_state in state["stats"].items():
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = ActorStats()
+            stats.state_restore(stats_state)
+        self._last_now_us = int(state["last_now_us"])
+        self.engine_counters = dict(state["engine_counters"])
 
 
 def global_rate_metrics(

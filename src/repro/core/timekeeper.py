@@ -60,3 +60,14 @@ class TimeKeeper:
         if not self._last:
             return 0
         return max(self._last.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the per-stream timestamp map (Checkpointable)."""
+        return {"last": dict(self._last)}
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dumped timestamp map (Checkpointable)."""
+        self._last = dict(state["last"])

@@ -28,6 +28,17 @@ class Token:
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("tokens are immutable")
 
+    def __reduce__(self):
+        """Fast pickle path (checkpoint snapshots serialize token floods).
+
+        The default slot-based protocol both trips the immutability
+        guard in :meth:`__setattr__` on restore and pays a per-object
+        ``copyreg._slotnames`` lookup on dump; reducing to a plain
+        rebuild call avoids both.  Works for subclasses: only the
+        payload is state.
+        """
+        return (_revive_token, (type(self), self._value))
+
     @property
     def value(self) -> Any:
         return self._value
@@ -76,6 +87,17 @@ class RecordToken(Token):
 
     def __hash__(self) -> int:
         return hash(("RecordToken", tuple(sorted(self.value.items()))))
+
+
+def _revive_token(cls: type, value: Any) -> "Token":
+    """Rebuild a (possibly subclassed) token without calling ``__init__``.
+
+    Bypassing ``__init__`` matters for :class:`RecordToken`, whose
+    constructor takes keyword fields rather than the stored payload.
+    """
+    token = cls.__new__(cls)
+    object.__setattr__(token, "_value", value)
+    return token
 
 
 def _hashable(value: Any) -> bool:

@@ -79,6 +79,15 @@ class WaveTag:
     def is_root(self) -> bool:
         return len(self.path) == 1
 
+    def __reduce__(self):
+        """Fast pickle path: rebuild from the path tuple alone.
+
+        Checkpoint snapshots serialize one tag per retained event; the
+        dataclass default walks ``__getstate__``/``copyreg`` machinery
+        per instance, which dominates snapshot time on windowed queues.
+        """
+        return (_revive_wave_tag, (self.path,))
+
     def is_ancestor_of(self, other: "WaveTag") -> bool:
         """True when *other* descends (strictly) from this tag."""
         return (
@@ -104,6 +113,13 @@ class WaveTag:
         return f"WaveTag({self})"
 
 
+def _revive_wave_tag(path: tuple) -> "WaveTag":
+    """Rebuild a tag without re-running dataclass/init machinery."""
+    tag = WaveTag.__new__(WaveTag)
+    object.__setattr__(tag, "path", path)
+    return tag
+
+
 @dataclass
 class WaveGenerator:
     """Allocates root wave-tags for external events entering the system.
@@ -115,7 +131,25 @@ class WaveGenerator:
     _counter: itertools.count = field(default_factory=lambda: itertools.count(1))
 
     def next_root(self) -> WaveTag:
+        """Allocate the next root wave-tag."""
         return WaveTag.root(next(self._counter))
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the next root serial without consuming it.
+
+        ``itertools.count`` exposes its next value through ``__reduce__``
+        (that is how the counter itself pickles), so the read is free of
+        side effects — a checkpointed run allocates the exact same wave
+        serials as one that never checkpoints.
+        """
+        return {"next_serial": self._counter.__reduce__()[1][0]}
+
+    def state_restore(self, state: dict) -> None:
+        """Rewind/advance the generator to a dumped serial (Checkpointable)."""
+        self._counter = itertools.count(int(state["next_serial"]))
 
 
 class WaveScope:

@@ -238,6 +238,39 @@ class Window:
         key = f", key={self.group_key!r}" if self.group_key is not None else ""
         return f"Window(n={len(self.events)}{key})"
 
+    def __reduce__(self):
+        """Fast pickle path for checkpoint snapshots.
+
+        Expired-window queues can hold thousands of windows; the slot
+        protocol pays a per-object ``copyreg._slotnames`` lookup and the
+        default rebuild would draw a fresh ``_WINDOW_SEQ`` serial.  The
+        revive helper bypasses ``__init__`` so the original ``seq``
+        survives — window ordering stays bit-identical across resume.
+        """
+        return (
+            _revive_window,
+            (
+                self.events,
+                self.group_key,
+                self.start,
+                self.end,
+                self.forced,
+                self.seq,
+            ),
+        )
+
+
+def _revive_window(events, group_key, start, end, forced, seq) -> "Window":
+    """Rebuild a pickled window verbatim (no ``_WINDOW_SEQ`` draw)."""
+    window = Window.__new__(Window)
+    window.events = events
+    window.group_key = group_key
+    window.start = start
+    window.end = end
+    window.forced = forced
+    window.seq = seq
+    return window
+
 
 class _TokenGroupState:
     """Per-group formation state for tuple-based windows."""
@@ -248,6 +281,18 @@ class _TokenGroupState:
         self.queue: deque[CWEvent] = deque()
         #: Events still owed to a past advance (only when step > size).
         self.skip_debt = 0
+
+    def __reduce__(self):
+        """Fast pickle path (snapshots carry one state per group key).
+
+        The queue is flattened to a tuple: ``deque`` pickling performs a
+        per-object ``copyreg._slotnames`` lookup (Linear Road creates one
+        group per car, so snapshots carry tens of thousands of deques)
+        while tuples serialize natively.  The queue is owned exclusively
+        by this state, so rebuilding a fresh deque cannot split any
+        shared reference.
+        """
+        return (_revive_token_group, (tuple(self.queue), self.skip_debt))
 
 
 class _TimeGroupState:
@@ -264,6 +309,18 @@ class _TimeGroupState:
         self.last_ts: Optional[int] = None
         self.monotone = True
 
+    def __reduce__(self):
+        """Fast pickle path (see :meth:`_TokenGroupState.__reduce__`)."""
+        return (
+            _revive_time_group,
+            (
+                tuple(self.queue),
+                self.window_start,
+                self.last_ts,
+                self.monotone,
+            ),
+        )
+
 
 class _WaveGroupState:
     """Per-group formation state for wave-based windows."""
@@ -274,6 +331,41 @@ class _WaveGroupState:
         self.events_by_root: "OrderedDict[int, list[CWEvent]]" = OrderedDict()
         self.closed_roots: list[int] = []
         self.open_order: list[int] = []
+
+    def __reduce__(self):
+        """Fast pickle path (snapshots carry one state per group key)."""
+        return (
+            _revive_wave_group,
+            (self.events_by_root, self.closed_roots, self.open_order),
+        )
+
+
+def _revive_token_group(queue: tuple, skip_debt: int) -> "_TokenGroupState":
+    state = _TokenGroupState.__new__(_TokenGroupState)
+    state.queue = deque(queue)
+    state.skip_debt = skip_debt
+    return state
+
+
+def _revive_time_group(
+    queue: tuple, window_start, last_ts, monotone
+) -> "_TimeGroupState":
+    state = _TimeGroupState.__new__(_TimeGroupState)
+    state.queue = deque(queue)
+    state.window_start = window_start
+    state.last_ts = last_ts
+    state.monotone = monotone
+    return state
+
+
+def _revive_wave_group(
+    events_by_root, closed_roots, open_order
+) -> "_WaveGroupState":
+    state = _WaveGroupState.__new__(_WaveGroupState)
+    state.events_by_root = events_by_root
+    state.closed_roots = closed_roots
+    state.open_order = open_order
+    return state
 
 
 class WindowOperator:
@@ -589,6 +681,36 @@ class WindowOperator:
                         group=repr(window.group_key),
                     )
         return produced
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot formation state (Checkpointable protocol).
+
+        The per-group state objects (``_TokenGroupState`` /
+        ``_TimeGroupState`` / ``_WaveGroupState``) are plain slotted
+        containers of events and boundaries, so they serialize directly;
+        the ``group_by`` key *function* is structural (rebuilt from the
+        spec) and is deliberately not part of the dump.  The returned
+        dict references live containers — the checkpoint orchestrator
+        pickles it synchronously, before the engine takes another step.
+        """
+        return {
+            "groups": self._groups,
+            "last_seen": self._last_seen,
+            "expired": self.expired,
+            "total_events": self.total_events,
+            "total_windows": self.total_windows,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply dumped formation state (Checkpointable protocol)."""
+        self._groups = OrderedDict(state["groups"])
+        self._last_seen = dict(state["last_seen"])
+        self.expired = deque(state["expired"])
+        self.total_events = int(state["total_events"])
+        self.total_windows = int(state["total_windows"])
 
     def drain_expired(self) -> list[CWEvent]:
         """Remove and return everything in the expired-items queue."""

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from ..core.actors import Actor, SourceActor
 from ..core.director import Director
@@ -96,6 +97,27 @@ class BlockingWindowedReceiver(WindowedReceiver):
     def closed(self) -> bool:
         return self._closed
 
+    # ------------------------------------------------------------------
+    # Checkpointable protocol (lock-guarded)
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot panes + staged events under the receiver lock.
+
+        Actor threads park at the director's checkpoint barrier before a
+        live snapshot, but the lock additionally serializes against a
+        thread still blocked in :meth:`get_blocking` (the condition wait
+        releases the lock, so acquisition here never deadlocks).
+        """
+        with self._lock:
+            return super().state_dump()
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump and wake any reader the new state unblocks."""
+        with self._available:
+            super().state_restore(state)
+            if self.has_token():
+                self._available.notify_all()
+
 
 class _CWActorThread(threading.Thread):
     """The per-actor thread controller of the PNCWF director."""
@@ -108,8 +130,11 @@ class _CWActorThread(threading.Thread):
     def run(self) -> None:
         actor, director = self.actor, self.director
         while not director._stopping.is_set():
+            if not director._gate_check():
+                return  # stop requested while parked at the barrier
             try:
-                fired = director._iterate_internal(actor)
+                with director._track_inflight():
+                    fired = director._iterate_internal(actor)
             except Exception as error:  # supervised thread loop
                 if director._on_thread_failure(actor, error):
                     return  # fail-stop policy: the thread retires
@@ -130,6 +155,8 @@ class _SourceThread(threading.Thread):
         director, source = self.director, self.source
         attempt = 0
         while not director._stopping.is_set():
+            if not director._gate_check():
+                return  # stop requested while parked at the barrier
             next_at = source.next_arrival_time()
             if next_at is None:
                 if not source.unbounded:
@@ -146,7 +173,8 @@ class _SourceThread(threading.Thread):
                 continue
             ctx = director.make_context(source, director.current_time())
             try:
-                source.pump(ctx)
+                with director._track_inflight():
+                    source.pump(ctx)
                 ctx.close()
                 attempt = 0
             except Exception as error:  # supervised pump
@@ -192,7 +220,7 @@ class PNCWFDirector(Director):
         self,
         time_scale: float = 1.0,
         poll_timeout_s: float = 0.05,
-        error_policy: "FaultPolicy | str" = "drop",
+        error_policy: "FaultPolicy | str" = FaultPolicy(),
     ):
         super().__init__()
         try:
@@ -219,6 +247,16 @@ class PNCWFDirector(Director):
         self._threads: list[threading.Thread] = []
         self._stopping = threading.Event()
         self._epoch: Optional[float] = None
+        #: Engine time already elapsed before this process started — set
+        #: by :meth:`state_restore` so a resumed run continues the event
+        #: clock where the checkpoint left it instead of restarting at 0.
+        self._resume_offset_us = 0
+        #: Checkpoint pause gate: set = threads run freely; cleared =
+        #: threads park at the top of their loops until the barrier lifts.
+        self._pause_gate = threading.Event()
+        self._pause_gate.set()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     @property
     def error_policy(self) -> str:
@@ -234,11 +272,95 @@ class PNCWFDirector(Director):
         return BlockingWindowedReceiver(port.window, port)
 
     def current_time(self) -> int:
-        """Event-time 'now': scaled wall-clock since start()."""
+        """Event-time 'now': scaled wall-clock since start(), plus any
+        engine time inherited from a restored checkpoint."""
         if self._epoch is None:
-            return 0
+            return self._resume_offset_us
         elapsed = time.monotonic() - self._epoch
-        return int(elapsed * self.time_scale * US_PER_S)
+        return self._resume_offset_us + int(
+            elapsed * self.time_scale * US_PER_S
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint barrier (quiescent-point serialization for live runs)
+    # ------------------------------------------------------------------
+    def _gate_check(self) -> bool:
+        """Park the calling thread while the barrier is down.
+
+        Returns ``False`` when a stop was requested (the thread should
+        retire) and ``True`` once the gate is open.
+        """
+        while not self._pause_gate.is_set():
+            if self._stopping.is_set():
+                return False
+            self._pause_gate.wait(timeout=0.05)
+        return True
+
+    @contextmanager
+    def _track_inflight(self) -> Iterator[None]:
+        """Count one thread iteration so the barrier can await drain."""
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
+
+    @contextmanager
+    def checkpoint_barrier(
+        self, drain_timeout_s: float = 5.0
+    ) -> Iterator[None]:
+        """Drain the engine to a quiescent boundary for the body's duration.
+
+        Lowers the pause gate so actor/source threads park at the top of
+        their loops, then waits (up to *drain_timeout_s*) for in-flight
+        iterations to finish.  A thread blocked inside a windowed read
+        counts as in-flight until its poll timeout expires, so barrier
+        latency is bounded by the longest receiver poll interval.  The
+        gate lifts again when the ``with`` block exits, even on error.
+        """
+        self._pause_gate.clear()
+        try:
+            deadline = time.monotonic() + drain_timeout_s
+            with self._inflight_cv:
+                while self._inflight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._inflight_cv.wait(timeout=remaining)
+            yield
+        finally:
+            self._pause_gate.set()
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Director-local counters + the engine-time resume offset.
+
+        The snapshot orchestrator walks actors, receivers, the wave
+        registry, the supervisor and the statistics registry separately;
+        this covers only what the director itself owns.  Engine time is
+        dumped as the *current* reading so a resumed live run continues
+        the event clock rather than rewinding it.
+        """
+        with self._lost_lock:
+            return {
+                "actor_errors": dict(self.actor_errors),
+                "lost_threads": list(self._lost_threads),
+                "resume_offset_us": self.current_time(),
+            }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump; must run before :meth:`start` (epoch unset)."""
+        with self._lost_lock:
+            self.actor_errors = dict(state["actor_errors"])
+            self._lost_threads = [
+                tuple(item) for item in state["lost_threads"]
+            ]
+        self._resume_offset_us = int(state["resume_offset_us"])
 
     # ------------------------------------------------------------------
     def _iterate_internal(self, actor: Actor) -> Optional[bool]:
@@ -374,10 +496,27 @@ class PNCWFDirector(Director):
             self._threads.append(thread)
             thread.start()
 
-    def run_for(self, event_time_s: float) -> None:
-        """Block the calling thread until event time reaches the horizon."""
+    def run_for(self, event_time_s: float, checkpointer=None) -> None:
+        """Block the calling thread until event time reaches the horizon.
+
+        With a :class:`~repro.checkpoint.EngineCheckpointer`, the caller
+        thread doubles as the checkpoint driver: it polls engine time and
+        triggers ``maybe_checkpoint`` whenever a ``checkpoint_every``
+        boundary passes (each snapshot drains through
+        :meth:`checkpoint_barrier` automatically).
+        """
         wall_s = event_time_s / self.time_scale
-        self._stopping.wait(timeout=wall_s)
+        if checkpointer is None:
+            self._stopping.wait(timeout=wall_s)
+            return
+        deadline = time.monotonic() + wall_s
+        while not self._stopping.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            if self._stopping.wait(timeout=min(remaining, 0.05)):
+                return
+            checkpointer.maybe_checkpoint(self.current_time())
 
     def stop(self, join_timeout_s: float = 2.0) -> dict:
         """Stop every thread and return the per-actor error summary.

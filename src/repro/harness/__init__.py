@@ -18,9 +18,13 @@ from .configs import (
     SchedulerSpec,
 )
 from .experiment import (
+    checkpoint_meta,
+    config_from_meta,
     ExperimentResult,
     make_scheduler,
+    restore_engine,
     result_to_dict,
+    resume_run,
     run_experiment,
     run_once,
     RunResult,
@@ -37,6 +41,8 @@ from .reporting import (
 )
 
 __all__ = [
+    "checkpoint_meta",
+    "config_from_meta",
     "default_cost_model",
     "DEFAULT_SEEDS",
     "EXPERIMENT_DURATION_S",
@@ -54,7 +60,9 @@ __all__ = [
     "render_series_table",
     "render_statistics",
     "render_workload_figure",
+    "restore_engine",
     "result_to_dict",
+    "resume_run",
     "save_results",
     "RR_BASIC_QUANTA_US",
     "run_experiment",

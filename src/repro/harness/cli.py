@@ -136,13 +136,32 @@ def _cmd_dot(args) -> int:
     return 0
 
 
+def _apply_checkpoint_flags(config: ExperimentConfig, args):
+    """Fold ``--checkpoint-dir/--checkpoint-every/--checkpoint-retain`` in."""
+    if getattr(args, "checkpoint_dir", None) is None:
+        return config
+    if len(config.seeds) > 1:
+        raise SystemExit(
+            "--checkpoint-dir requires a single seed (--seeds 1): one "
+            "directory holds one run's snapshot lineage"
+        )
+    return replace(
+        config,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every_s=args.checkpoint_every,
+        checkpoint_retain=args.checkpoint_retain,
+    )
+
+
 def _cmd_run(args) -> int:
     spec = SchedulerSpec(
         args.scheduler.upper(),
         quantum_us=args.quantum,
         source_interval=args.source_interval,
     )
-    config = _tune(ExperimentConfig(spec), args)
+    config = _apply_checkpoint_flags(
+        _tune(ExperimentConfig(spec), args), args
+    )
     result = run_experiment(config)
     print(
         render_series_table(
@@ -150,6 +169,66 @@ def _cmd_run(args) -> int:
         )
     )
     _print_fault_summary([result])
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    """Resume a crashed run from its checkpoint directory."""
+    from .experiment import resume_run
+
+    result, director, _, manifest = resume_run(
+        args.checkpoint_dir,
+        replay_deadletters=args.replay_deadletters,
+    )
+    print(
+        f"resumed from checkpoint {manifest.checkpoint_id} "
+        f"(t={manifest.engine_time_us}us, "
+        f"{manifest.payload_bytes} bytes)"
+    )
+    print(
+        render_series_table(
+            [_single_result(args, result, manifest)],
+            "Resumed Linear Road run",
+        )
+    )
+    print(
+        f"run summary: {result.tolls} tolls, {result.alerts} alerts, "
+        f"{result.internal_firings} internal firings, "
+        f"{result.dead_letters} dead letters"
+    )
+    return 0
+
+
+def _single_result(args, run_result, manifest):
+    """Wrap one resumed RunResult in an ExperimentResult for rendering."""
+    from .experiment import config_from_meta, ExperimentResult
+
+    config, _ = config_from_meta(manifest.meta, args.checkpoint_dir)
+    return ExperimentResult(config, run_result.series, [run_result])
+
+
+def _cmd_deadletter(args) -> int:
+    """Inspect (and optionally replay) a checkpoint's dead letters."""
+    from .experiment import restore_engine, resume_run
+
+    if args.replay:
+        result, director, _, manifest = resume_run(
+            args.checkpoint_dir, replay_deadletters=True
+        )
+        print(
+            f"replayed dead letters from checkpoint "
+            f"{manifest.checkpoint_id}; run finished with "
+            f"{result.dead_letters} still dead-lettered"
+        )
+        return 0
+    director, _, manifest, _, _ = restore_engine(args.checkpoint_dir)
+    letters = director.supervisor.dead_letters.letters()
+    print(
+        f"checkpoint {manifest.checkpoint_id} "
+        f"(t={manifest.engine_time_us}us): {len(letters)} dead letter(s)"
+    )
+    for letter in letters:
+        print(f"  {letter.describe()}")
     return 0
 
 
@@ -263,7 +342,46 @@ def build_parser() -> argparse.ArgumentParser:
                      help="basic quantum / slice in microseconds")
     run.add_argument("--source-interval", type=int,
                      default=QBS_SOURCE_INTERVAL)
+    run.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="publish wave-aligned snapshots into DIR (single seed only)",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="SECONDS",
+        help="engine-time seconds between snapshots (requires "
+             "--checkpoint-dir)",
+    )
+    run.add_argument(
+        "--checkpoint-retain", type=int, default=3, metavar="K",
+        help="snapshots kept on disk before pruning (default 3)",
+    )
     run.set_defaults(fn=_cmd_run)
+    resume = sub.add_parser(
+        "resume",
+        help="resume a crashed run from its checkpoint directory",
+    )
+    resume.add_argument(
+        "checkpoint_dir", metavar="DIR",
+        help="directory previously populated by run --checkpoint-dir",
+    )
+    resume.add_argument(
+        "--replay-deadletters", action="store_true",
+        help="re-enqueue the restored dead-letter queue before resuming",
+    )
+    resume.set_defaults(fn=_cmd_resume)
+    deadletter = sub.add_parser(
+        "deadletter",
+        help="inspect or replay dead letters captured in a checkpoint",
+    )
+    deadletter.add_argument(
+        "checkpoint_dir", metavar="DIR",
+        help="directory previously populated by run --checkpoint-dir",
+    )
+    deadletter.add_argument(
+        "--replay", action="store_true",
+        help="re-enqueue the dead letters and continue the run",
+    )
+    deadletter.set_defaults(fn=_cmd_deadletter)
     trace = sub.add_parser(
         "trace",
         help="run a traced Linear Road experiment and dump the trace",

@@ -82,9 +82,19 @@ class ExperimentConfig:
     #: ``None`` runs fault-free.
     fault_spec: Optional[str] = None
     #: Recovery policy handed to the director.  ``None`` means: fail-stop
-    #: (``"raise"``) for clean runs, :meth:`FaultPolicy.resilient` when a
-    #: ``fault_spec`` is set so chaos runs survive their own injections.
+    #: (``FaultPolicy(propagate=True)``) for clean runs,
+    #: :meth:`FaultPolicy.resilient` when a ``fault_spec`` is set so chaos
+    #: runs survive their own injections.
     error_policy: Optional[object] = None
+    #: Directory for wave-aligned snapshots (``--checkpoint-dir``);
+    #: ``None`` disables checkpointing entirely.
+    checkpoint_dir: Optional[str] = None
+    #: Engine-time seconds between automatic snapshots
+    #: (``--checkpoint-every``); ``None`` with a directory set means
+    #: snapshots happen only through the explicit barrier API.
+    checkpoint_every_s: Optional[float] = None
+    #: How many snapshots the directory store retains (oldest pruned).
+    checkpoint_retain: int = 3
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

@@ -10,10 +10,17 @@ its three runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
-from ..core.exceptions import SimulationError
+from ..checkpoint import (
+    CheckpointManifest,
+    CheckpointStore,
+    DirectoryCheckpointStore,
+    EngineCheckpointer,
+    restore_latest,
+)
+from ..core.exceptions import CheckpointError, SimulationError
 from ..observability import RecordingTracer, use_tracer
 from ..resilience import FaultPolicy, install_faults
 from ..linearroad.generator import LinearRoadWorkload
@@ -100,10 +107,80 @@ def make_scheduler(spec: SchedulerSpec) -> AbstractScheduler:
     raise SimulationError(f"unknown scheduler kind {spec.kind!r}")
 
 
-def _execute_seed(
+def checkpoint_meta(config: ExperimentConfig, seed: int) -> dict:
+    """The manifest metadata ``repro resume`` rebuilds an engine from.
+
+    Everything *structural* must be re-derivable from this record: the
+    scheduler spec, the full workload configuration (accident scripts
+    included), the seed pair and the fault configuration.  The snapshot
+    payload carries only data, so a wrong rebuild would diverge — the
+    structure fingerprint check catches gross mismatches, this metadata
+    prevents them.
+    """
+    return {
+        "scheduler": {
+            "kind": config.scheduler.kind,
+            "quantum_us": config.scheduler.quantum_us,
+            "source_interval": config.scheduler.source_interval,
+        },
+        "workload": asdict(config.workload),
+        "seed": seed,
+        "cost_seed": config.cost_seed,
+        "bucket_s": config.bucket_s,
+        "fault_spec": config.fault_spec,
+        "checkpoint_every_s": config.checkpoint_every_s,
+        "checkpoint_retain": config.checkpoint_retain,
+    }
+
+
+def config_from_meta(
+    meta: dict, checkpoint_dir: Optional[str] = None
+) -> tuple[ExperimentConfig, int]:
+    """Rebuild ``(ExperimentConfig, seed)`` from manifest metadata."""
+    from ..linearroad.generator import AccidentScript, WorkloadConfig
+
+    try:
+        workload_raw = dict(meta["workload"])
+        workload_raw["accidents"] = tuple(
+            AccidentScript(**dict(script))
+            for script in workload_raw.get("accidents", ())
+        )
+        workload_raw["congestion_segments"] = tuple(
+            workload_raw.get("congestion_segments", ())
+        )
+        spec = SchedulerSpec(
+            kind=meta["scheduler"]["kind"],
+            quantum_us=meta["scheduler"]["quantum_us"],
+            source_interval=meta["scheduler"]["source_interval"],
+        )
+        config = ExperimentConfig(
+            scheduler=spec,
+            workload=WorkloadConfig(**workload_raw),
+            seeds=(int(meta["seed"]),),
+            bucket_s=int(meta["bucket_s"]),
+            cost_seed=int(meta["cost_seed"]),
+            fault_spec=meta.get("fault_spec"),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_s=meta.get("checkpoint_every_s"),
+            checkpoint_retain=int(meta.get("checkpoint_retain", 3)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"manifest metadata cannot rebuild an experiment: {exc}"
+        ) from exc
+    return config, int(meta["seed"])
+
+
+def _build_engine(
     config: ExperimentConfig, seed: int
-) -> tuple[RunResult, object, LinearRoadSystem]:
-    """Build + simulate one seed; returns (result, director, system)."""
+) -> tuple[object, LinearRoadSystem, VirtualClock, list]:
+    """Rebuild the full engine *structure* for one config + seed.
+
+    This is the deterministic structural rebuild the checkpoint design
+    relies on: the same config + seed always produces a workflow whose
+    fingerprint matches the one recorded in a snapshot, so restore can
+    apply the data in place.
+    """
     workload = LinearRoadWorkload(replace(config.workload, seed=seed))
     system: LinearRoadSystem = build_linear_road(workload.arrivals())
     clock = VirtualClock()
@@ -112,7 +189,9 @@ def _execute_seed(
     if error_policy is None:
         # Chaos runs default to a keep-running policy; clean runs fail-stop.
         error_policy = (
-            FaultPolicy.resilient() if config.fault_spec else "raise"
+            FaultPolicy.resilient()
+            if config.fault_spec
+            else FaultPolicy(propagate=True)
         )
     if config.scheduler.kind == "PNCWF":
         director = ThreadedCWFDirector(
@@ -131,7 +210,85 @@ def _execute_seed(
         if config.fault_spec
         else []
     )
-    runtime = SimulationRuntime(director, clock)
+    return director, system, clock, injectors
+
+
+def restore_engine(
+    checkpoint_dir: str,
+) -> tuple[object, LinearRoadSystem, CheckpointManifest, ExperimentConfig, int]:
+    """Rebuild + restore an engine from a checkpoint directory (no run).
+
+    Used by ``repro deadletter`` and other inspection paths that need
+    the restored engine state without continuing the simulation.
+    """
+    store = DirectoryCheckpointStore(checkpoint_dir)
+    found = store.latest()
+    if found is None:
+        raise CheckpointError(
+            f"no valid snapshot found in {checkpoint_dir!r}"
+        )
+    manifest, _ = found
+    config, seed = config_from_meta(manifest.meta, checkpoint_dir)
+    director, system, _, _ = _build_engine(config, seed)
+    director.initialize_all()
+    restore_latest(director, store)
+    return director, system, manifest, config, seed
+
+
+def _execute_seed(
+    config: ExperimentConfig,
+    seed: int,
+    resume: bool = False,
+    store: Optional[CheckpointStore] = None,
+    replay_deadletters: bool = False,
+) -> tuple[RunResult, object, LinearRoadSystem]:
+    """Build + simulate one seed; returns (result, director, system).
+
+    With ``store`` (or ``config.checkpoint_dir``) set, the run publishes
+    wave-aligned snapshots every ``config.checkpoint_every_s`` engine
+    seconds.  With ``resume=True`` the engine is rebuilt structurally
+    from the config, the newest valid snapshot is applied in place, and
+    the simulation continues to the original horizon — bit-identical to
+    an uninterrupted run of the same config + seed.
+    ``replay_deadletters=True`` additionally re-enqueues the restored
+    dead-letter queue before continuing.
+    """
+    director, system, clock, injectors = _build_engine(config, seed)
+    checkpointer: Optional[EngineCheckpointer] = None
+    if store is None and config.checkpoint_dir is not None:
+        store = DirectoryCheckpointStore(
+            config.checkpoint_dir, retain=config.checkpoint_retain
+        )
+    if store is not None:
+        every_us = (
+            int(config.checkpoint_every_s * 1_000_000)
+            if config.checkpoint_every_s is not None
+            else None
+        )
+        checkpointer = EngineCheckpointer(
+            director,
+            store,
+            every_us=every_us,
+            meta=checkpoint_meta(config, seed),
+        )
+    if resume:
+        if store is None:
+            raise CheckpointError(
+                "resume requested but no checkpoint store/dir configured"
+            )
+        director.initialize_all()
+        manifest = restore_latest(director, store)
+        if manifest is None:
+            raise CheckpointError(
+                "no valid snapshot found to resume from"
+            )
+        if checkpointer is not None:
+            checkpointer.note_resumed(manifest)
+        if replay_deadletters:
+            from ..resilience import replay_dead_letters
+
+            replay_dead_letters(director, clock.now_us)
+    runtime = SimulationRuntime(director, clock, checkpointer=checkpointer)
     runtime.run(config.workload.duration_s)
     series = ResponseTimeSeries.from_samples(
         system.toll_response_times_us,
@@ -156,6 +313,36 @@ def run_once(config: ExperimentConfig, seed: int) -> RunResult:
     """One seed: build workload + workflow, simulate, collect the series."""
     result, _, _ = _execute_seed(config, seed)
     return result
+
+
+def resume_run(
+    checkpoint_dir: str,
+    replay_deadletters: bool = False,
+) -> tuple[RunResult, object, LinearRoadSystem, CheckpointManifest]:
+    """Resume a crashed run from the newest valid snapshot in a directory.
+
+    Reads the manifest metadata to rebuild the exact engine structure
+    (scheduler, workload, seeds), restores the snapshot's data onto it
+    and simulates to the original horizon.  The resumed run keeps
+    checkpointing into the same directory on the same engine-time grid.
+    """
+    store = DirectoryCheckpointStore(checkpoint_dir)
+    found = store.latest()
+    if found is None:
+        raise CheckpointError(
+            f"no valid snapshot found in {checkpoint_dir!r}"
+        )
+    manifest, _ = found
+    config, seed = config_from_meta(manifest.meta, checkpoint_dir)
+    store.retain = config.checkpoint_retain
+    result, director, system = _execute_seed(
+        config,
+        seed,
+        resume=True,
+        store=store,
+        replay_deadletters=replay_deadletters,
+    )
+    return result, director, system, manifest
 
 
 def run_traced(

@@ -116,9 +116,16 @@ def fraction_within(
 
 
 def render_statistics(registry, top: int = 20) -> str:
-    """The runtime statistics module, as an aligned text table."""
+    """The runtime statistics module, as an aligned text table.
+
+    The ``__engine__`` entry (engine-wide counters such as checkpoint
+    totals) has no per-actor shape, so it renders as its own trailer
+    section below the actor table.
+    """
+    snapshot = registry.snapshot()
+    engine = snapshot.pop("__engine__", None)
     rows = sorted(
-        registry.snapshot().items(),
+        snapshot.items(),
         key=lambda item: item[1]["invocations"],
         reverse=True,
     )[:top]
@@ -132,6 +139,11 @@ def render_statistics(registry, top: int = 20) -> str:
             f"{name:<26} {stats['invocations']:>9d} "
             f"{stats['avg_cost_us']:>14.1f} {stats['selectivity']:>12.3f}"
         )
+    if engine:
+        lines.append("")
+        lines.append("engine counters:")
+        for key in sorted(engine):
+            lines.append(f"  {key:<32} {engine[key]:>14.1f}")
     return "\n".join(lines)
 
 

@@ -228,6 +228,7 @@ def export_prometheus(
     it to *path_or_file*.
     """
     snapshot = snapshot_metrics(registry, now_us)
+    engine_counters = snapshot.pop("__engine__", None) or {}
     lines: list[str] = []
     for suffix, key, kind, help_text in _ACTOR_METRICS:
         metric = f"repro_actor_{suffix}"
@@ -241,6 +242,14 @@ def export_prometheus(
                 f'{metric}{{actor="{label}"}} '
                 f"{_format_value(stats[key])}"
             )
+    for key in sorted(engine_counters):
+        metric = f"repro_engine_{key}"
+        lines.append(
+            f"# HELP {metric} Engine-wide counter "
+            "(checkpointing, recovery)."
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(engine_counters[key])}")
     for name, value in sorted((extra_gauges or {}).items()):
         lines.append(f"# HELP {name} Engine-level gauge.")
         lines.append(f"# TYPE {name} gauge")

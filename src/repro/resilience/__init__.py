@@ -45,6 +45,7 @@ from .injection import (
     parse_fault_spec,
 )
 from .policy import FailureAction, FailureDecision, FaultPolicy
+from .replay import replay_dead_letters
 from .supervisor import ActorHealth, FaultSupervisor
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "FaultSupervisor",
     "install_faults",
     "parse_fault_spec",
+    "replay_dead_letters",
 ]

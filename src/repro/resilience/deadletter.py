@@ -101,3 +101,20 @@ class DeadLetterQueue:
 
     def __bool__(self) -> bool:
         return bool(self._letters)
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot retained letters + drop accounting (Checkpointable)."""
+        return {
+            "letters": list(self._letters),
+            "dropped": self.dropped,
+            "total_enqueued": self.total_enqueued,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump in place (capacity comes from the rebuild)."""
+        self._letters = deque(state["letters"], maxlen=self.capacity)
+        self.dropped = int(state["dropped"])
+        self.total_enqueued = int(state["total_enqueued"])

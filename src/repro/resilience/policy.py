@@ -22,11 +22,16 @@ The policy subsumes the SCWF director's legacy string ``error_policy``:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Union
 
 from ..core.exceptions import ResilienceError
+
+#: Legacy string aliases that already emitted their DeprecationWarning —
+#: each alias warns once per process, not once per director construction.
+_WARNED_ALIASES: set = set()
 
 
 class FailureAction(Enum):
@@ -95,13 +100,28 @@ class FaultPolicy:
 
         ``"raise"`` maps to a propagating (fail-stop) policy and ``"drop"``
         to the plain consume-and-dead-letter policy — the two values the
-        SCWF director's old ``error_policy`` parameter accepted.
+        SCWF director's old ``error_policy`` parameter accepted.  The
+        string spellings are deprecated: each alias emits one
+        :class:`DeprecationWarning` per process pointing at the
+        :class:`FaultPolicy` replacement.
         """
         if value is None:
             return cls()
         if isinstance(value, cls):
             return value
         if isinstance(value, str):
+            replacements = {
+                "raise": "FaultPolicy(propagate=True)",
+                "drop": "FaultPolicy()",
+            }
+            if value in replacements and value not in _WARNED_ALIASES:
+                _WARNED_ALIASES.add(value)
+                warnings.warn(
+                    f"error_policy={value!r} is a deprecated legacy "
+                    f"alias; pass {replacements[value]} instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
             if value == "raise":
                 return cls(propagate=True)
             if value == "drop":

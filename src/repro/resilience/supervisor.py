@@ -73,6 +73,20 @@ class ActorHealth:
             "last_error": self.last_error,
         }
 
+    def state_restore(self, state: dict[str, Any]) -> None:
+        """Re-apply an :meth:`as_dict`-shaped record (Checkpointable)."""
+        self.failures = state["failures"]
+        self.retries = state["retries"]
+        self.dead_letters = state["dead_letters"]
+        self.consecutive_failures = state["consecutive_failures"]
+        self.quarantined = state["quarantined"]
+        self.thread_restarts = state["thread_restarts"]
+        self.last_error = state["last_error"]
+
+    #: ``as_dict`` doubles as the Checkpointable dump — it already covers
+    #: every mutable field with plain picklable values.
+    state_dump = as_dict
+
 
 class FaultSupervisor:
     """Applies a :class:`FaultPolicy` to every failure a director reports."""
@@ -120,6 +134,31 @@ class FaultSupervisor:
     def total_failures(self) -> int:
         """Failed firing attempts across every actor."""
         return sum(record.failures for record in self._health.values())
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot health records + the dead-letter queue (Checkpointable).
+
+        The policy itself is structural configuration (frozen dataclass,
+        rebuilt with the director); only the runtime bookkeeping — per
+        actor quarantine/budget state and the captured poison items — is
+        part of the snapshot.
+        """
+        return {
+            "health": {
+                name: record.state_dump()
+                for name, record in self._health.items()
+            },
+            "dead_letters": self.dead_letters.state_dump(),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump onto the rebuilt supervisor (Checkpointable)."""
+        for name, record_state in state["health"].items():
+            self.health(name).state_restore(record_state)
+        self.dead_letters.state_restore(state["dead_letters"])
 
     # ------------------------------------------------------------------
     # Director-facing protocol

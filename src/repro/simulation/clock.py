@@ -42,6 +42,17 @@ class VirtualClock:
             self._now = int(timestamp_us)
         return self._now
 
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the current virtual time (Checkpointable protocol)."""
+        return {"now_us": self._now}
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dumped virtual time (Checkpointable protocol)."""
+        self._now = int(state["now_us"])
+
     def __repr__(self) -> str:
         return f"VirtualClock({self._now}us)"
 

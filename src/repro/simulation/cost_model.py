@@ -102,6 +102,23 @@ class CostModel:
         )
         return self._jittered(base + self.source_per_event_us * emitted)
 
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the jitter RNG state (Checkpointable protocol).
+
+        The seeded RNG is the model's only mutable state; capturing it
+        with :meth:`random.Random.getstate` (a pure observation — no
+        draw) is what makes a resumed run charge the exact same jittered
+        costs as the uninterrupted one.
+        """
+        return {"rng_state": self._rng.getstate()}
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dumped RNG state (Checkpointable protocol)."""
+        self._rng.setstate(state["rng_state"])
+
     def clone(self, **overrides) -> "CostModel":
         """A copy with some fields replaced (ablation sweeps)."""
         from dataclasses import asdict

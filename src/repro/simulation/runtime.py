@@ -23,10 +23,14 @@ from .clock import VirtualClock
 class SimulationRuntime:
     """Runs one workflow + director combination to a virtual-time horizon."""
 
-    def __init__(self, director, clock: VirtualClock):
+    def __init__(self, director, clock: VirtualClock, checkpointer=None):
         self.director = director
         self.clock = clock
         self.iterations_run = 0
+        #: Optional :class:`~repro.checkpoint.EngineCheckpointer`; when
+        #: set, the loop offers it every *productive* iteration end as a
+        #: snapshot point (a quiescent wave boundary by construction).
+        self.checkpointer = checkpointer
 
     def run(
         self,
@@ -63,6 +67,12 @@ class SimulationRuntime:
             internal, emitted = director.run_iteration()
             iterations += 1
             if internal or emitted:
+                # Snapshot only after *productive* iterations: the engine
+                # sits at a quiescent wave boundary here, and skipping
+                # idle iterations keeps a checkpointing run's iteration
+                # sequence identical to an uncheckpointed one.
+                if self.checkpointer is not None:
+                    self.checkpointer.maybe_checkpoint(self.clock.now_us)
                 continue
             # Idle: fast-forward to whatever happens next.
             next_times = []

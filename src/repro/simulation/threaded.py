@@ -68,7 +68,7 @@ class ThreadedCWFDirector(Director):
         clock: VirtualClock,
         cost_model: CostModel,
         os_slice_us: int = 4_000,
-        error_policy: "FaultPolicy | str" = "raise",
+        error_policy: "FaultPolicy | str" = FaultPolicy(propagate=True),
     ):
         super().__init__()
         try:

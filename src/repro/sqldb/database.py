@@ -59,6 +59,40 @@ class Database:
         del self.tables[name]
 
     # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot every table's rows (Checkpointable protocol).
+
+        Schemas are structural (recreated by whatever initialization code
+        issued the ``CREATE TABLE`` statements); the dump carries data
+        only, so it restores in place on a freshly rebuilt database and
+        all live references to that database object remain valid.
+        """
+        return {
+            "tables": {
+                name: table.state_dump()
+                for name, table in self.tables.items()
+            },
+            "statements_executed": self.statements_executed,
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply dumped rows onto the rebuilt (same-schema) database."""
+        from ..core.exceptions import CheckpointError
+
+        for name, table_state in state["tables"].items():
+            table = self.tables.get(name)
+            if table is None:
+                raise CheckpointError(
+                    f"cannot restore table {name!r}: the rebuilt database "
+                    "has no such table (schema mismatch — was the engine "
+                    "rebuilt with the same builder?)"
+                )
+            table.state_restore(table_state)
+        self.statements_executed = int(state["statements_executed"])
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(

@@ -66,6 +66,13 @@ class AbstractScheduler(ABC):
     #: with internal actors (FIFO, RB, the default) include them.
     index_includes_sources = True
 
+    #: Names of policy-specific *mutable* attributes the generic
+    #: checkpoint dump captures verbatim (values must pickle and must not
+    #: reference engine objects).  Policies with richer state (counters,
+    #: buffers holding actors) additionally override
+    #: :meth:`policy_state_dump` / :meth:`policy_state_restore`.
+    checkpoint_attrs: tuple = ()
+
     def __init__(self):
         self.workflow: Optional["Workflow"] = None
         self.statistics: Optional[StatisticsRegistry] = None
@@ -364,6 +371,69 @@ class AbstractScheduler(ABC):
 
     def source_has_work(self, source: SourceActor, now: int) -> bool:
         return source.pending_arrivals(now) > 0
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def policy_state_dump(self) -> dict:
+        """Policy-specific mutable state (default: ``checkpoint_attrs``)."""
+        return {attr: getattr(self, attr) for attr in self.checkpoint_attrs}
+
+    def policy_state_restore(self, state: dict) -> None:
+        """Re-apply :meth:`policy_state_dump` output onto the policy."""
+        for attr in self.checkpoint_attrs:
+            setattr(self, attr, state[attr])
+
+    def state_dump(self) -> dict:
+        """Snapshot the scheduler (Checkpointable protocol).
+
+        Captures the per-actor ready heaps, the cached state machine
+        (states + validity flags — preserving them keeps lazy
+        re-evaluation order, and therefore dispatch decisions, exactly
+        as they would have been without a checkpoint), the engine-time
+        cursor, and the policy's own state.  The dispatch index is
+        *derived* data and is deliberately absent: restore rebuilds it
+        empty and marks every actor dirty, and the oracle-verified
+        index invariant (selection ≡ min over ``(comparator_key,
+        actor_order)``) guarantees the rebuilt index dispatches
+        identically.
+        """
+        return {
+            "now": self._now,
+            "internal_firings": self.internal_firings,
+            "ready": {
+                name: queue.snapshot_items()
+                for name, queue in self.ready.items()
+            },
+            "states": {
+                name: state.value for name, state in self.states.items()
+            },
+            "state_valid": dict(self.state_valid),
+            "policy": self.policy_state_dump(),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump onto a freshly :meth:`initialize`-d scheduler."""
+        from ..core.exceptions import CheckpointError
+
+        self._now = int(state["now"])
+        self.internal_firings = int(state["internal_firings"])
+        for name, items in state["ready"].items():
+            queue = self.ready.get(name)
+            if queue is None:
+                raise CheckpointError(
+                    f"cannot restore ready queue for unknown actor {name!r} "
+                    "(was the workflow rebuilt with the same builder?)"
+                )
+            queue.restore_items(items)
+        for name, value in state["states"].items():
+            self.states[name] = ActorState(value)
+        self.state_valid = dict(state["state_valid"])
+        self.policy_state_restore(state["policy"])
+        # The index holds derived entries only: rebuild it empty and let
+        # the next flush repopulate it from the restored states/keys.
+        self._index = self._make_dispatch_index()
+        self._index_dirty = set(self._actor_order)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

@@ -84,3 +84,27 @@ class ReadyQueue:
         self._heap.clear()
         if size and self._on_size_change is not None:
             self._on_size_change(size, 0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot_items(self) -> list[ReadyItem]:
+        """A copy of the heap list, in heap order (pure observation).
+
+        :class:`ReadyItem` pickles with its ``sort_key`` intact (pickle
+        bypasses ``__post_init__``), so the global tie-break counter is
+        not consumed when a snapshot round-trips.
+        """
+        return list(self._heap)
+
+    def restore_items(self, items: list[ReadyItem]) -> None:
+        """Replace the heap content, keeping the size listener honest.
+
+        The input must already be in heap order — :meth:`snapshot_items`
+        output qualifies.  Fires ``on_size_change`` with the real
+        transition so the scheduler's O(1) backlog counters stay exact.
+        """
+        old = len(self._heap)
+        self._heap = list(items)
+        if self._on_size_change is not None and old != len(self._heap):
+            self._on_size_change(old, len(self._heap))

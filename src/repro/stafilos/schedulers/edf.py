@@ -31,6 +31,14 @@ class EarliestDeadlineScheduler(AbstractScheduler):
     #: internal actors only.
     index_includes_sources = False
 
+    #: Mutable policy state for checkpointing: the source-regulation
+    #: bookkeeping (deadlines themselves derive from the ready heads).
+    checkpoint_attrs = (
+        "_fired_sources",
+        "_internal_since_source",
+        "_source_rotation",
+    )
+
     def __init__(
         self,
         default_target_us: int = 2_000_000,

@@ -50,6 +50,19 @@ class QuantumPriorityScheduler(AbstractScheduler):
     #: internal actors live in the priority-bucket index.
     index_includes_sources = False
 
+    #: Mutable policy state captured by the checkpoint subsystem:
+    #: remaining quanta, the re-quantification round, and the
+    #: source-regulation bookkeeping (fired set, pacing counter, rotation
+    #: cursor) — everything a resumed run needs to keep granting quanta
+    #: and rotating sources exactly where the crashed run stopped.
+    checkpoint_attrs = (
+        "quantum",
+        "requantifications",
+        "_fired_sources",
+        "_internal_since_source",
+        "_source_rotation",
+    )
+
     def __init__(self, basic_quantum_us: int = 500, source_interval: int = 5):
         super().__init__()
         self.basic_quantum_us = basic_quantum_us

@@ -42,6 +42,16 @@ class RateBasedScheduler(AbstractScheduler):
 
     policy_name = "RB"
 
+    #: Mutable policy state for checkpointing; the next-period buffer
+    #: holds live ``Actor`` references, so it is translated to names in
+    #: :meth:`policy_state_dump` rather than captured verbatim.
+    checkpoint_attrs = (
+        "periods",
+        "priorities",
+        "_buffered_counts",
+        "_fired_sources",
+    )
+
     def __init__(self, default_cost_us: float = 100.0):
         super().__init__()
         self.default_cost_us = default_cost_us
@@ -141,6 +151,31 @@ class RateBasedScheduler(AbstractScheduler):
                 period=self.periods,
                 released=len(buffered),
             )
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def policy_state_dump(self) -> dict:
+        """Dump the next-period buffer *by actor name*.
+
+        A checkpoint must never serialize live engine objects: the buffer
+        entries ``(Actor, port, item)`` become ``(name, port, item)`` so
+        the dump restores cleanly onto a rebuilt workflow.
+        """
+        state = super().policy_state_dump()
+        state["buffer"] = [
+            (actor.name, port_name, item)
+            for actor, port_name, item in self._next_period_buffer
+        ]
+        return state
+
+    def policy_state_restore(self, state: dict) -> None:
+        """Re-bind buffered entries to the rebuilt actors by name."""
+        super().policy_state_restore(state)
+        self._next_period_buffer = [
+            (self._actors_by_name[name], port_name, item)
+            for name, port_name, item in state["buffer"]
+        ]
 
     def describe(self) -> str:
         return "RB(highest-rate)"

@@ -39,6 +39,18 @@ class RoundRobinScheduler(AbstractScheduler):
     #: served first.
     index_includes_sources = False
 
+    #: Mutable policy state for checkpointing; the rotation *counter* is
+    #: handled separately in :meth:`policy_state_dump` (itertools.count
+    #: does not expose assignment).
+    checkpoint_attrs = (
+        "quantum",
+        "periods",
+        "_order",
+        "_fired_sources",
+        "_internal_since_source",
+        "_source_rotation",
+    )
+
     def __init__(self, slice_us: int = 10_000, source_interval: int = 5):
         super().__init__()
         self.slice_us = slice_us
@@ -139,6 +151,20 @@ class RoundRobinScheduler(AbstractScheduler):
             self.invalidate_state(actor)
         self._fired_sources.clear()
         self._internal_since_source = 0
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def policy_state_dump(self) -> dict:
+        """Add the next rotation ticket to the attribute-based dump."""
+        state = super().policy_state_dump()
+        state["next_ticket"] = self._rotation.__reduce__()[1][0]
+        return state
+
+    def policy_state_restore(self, state: dict) -> None:
+        """Re-seed the ticket counter alongside the plain attributes."""
+        super().policy_state_restore(state)
+        self._rotation = itertools.count(int(state["next_ticket"]))
 
     def describe(self) -> str:
         return f"RR(slice={self.slice_us}us, src_int={self.source_interval})"

@@ -55,7 +55,7 @@ class SCWFDirector(Director):
         clock,
         cost_model,
         max_firings_per_iteration: int = 5_000_000,
-        error_policy: "FaultPolicy | str" = "raise",
+        error_policy: "FaultPolicy | str" = FaultPolicy(propagate=True),
     ):
         super().__init__()
         try:
@@ -443,3 +443,43 @@ class SCWFDirector(Director):
             total += internal
             if internal == 0 and emitted == 0:
                 return total
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol (director-local state only)
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the director's own counters (Checkpointable).
+
+        Scheduler, receivers, supervisor, statistics, clock and cost
+        model are separate checkpoint components — the orchestrator in
+        :mod:`repro.checkpoint.snapshot` walks them individually.  The
+        timed-deadline heap and the next-arrival cache are *derived*
+        state and are rebuilt lazily on restore instead of serialized.
+        """
+        return {
+            "iterations": self.iterations,
+            "total_internal_firings": self.total_internal_firings,
+            "total_source_firings": self.total_source_firings,
+            "total_events_admitted": self.total_events_admitted,
+            "actor_errors": dict(self.actor_errors),
+        }
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply director counters and invalidate the derived caches.
+
+        Marking every deadline slot dirty and dropping the arrival cache
+        forces the next ``next_window_deadline`` / ``next_arrival_time``
+        call to recompute from the (already restored) receivers and
+        source cursors — the lazy repair machinery then behaves exactly
+        as in an uninterrupted run.
+        """
+        self.iterations = int(state["iterations"])
+        self.total_internal_firings = int(state["total_internal_firings"])
+        self.total_source_firings = int(state["total_source_firings"])
+        self.total_events_admitted = int(state["total_events_admitted"])
+        self.actor_errors = dict(state["actor_errors"])
+        self._deadline_heap.clear()
+        self._deadline_cache = [None] * len(self._deadline_watch)
+        self._deadline_dirty = set(range(len(self._deadline_watch)))
+        self._arrival_cache = None
+        self._arrival_cache_valid = False

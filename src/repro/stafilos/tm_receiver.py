@@ -127,3 +127,22 @@ class TMWindowedReceiver(WindowedReceiver):
 
     def size(self) -> int:
         return len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot window state + director-staged items (Checkpointable).
+
+        ``_deadline_slot`` is structural (assigned when the director
+        builds its timed-deadline heap) and is not part of the dump; the
+        restore path re-marks every slot dirty instead.
+        """
+        state = super().state_dump()
+        state["staged"] = list(self._buffer)
+        return state
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply the dump on a rebuilt receiver (Checkpointable)."""
+        super().state_restore(state)
+        self._buffer = deque(state["staged"])

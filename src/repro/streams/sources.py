@@ -76,6 +76,15 @@ class TCPStreamSource(SourceActor):
 
     unbounded = True
 
+    #: Threading/network plumbing is structural (rebuilt by ``listen``)
+    #: and unpicklable; the codec and clock are configuration.  Unlike a
+    #: replay source, the pending queue *is* checkpointed here: live
+    #: arrivals exist nowhere else, so dropping them would lose data.
+    checkpoint_exclude = frozenset(
+        {"_lock", "_thread", "_server", "_connection", "_stopping",
+         "codec", "clock"}
+    )
+
     def __init__(
         self,
         name: str,
@@ -92,6 +101,7 @@ class TCPStreamSource(SourceActor):
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._server: Optional[socket.socket] = None
+        self._connection: Optional[socket.socket] = None
         self._stopping = threading.Event()
         self.received = 0
         self.decode_errors = 0
@@ -105,30 +115,68 @@ class TCPStreamSource(SourceActor):
         """Bind and start accepting one publisher; returns (host, port)."""
         self._server = socket.create_server((self._host, self._port))
         self._server.settimeout(0.2)
+        self._stopping.clear()
         self._thread = threading.Thread(
             target=self._accept_loop, name=f"tcp-src-{self.name}", daemon=True
         )
         self._thread.start()
         return self._server.getsockname()[:2]
 
-    def close(self) -> None:
+    def stop(self, join_timeout: float = 2.0) -> bool:
+        """Shut the reader down even while a peer holds its connection open.
+
+        Order matters: the stop flag is raised first, then *both* sockets
+        (live connection and listener) are force-closed so a reader
+        blocked in ``recv``/``accept`` on a stalling peer wakes with an
+        ``OSError`` immediately instead of waiting out its poll timeout.
+        The thread is then joined with *join_timeout*; returns ``True``
+        when the reader thread has fully exited.
+        """
         self._stopping.set()
-        if self._thread is not None:
-            self._thread.join(timeout=2.0)
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:
+                pass
         if self._server is not None:
-            self._server.close()
+            try:
+                self._server.close()
+            except OSError:
+                pass
+            self._server = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=join_timeout)
+            return not thread.is_alive()
+        return True
+
+    def close(self) -> None:
+        """Backwards-compatible alias for :meth:`stop`."""
+        self.stop()
 
     def _accept_loop(self) -> None:
-        assert self._server is not None
+        server = self._server
+        assert server is not None
         while not self._stopping.is_set():
             try:
-                connection, _ = self._server.accept()
+                connection, _ = server.accept()
             except socket.timeout:
                 continue
             except OSError:
                 return
-            with connection:
-                self._read_lines(connection)
+            self._connection = connection
+            try:
+                with connection:
+                    self._read_lines(connection)
+            except OSError:
+                return
+            finally:
+                self._connection = None
 
     def _read_lines(self, connection: socket.socket) -> None:
         connection.settimeout(0.2)
@@ -214,6 +262,28 @@ class TCPStreamSource(SourceActor):
                     "source.pump", ctx.now, self.name, emitted=emitted
                 )
         return emitted
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol (lock-guarded over the live queue)
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        """Snapshot the live arrival queue + cursor under the reader lock.
+
+        The generic :meth:`~repro.core.actors.Actor.state_dump` applies,
+        but the reader thread may be appending concurrently — the lock
+        freezes one consistent ``(pending, cursor)`` pair, and the queue
+        is copied (not referenced) because the reader keeps mutating it
+        after the dump returns.
+        """
+        with self._lock:
+            state = super().state_dump()
+            state["plain"]["_pending"] = list(self._pending)
+            return state
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply a dump under the lock (reader may already be live)."""
+        with self._lock:
+            super().state_restore(state)
 
 
 def publish_lines(

@@ -15,6 +15,22 @@ class TestParser:
             )
             assert callable(args.fn)
 
+    def test_checkpoint_flags_and_verbs_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "rr", "--checkpoint-dir", "/tmp/ck",
+             "--checkpoint-every", "10", "--checkpoint-retain", "5"]
+        )
+        assert args.checkpoint_dir == "/tmp/ck"
+        assert args.checkpoint_every == 10.0
+        assert args.checkpoint_retain == 5
+        resume = parser.parse_args(["resume", "/tmp/ck"])
+        assert callable(resume.fn)
+        deadletter = parser.parse_args(
+            ["deadletter", "/tmp/ck", "--replay"]
+        )
+        assert callable(deadletter.fn) and deadletter.replay
+
     def test_global_options(self):
         args = build_parser().parse_args(
             ["--duration", "120", "--seeds", "2", "fig5"]
@@ -48,6 +64,35 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "RR-q20000" in out
         assert "summary:" in out
+
+    def test_run_checkpoint_then_resume(self, tmp_path, capsys):
+        assert main(
+            ["--duration", "60", "--seeds", "1", "run", "rr",
+             "--quantum", "10000", "--checkpoint-dir", str(tmp_path),
+             "--checkpoint-every", "20"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["resume", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint" in out
+
+    def test_checkpoint_dir_requires_single_seed(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["--duration", "60", "--seeds", "2", "run", "rr",
+                 "--checkpoint-dir", str(tmp_path)]
+            )
+
+    def test_deadletter_inspect(self, tmp_path, capsys):
+        assert main(
+            ["--duration", "60", "--seeds", "1", "run", "rr",
+             "--quantum", "10000", "--checkpoint-dir", str(tmp_path),
+             "--checkpoint-every", "20"]
+        ) == 0
+        capsys.readouterr()
+        assert main(["deadletter", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dead letter" in out
 
     def test_dot_prints_linear_road_graph(self, capsys):
         assert main(["dot"]) == 0

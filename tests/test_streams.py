@@ -130,6 +130,43 @@ class TestTCPStreamSource:
         finally:
             source.close()
 
+    def test_stop_returns_promptly_while_peer_stalls(self):
+        """Shutdown regression: a connected peer that never closes (and
+        never sends a newline) must not wedge ``stop()`` — the reader is
+        interrupted by closing the connection socket and joined with a
+        timeout."""
+        import socket as socket_module
+
+        source = TCPStreamSource("tcp-stall")
+        host, port = source.listen()
+        peer = socket_module.create_connection((host, port), 2.0)
+        try:
+            # Partial line, no terminator: the reader blocks in recv().
+            peer.sendall(b'{"v": 1')
+            time.sleep(0.1)  # let the accept loop pick the peer up
+            started = time.monotonic()
+            assert source.stop() is True
+            assert time.monotonic() - started < 2.0
+            # Idempotent, and close() remains an alias of stop().
+            assert source.stop() is True
+            source.close()
+        finally:
+            peer.close()
+
+    def test_listen_again_after_stop(self):
+        source = TCPStreamSource("tcp-again", codec=JSONLinesCodec())
+        host, port = source.listen()
+        assert source.stop() is True
+        host, port = source.listen()
+        try:
+            assert publish_lines(host, port, [{"v": 9}]) == 1
+            deadline = time.monotonic() + 5.0
+            while source.received < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert source.received == 1
+        finally:
+            source.stop()
+
 
 class TestSinks:
     def run_pipeline(self, sink):
