@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke checkpoint-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -10,7 +10,7 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
-lint:  # ruff when available; otherwise a byte-compile syntax pass
+lint:  # ruff when available; otherwise a byte-compile syntax pass.
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
@@ -19,8 +19,9 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass
 		echo "lint: ruff not installed; falling back to compileall"; \
 		$(PYTHON) -m compileall -q src tests benchmarks examples; \
 	fi
+	$(PYTHON) tools/check_imports.py  # duplicate/unsorted imports (ruff "I" stand-in)
 
-ci: lint test checkpoint-smoke
+ci: lint test checkpoint-smoke bench-train
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -31,11 +32,21 @@ bench-quick:
 bench-paper:  # the paper's methodology: 600 s, three seeded runs averaged
 	REPRO_BENCH_SEEDS=3 $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-bench-smoke:  # dispatch + windowed-put micros vs. the committed baseline (2x gate)
+bench-smoke:  # engine micros vs. the committed baselines (2x gate)
 	$(PYTHON) -m pytest benchmarks/bench_engine_micro.py \
 		-k "dispatch_throughput or windowed_put" -q \
 		--benchmark-json=.benchmark-smoke.json
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-smoke.json
+	$(PYTHON) -m pytest benchmarks/bench_engine_micro.py -q \
+		--benchmark-json=.benchmark-engine-micro.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-engine-micro.json \
+		--baseline benchmarks/baselines/engine_micro.json
+
+bench-train:  # event-train throughput: speedup gate + absolute baselines
+	$(PYTHON) -m pytest benchmarks/bench_train_throughput.py -q \
+		--benchmark-json=.benchmark-train.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-train.json \
+		--baseline benchmarks/baselines/train.json
 
 checkpoint-smoke:  # checkpoint tests + example + <10% overhead gate on fig-8
 	$(PYTHON) -m pytest tests/test_checkpoint.py -q
@@ -58,5 +69,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .actors import Actor
 
 EmitHook = Callable[["Actor", str, CWEvent], None]
+EmitBatchHook = Callable[["Actor", str, "list[CWEvent]"], None]
 
 
 class FiringContext:
@@ -58,7 +59,37 @@ class FiringContext:
         #: must carry its ``last_in_wave`` mark *before* downstream
         #: receivers see it, so nothing is broadcast mid-firing.
         self._pending: list[tuple[str, CWEvent]] = []
+        #: Event-train emission: when a director enables batching, runs of
+        #: consecutive emissions on one port are flushed as a single train
+        #: through ``_emit_batch_hook`` (up to ``_emit_chunk`` events per
+        #: train; ``None`` = unbounded).  The default of 1 keeps the
+        #: historical one-call-per-event behaviour.
+        self._emit_chunk: Optional[int] = 1
+        self._emit_batch_hook: Optional[EmitBatchHook] = None
         #: Emission counters for the statistics module.
+        self.inputs_consumed = 0
+        self.outputs_produced = 0
+
+    def enable_batch_emission(
+        self, chunk: Optional[int], hook: EmitBatchHook
+    ) -> None:
+        """Flush same-port emission runs as trains of up to *chunk* events."""
+        self._emit_chunk = chunk
+        self._emit_batch_hook = hook
+
+    def reset(self, now: int) -> None:
+        """Recycle this context for the next firing of the same actor.
+
+        Equivalent to constructing a fresh context with the same hooks:
+        staged items, pending emissions, the wave scope and the counters
+        are all cleared.  Used by the train fire loop to avoid one
+        allocation per drained item.
+        """
+        self.now = now
+        self._staged.clear()
+        self._pending.clear()
+        self._scope = None
+        self._trigger_timestamp = None
         self.inputs_consumed = 0
         self.outputs_produced = 0
 
@@ -166,8 +197,29 @@ class FiringContext:
             self._scope.close()
             self._scope = None
         pending, self._pending = self._pending, []
-        for port_name, event in pending:
-            self._emit_hook(self.actor, port_name, event)
+        if not pending:
+            return
+        chunk = self._emit_chunk
+        batch_hook = self._emit_batch_hook
+        if chunk == 1 or len(pending) == 1 or batch_hook is None:
+            for port_name, event in pending:
+                self._emit_hook(self.actor, port_name, event)
+            return
+        # Flush maximal same-port runs as trains of up to ``chunk`` events.
+        i, n = 0, len(pending)
+        while i < n:
+            port_name = pending[i][0]
+            limit = n if chunk is None else min(n, i + chunk)
+            j = i + 1
+            while j < limit and pending[j][0] == port_name:
+                j += 1
+            if j - i == 1:
+                self._emit_hook(self.actor, port_name, pending[i][1])
+            else:
+                batch_hook(
+                    self.actor, port_name, [event for _, event in pending[i:j]]
+                )
+            i = j
 
     def abort(self) -> None:
         """Discard buffered emissions: the firing failed mid-way."""

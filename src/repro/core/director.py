@@ -127,6 +127,35 @@ class Director(ABC):
         actor.output(port_name).broadcast(event)
         self.statistics.record_output(actor, 1, event.timestamp)
 
+    def on_emit_batch(
+        self, actor: Actor, port_name: str, events: "list[CWEvent]"
+    ) -> None:
+        """Route a train of same-port events in one broadcast chain.
+
+        Equivalent to ``for e in events: self.on_emit(actor, port_name,
+        e)``: the statistics land in the same counters (``record_output``
+        is count-based; calls are coalesced per run of equal timestamps so
+        the per-timestamp rate samples stay intact).
+        """
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "actor.emit_train",
+                events[0].timestamp,
+                actor.name,
+                port=port_name,
+                count=len(events),
+            )
+        actor.output(port_name).broadcast_batch(events)
+        record_output = self.statistics.record_output
+        i, n = 0, len(events)
+        while i < n:
+            ts = events[i].timestamp
+            j = i + 1
+            while j < n and events[j].timestamp == ts:
+                j += 1
+            record_output(actor, j - i, ts)
+            i = j
+
     @abstractmethod
     def current_time(self) -> int:
         """Engine time in microseconds."""

@@ -75,6 +75,15 @@ class InputPort(Port):
             )
         self.receiver.put(event)
 
+    def put_batch(self, events: list[CWEvent]) -> None:
+        """Deliver a train of events through one receiver call."""
+        if self.receiver is None:
+            raise PortError(
+                f"input port {self.full_name} has no receiver; "
+                "was the workflow initialized by a director?"
+            )
+        self.receiver.put_batch(events)
+
     def has_token(self) -> bool:
         return self.receiver is not None and self.receiver.has_token()
 
@@ -95,6 +104,24 @@ class OutputPort(Port):
         """Deliver *event* to the receiver of every connected input port."""
         for channel in self.outgoing:
             channel.sink.put(event)
+
+    def broadcast_batch(self, events: list[CWEvent]) -> None:
+        """Deliver a train of events, amortizing dispatch per channel.
+
+        With a single outgoing channel (the overwhelmingly common case)
+        the whole train moves through one ``put_batch`` chain.  Fan-out
+        ports fall back to per-event delivery: interleaving event-by-event
+        across channels is what ``broadcast`` does today, and preserving
+        that admission order is required for bit-identical tie-breaking
+        when two channels feed the same downstream actor.
+        """
+        outgoing = self.outgoing
+        if len(outgoing) == 1:
+            outgoing[0].sink.put_batch(events)
+            return
+        for event in events:
+            for channel in outgoing:
+                channel.sink.put(event)
 
     @property
     def destinations(self) -> list[InputPort]:

@@ -38,6 +38,15 @@ class Receiver(ABC):
     def put(self, event: CWEvent) -> None:
         """Accept an event arriving over the channel."""
 
+    def put_batch(self, events: list[CWEvent]) -> None:
+        """Accept a train of events in arrival order.
+
+        Semantically identical to ``for event in events: self.put(event)``;
+        subclasses override it to amortize per-event bookkeeping.
+        """
+        for event in events:
+            self.put(event)
+
     @abstractmethod
     def get(self) -> Any:
         """Return the next readable item (event or window)."""
@@ -63,6 +72,9 @@ class FIFOReceiver(Receiver):
 
     def put(self, event: CWEvent) -> None:
         self._queue.append(event)
+
+    def put_batch(self, events: list[CWEvent]) -> None:
+        self._queue.extend(events)
 
     def get(self) -> CWEvent:
         if not self._queue:
@@ -133,6 +145,26 @@ class WindowedReceiver(Receiver):
         for window in self.operator.put(event):
             self._deliver(window)
         self._route_expired()
+
+    def put_batch(self, events: list[CWEvent]) -> None:
+        """Insert a train of events through one operator call.
+
+        Falls back to per-event :meth:`put` whenever expired routing is
+        configured or the train carries punctuation — both interleave
+        side effects between insertions, so only the plain streaming case
+        is amortized.  Window production order is identical either way.
+        """
+        from .punctuation import Punctuation
+
+        target = self.port.expired_to if self.port is not None else None
+        if target is not None or any(
+            isinstance(event.value, Punctuation) for event in events
+        ):
+            for event in events:
+                self.put(event)
+            return
+        for window in self.operator.put_batch(events):
+            self._deliver(window)
 
     def _deliver(self, window: Window) -> None:
         """Route a produced window; subclasses override to hand it off."""

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, Optional
 
 from ..observability import tracer as _obs
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class WaveTag:
     """An immutable, totally ordered wave-tag.
 
@@ -42,8 +43,13 @@ class WaveTag:
     # ------------------------------------------------------------------
     @classmethod
     def root(cls, serial: int) -> "WaveTag":
-        """The wave-tag of an external event with serial number *serial*."""
-        return cls((serial,))
+        """The wave-tag of an external event with serial number *serial*.
+
+        Root tags are interned: every event of a wave (and every
+        ``root_tag`` lookup against it) shares one tuple-backed instance,
+        which keeps the hot per-event allocations off the emission path.
+        """
+        return _interned_root(serial)
 
     def child(self, index: int) -> "WaveTag":
         """The tag of the *index*-th (1-based) event produced from this one."""
@@ -73,8 +79,8 @@ class WaveTag:
 
     @property
     def root_tag(self) -> "WaveTag":
-        """The root tag of the wave this tag belongs to."""
-        return WaveTag((self.path[0],))
+        """The root tag of the wave this tag belongs to (interned)."""
+        return _interned_root(self.path[0])
 
     def is_root(self) -> bool:
         return len(self.path) == 1
@@ -115,9 +121,22 @@ class WaveTag:
 
 def _revive_wave_tag(path: tuple) -> "WaveTag":
     """Rebuild a tag without re-running dataclass/init machinery."""
+    if len(path) == 1:
+        return _interned_root(path[0])
     tag = WaveTag.__new__(WaveTag)
     object.__setattr__(tag, "path", path)
     return tag
+
+
+@lru_cache(maxsize=8192)
+def _interned_root(serial: int) -> "WaveTag":
+    """One shared :class:`WaveTag` instance per root serial.
+
+    Tags compare and hash by value, so interning is purely an allocation
+    optimization — bounded so long runs cannot grow the cache without
+    limit (old serials simply fall back to fresh instances).
+    """
+    return WaveTag((serial,))
 
 
 @dataclass

@@ -95,6 +95,12 @@ class ExperimentConfig:
     checkpoint_every_s: Optional[float] = None
     #: How many snapshots the directory store retains (oldest pruned).
     checkpoint_retain: int = 3
+    #: Event-train firing quantum handed to the SCWF director
+    #: (``--train-size``): how many ready items a dispatched actor may
+    #: drain in one dispatch.  ``1`` is the classic per-event loop,
+    #: ``None`` drains until the scheduler switches away.  Results are
+    #: bit-identical across values; only wall-clock changes.
+    train_size: Optional[int] = 1
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

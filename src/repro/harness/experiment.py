@@ -21,11 +21,11 @@ from ..checkpoint import (
     restore_latest,
 )
 from ..core.exceptions import CheckpointError, SimulationError
-from ..observability import RecordingTracer, use_tracer
-from ..resilience import FaultPolicy, install_faults
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.metrics import ResponseTimeSeries
 from ..linearroad.workflow import build_linear_road, LinearRoadSystem
+from ..observability import RecordingTracer, use_tracer
+from ..resilience import FaultPolicy, install_faults
 from ..simulation.clock import VirtualClock
 from ..simulation.runtime import SimulationRuntime
 from ..simulation.threaded import ThreadedCWFDirector
@@ -130,6 +130,7 @@ def checkpoint_meta(config: ExperimentConfig, seed: int) -> dict:
         "fault_spec": config.fault_spec,
         "checkpoint_every_s": config.checkpoint_every_s,
         "checkpoint_retain": config.checkpoint_retain,
+        "train_size": config.train_size,
     }
 
 
@@ -163,6 +164,14 @@ def config_from_meta(
             checkpoint_dir=checkpoint_dir,
             checkpoint_every_s=meta.get("checkpoint_every_s"),
             checkpoint_retain=int(meta.get("checkpoint_retain", 3)),
+            # Older manifests predate event trains: default to the
+            # classic per-event loop.  ``None`` (drain-all) is a valid
+            # stored value and must not be coerced.
+            train_size=(
+                None
+                if meta.get("train_size", 1) is None
+                else int(meta.get("train_size", 1))
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
@@ -203,6 +212,7 @@ def _build_engine(
             clock,
             cost_model,
             error_policy=error_policy,
+            train_size=config.train_size,
         )
     director.attach(system.workflow)
     injectors = (

@@ -21,8 +21,8 @@ from ..core.windows import WindowSpec
 from ..core.workflow import Workflow
 from ..directors.ddf import DDFDirector
 from ..directors.sdf import SDFDirector
-from .types import PositionReport, SegmentStat, STOPPED_REPORT_COUNT, StoppedCar
 from .actors import MINUTE_US, WINDOW_TIMEOUT_US
+from .types import PositionReport, SegmentStat, STOPPED_REPORT_COUNT, StoppedCar
 
 
 def build_stopped_car_composite(

@@ -20,10 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from . import db as lrdb
 from ..core.actors import Actor
 from ..core.workflow import Workflow
 from ..sqldb import Database
-from . import db as lrdb
 from .actors import (
     AccidentDetector,
     AccidentNotificationOut,

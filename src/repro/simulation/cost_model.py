@@ -82,6 +82,30 @@ class CostModel:
         )
         return self._jittered(cost)
 
+    def fast_invocation_base(self, actor: "Actor") -> Optional[int]:
+        """Integer base cost when :meth:`invocation_cost` reduces to pure
+        integer arithmetic for *actor*, else ``None``.
+
+        With ``jitter == 0`` and ``scale == 1.0`` the per-firing charge
+        is exactly ``base + per_input_us·inputs + per_output_us·outputs``
+        (``_jittered`` multiplies by 1.0 and rounds the integer back to
+        itself, with the same ``max(1, ·)`` floor).  The event-train fire
+        loop uses this to charge each item without two method calls per
+        firing; subclasses with different semantics are excluded by the
+        exact-type check and fall back to the full path.
+        """
+        if (
+            type(self) is not CostModel
+            or self.jitter != 0
+            or self.scale != 1.0
+        ):
+            return None
+        return (
+            actor.nominal_cost_us
+            if actor.nominal_cost_us is not None
+            else self.default_cost_us
+        )
+
     def failure_cost(self, actor: "Actor", ctx: "FiringContext") -> int:
         """Virtual cost of a firing attempt that raised and was aborted.
 

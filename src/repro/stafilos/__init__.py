@@ -15,6 +15,7 @@ Policies live in :mod:`repro.stafilos.schedulers`.
 """
 
 from .abstract_scheduler import AbstractScheduler
+from .multicore import MulticoreSCWFDirector
 from .ready import ReadyItem, ReadyQueue
 from .schedulers import (
     EarliestDeadlineScheduler,
@@ -24,7 +25,6 @@ from .schedulers import (
     RateBasedScheduler,
     RoundRobinScheduler,
 )
-from .multicore import MulticoreSCWFDirector
 from .scwf_director import SCWFDirector
 from .shedding import LoadShedder
 from .states import ActorState

@@ -176,6 +176,35 @@ class AbstractScheduler(ABC):
         if self.shedder is not None:
             self.shedder.enforce(self)
 
+    def enqueue_batch(
+        self, actor: Actor, port_name: str, items: "list[Window | CWEvent]"
+    ) -> None:
+        """A train of produced windows/events becomes ready work for *actor*.
+
+        Equivalent to calling :meth:`enqueue` once per item, but the queue
+        lookup, state invalidation and queue-depth trace counter are paid
+        once per train.  With a load shedder attached the per-item path is
+        kept verbatim — the shedder observes (and may act on) every single
+        admission, and that interleaving is part of its contract.
+        """
+        if not items:
+            return
+        if self.shedder is not None:
+            for item in items:
+                self.enqueue(actor, port_name, item)
+            return
+        queue = self.ready.get(actor.name)
+        if queue is None:
+            raise SchedulerError(
+                f"event enqueued for unknown actor {actor.name!r}"
+            )
+        self.admit_batch(actor, queue, port_name, items)
+        self.invalidate_state(actor)
+        if _obs.ENABLED:
+            _obs._TRACER.counter(
+                "sched.queue_depth", self._now, len(queue), actor.name
+            )
+
     def admit(
         self,
         actor: Actor,
@@ -189,6 +218,25 @@ class AbstractScheduler(ABC):
         mid-period in a buffer until the period rolls over.
         """
         queue.push(port_name, item)
+
+    def admit_batch(
+        self,
+        actor: Actor,
+        queue: ReadyQueue,
+        port_name: str,
+        items: "list[Window | CWEvent]",
+    ) -> None:
+        """Batch admission; must match a per-item :meth:`admit` loop.
+
+        The default implementation bulk-pushes only when the policy kept
+        the stock ``admit`` — a policy that overrides ``admit`` without
+        overriding this gets the safe per-item loop.
+        """
+        if type(self).admit is AbstractScheduler.admit:
+            queue.push_batch(port_name, items)
+        else:
+            for item in items:
+                self.admit(actor, queue, port_name, item)
 
     def dequeue_item(self, actor: Actor) -> Optional[ReadyItem]:
         """Pop the next ready item for *actor* (director staging)."""
@@ -343,6 +391,24 @@ class AbstractScheduler(ABC):
     def on_active_queue_empty(self) -> Optional[Actor]:
         """Hook: last chance to produce an actor before the iteration ends."""
         return None
+
+    # ------------------------------------------------------------------
+    # Event-train quantum accounting
+    # ------------------------------------------------------------------
+    def continue_train(self, actor: Actor) -> bool:
+        """May the director re-dispatch *actor* without a fresh decision?
+
+        Exactness contract: return ``True`` **only** when
+        :meth:`get_next_actor` would certainly return *actor* — and the
+        skipped call would have had no policy side effects.  ``False``
+        merely means "consult me": the director then calls
+        :meth:`get_next_actor` for the authoritative (and possibly
+        identical) decision, so a conservative ``False`` can never change
+        behaviour, only forgo batching.  Policies that can read their
+        quantum accounting in O(1) override this; the default always
+        defers to the full selection path.
+        """
+        return False
 
     # ------------------------------------------------------------------
     # Director signals

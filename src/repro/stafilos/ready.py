@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 _TIEBREAK = itertools.count()
@@ -26,18 +25,51 @@ _TIEBREAK = itertools.count()
 SizeListener = Callable[[int, int], None]
 
 
-@dataclass(order=True)
 class ReadyItem:
-    """One schedulable unit of work for an actor: (port, window-or-event)."""
+    """One schedulable unit of work for an actor: (port, window-or-event).
 
-    sort_key: tuple[int, int] = field(init=False)
-    port_name: str = field(compare=False)
-    item: Any = field(compare=False)
+    A hand-rolled slotted class rather than ``@dataclass(order=True)``:
+    the generated comparator rebuilt compare-tuples on every heap sift
+    and dominated dispatch profiles.  Comparison is by ``sort_key`` only
+    (timestamp, then a global tie-break serial), exactly as before.
+    Pickle round-trips the slots directly — ``__init__`` is bypassed, so
+    the tie-break counter is not consumed when a checkpoint snapshot is
+    restored.
+    """
 
-    def __post_init__(self) -> None:
+    __slots__ = ("sort_key", "port_name", "item")
+
+    def __init__(self, port_name: str, item: Any):
         # Windows and events both carry a ``timestamp`` attribute; read it
         # once (this runs on every enqueue).
-        self.sort_key = (self.item.timestamp, next(_TIEBREAK))
+        self.sort_key = (item.timestamp, next(_TIEBREAK))
+        self.port_name = port_name
+        self.item = item
+
+    def __lt__(self, other: "ReadyItem") -> bool:
+        return self.sort_key < other.sort_key
+
+    def __le__(self, other: "ReadyItem") -> bool:
+        return self.sort_key <= other.sort_key
+
+    def __gt__(self, other: "ReadyItem") -> bool:
+        return self.sort_key > other.sort_key
+
+    def __ge__(self, other: "ReadyItem") -> bool:
+        return self.sort_key >= other.sort_key
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ReadyItem) and self.sort_key == other.sort_key
+        )
+
+    __hash__ = None  # mirror dataclass(eq=True): un-hashable by design
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadyItem(sort_key={self.sort_key!r}, "
+            f"port_name={self.port_name!r}, item={self.item!r})"
+        )
 
     @property
     def timestamp(self) -> int:
@@ -45,43 +77,141 @@ class ReadyItem:
 
 
 class ReadyQueue:
-    """A timestamp-ordered queue of :class:`ReadyItem` for one actor."""
+    """A timestamp-ordered queue of :class:`ReadyItem` for one actor.
 
-    __slots__ = ("_heap", "_on_size_change")
+    Two internal representations with identical observable behaviour
+    (keys are globally unique, so heap pop order *is* sorted order):
+
+    * **sorted-run mode** (``_sorted`` True) — ``_heap[_head:]`` is an
+      ascending run; pops advance the ``_head`` cursor in O(1) and
+      pushes that arrive in key order append in O(1).  This is the
+      steady state of event streams: trains land as sorted runs and
+      per-event pushes draw monotone tie-break serials.
+    * **heap mode** (``_sorted`` False) — classic ``heapq`` over the
+      whole list (``_head`` is 0), entered the moment an out-of-order
+      push arrives (e.g. a late window behind queued events).
+
+    Mode switches never reorder pops and fire no listener calls, so the
+    representation is invisible to schedulers and checkpoints.
+    """
+
+    __slots__ = ("_heap", "_head", "_sorted", "_on_size_change")
 
     def __init__(self, on_size_change: Optional[SizeListener] = None):
         self._heap: list[ReadyItem] = []
+        self._head = 0
+        self._sorted = True
         self._on_size_change = on_size_change
+
+    # ------------------------------------------------------------------
+    def _enter_heap_mode(self) -> None:
+        """Compact the consumed prefix away; the sorted suffix is
+        already a valid heap, so no ``heapify`` is needed."""
+        if self._head:
+            del self._heap[: self._head]
+            self._head = 0
+        self._sorted = False
 
     def push(self, port_name: str, item: Any) -> ReadyItem:
         ready = ReadyItem(port_name, item)
-        heapq.heappush(self._heap, ready)
+        heap = self._heap
+        old = len(heap) - self._head
+        if self._sorted:
+            if old == 0:
+                if heap:
+                    heap.clear()
+                    self._head = 0
+                heap.append(ready)
+            elif heap[-1].sort_key <= ready.sort_key:
+                heap.append(ready)
+            else:
+                self._enter_heap_mode()
+                heapq.heappush(self._heap, ready)
+        else:
+            heapq.heappush(heap, ready)
         if self._on_size_change is not None:
-            size = len(self._heap)
-            self._on_size_change(size - 1, size)
+            self._on_size_change(old, old + 1)
         return ready
 
-    def pop(self) -> Optional[ReadyItem]:
-        if not self._heap:
-            return None
-        item = heapq.heappop(self._heap)
+    def push_batch(self, port_name: str, items: list[Any]) -> None:
+        """Push a train of items, firing the size listener once.
+
+        Tie-break serials are drawn in list order — exactly the draws a
+        per-item :meth:`push` loop would make — so pop order is
+        identical.  A train whose keys continue the current sorted run
+        (the common case: arrivals in timestamp order landing behind
+        earlier arrivals) extends in O(k); anything else falls back to
+        heap mode.
+        """
+        if not items:
+            return
+        heap = self._heap
+        old = len(heap) - self._head
+        ready_items = [ReadyItem(port_name, item) for item in items]
+        in_order = True
+        previous = ready_items[0]
+        for ready in ready_items:
+            if ready.sort_key < previous.sort_key:
+                in_order = False
+                break
+            previous = ready
+        if self._sorted and in_order:
+            if old == 0 and heap:
+                heap.clear()
+                self._head = 0
+            if not heap or heap[-1].sort_key <= ready_items[0].sort_key:
+                heap.extend(ready_items)
+            else:
+                self._enter_heap_mode()
+                for ready in ready_items:
+                    heapq.heappush(self._heap, ready)
+        else:
+            self._enter_heap_mode()
+            for ready in ready_items:
+                heapq.heappush(self._heap, ready)
         if self._on_size_change is not None:
-            size = len(self._heap)
-            self._on_size_change(size + 1, size)
+            self._on_size_change(old, old + len(ready_items))
+
+    def pop(self) -> Optional[ReadyItem]:
+        heap = self._heap
+        head = self._head
+        n = len(heap)
+        if head >= n:
+            return None
+        if self._sorted:
+            item = heap[head]
+            heap[head] = None  # type: ignore[call-overload] # drop ref
+            head += 1
+            if head == n:
+                heap.clear()
+                self._head = 0
+            elif head >= 256 and head * 2 >= n:
+                del heap[:head]
+                self._head = 0
+            else:
+                self._head = head
+        else:
+            item = heapq.heappop(heap)
+        if self._on_size_change is not None:
+            old = n - head + 1 if self._sorted else n
+            self._on_size_change(old, old - 1)
         return item
 
     def peek(self) -> Optional[ReadyItem]:
-        return self._heap[0] if self._heap else None
+        heap = self._heap
+        return heap[self._head] if self._head < len(heap) else None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._heap) - self._head
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._head < len(self._heap)
 
     def clear(self) -> None:
-        size = len(self._heap)
+        size = len(self._heap) - self._head
         self._heap.clear()
+        self._head = 0
+        self._sorted = True
         if size and self._on_size_change is not None:
             self._on_size_change(size, 0)
 
@@ -89,22 +219,32 @@ class ReadyQueue:
     # Checkpoint support
     # ------------------------------------------------------------------
     def snapshot_items(self) -> list[ReadyItem]:
-        """A copy of the heap list, in heap order (pure observation).
+        """A copy of the live items, in heap order (pure observation).
 
-        :class:`ReadyItem` pickles with its ``sort_key`` intact (pickle
-        bypasses ``__post_init__``), so the global tie-break counter is
+        In sorted-run mode the live suffix is ascending, which is a
+        valid heap; in heap mode the whole list is the heap.  Either
+        way the copy restores to an identical pop sequence.
+        :class:`ReadyItem` pickles with its ``sort_key`` intact
+        (``__init__`` is bypassed), so the global tie-break counter is
         not consumed when a snapshot round-trips.
         """
-        return list(self._heap)
+        return list(self._heap[self._head :])
 
     def restore_items(self, items: list[ReadyItem]) -> None:
-        """Replace the heap content, keeping the size listener honest.
+        """Replace the queue content, keeping the size listener honest.
 
         The input must already be in heap order — :meth:`snapshot_items`
-        output qualifies.  Fires ``on_size_change`` with the real
+        output qualifies.  A fully ascending input re-enters sorted-run
+        mode (pop order is the same in both modes; only the constant
+        factor differs).  Fires ``on_size_change`` with the real
         transition so the scheduler's O(1) backlog counters stay exact.
         """
-        old = len(self._heap)
+        old = len(self._heap) - self._head
         self._heap = list(items)
+        self._head = 0
+        self._sorted = all(
+            self._heap[i].sort_key <= self._heap[i + 1].sort_key
+            for i in range(len(self._heap) - 1)
+        )
         if self._on_size_change is not None and old != len(self._heap):
             self._on_size_change(old, len(self._heap))

@@ -27,6 +27,11 @@ from ..ready import ReadyQueue
 from ..states import ActorState
 
 
+#: "No source can ever become runnable" horizon sentinel (engine times
+#: are microsecond ints well below this).
+_NEVER = 2**63
+
+
 class RoundRobinScheduler(AbstractScheduler):
     """Equal slices, rotation order, no priorities."""
 
@@ -62,12 +67,32 @@ class RoundRobinScheduler(AbstractScheduler):
         self._fired_sources: set[str] = set()
         self._internal_since_source = 0
         self._source_rotation = 0
+        #: Rotation ticket of the actor currently firing, stashed at
+        #: fire-start so :meth:`continue_train` can detect re-admission
+        #: (a drain-to-empty followed by a self-feeding emission draws a
+        #: fresh, later ticket — the actor may no longer be first).
+        self._firing_ticket: Optional[int] = None
+        #: Earliest engine time any source could become runnable, cached
+        #: by :meth:`continue_train` so mid-train source checks are one
+        #: comparison instead of a scan.  Only populated for bounded
+        #: sources with the stock ``source_has_work`` (see
+        #: :meth:`on_initialize`); ``None`` = unknown, rescan.
+        self._no_source_until: Optional[int] = None
+        self._sources_cacheable = False
 
     # ------------------------------------------------------------------
     def on_initialize(self) -> None:
         for actor in self.actors:
             self.quantum[actor.name] = self.slice_us
             self._order[actor.name] = next(self._rotation)
+        # The mid-train source-check cache is sound only when arrival
+        # schedules cannot grow behind our back (no live/unbounded
+        # sources) and runnability is the stock pending-arrival check.
+        self._sources_cacheable = all(
+            not source.unbounded for source in self.sources
+        ) and (
+            type(self).source_has_work is AbstractScheduler.source_has_work
+        )
 
     # ------------------------------------------------------------------
     # Table 2: the QBS column applies to RR as well
@@ -103,6 +128,27 @@ class RoundRobinScheduler(AbstractScheduler):
             if self.quantum.get(actor.name, 0) <= 0:
                 self.quantum[actor.name] = self.slice_us
 
+    def admit_batch(
+        self,
+        actor: Actor,
+        queue: ReadyQueue,
+        port_name: str,
+        items: "list[Window | CWEvent]",
+    ) -> None:
+        """Bulk admission; equivalent to the per-item :meth:`admit` loop.
+
+        Only the first item of a train can find the queue empty, so the
+        per-item loop would draw exactly one rotation ticket (and at most
+        one slice re-grant) — done here up front, then the whole train is
+        bulk-pushed.
+        """
+        was_empty = not queue
+        queue.push_batch(port_name, items)
+        if was_empty and items and not actor.is_source:
+            self._order[actor.name] = next(self._rotation)
+            if self.quantum.get(actor.name, 0) <= 0:
+                self.quantum[actor.name] = self.slice_us
+
     # ------------------------------------------------------------------
     def get_next_actor(self) -> Optional[Actor]:
         internal = self._peek_indexed()
@@ -131,14 +177,90 @@ class RoundRobinScheduler(AbstractScheduler):
         return None
 
     # ------------------------------------------------------------------
-    def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
-        super().on_actor_fire_end(actor, cost_us, now)
-        self.quantum[actor.name] = self.quantum.get(actor.name, 0) - cost_us
+    # Event-train quantum accounting
+    # ------------------------------------------------------------------
+    def on_actor_fire_start(self, actor: Actor, now: int) -> None:
+        # ``AbstractScheduler.on_actor_fire_start`` inlined (it only
+        # records the clock) — this runs once per item on the train path.
+        self._now = now
+        self._firing_ticket = self._order.get(actor.name)
+
+    def continue_train(self, actor: Actor) -> bool:
+        """O(1) exact replica of :meth:`get_next_actor` staying on *actor*.
+
+        ``True`` is returned only when every condition of the full
+        selection provably yields *actor* again:
+
+        * no source check is due (``_internal_since_source`` below the
+          interval — sources can therefore not preempt, and the skipped
+          ``get_next_actor`` would not have touched the source rotation);
+        * the actor still holds quantum and ready work, so its state is
+          ACTIVE by the Table 2 rules;
+        * its rotation ticket is unchanged since fire-start — mid-train
+          activations always draw *later* tickets, WAITING actors cannot
+          re-activate before the period rolls over, and the actor was the
+          earliest live ticket when it was dispatched, so an unchanged
+          ticket keeps it first in the ready-ring.
+
+        Anything else returns ``False`` and the director falls back to
+        the authoritative ``get_next_actor``.
+        """
         if actor.is_source:
-            self._fired_sources.add(actor.name)
+            return False
+        if self._internal_since_source >= self.source_interval:
+            # A source check is due.  It returns a source iff some source
+            # is ACTIVE (not yet fired this iteration, quantum left) and
+            # has due work — replicate that exactly; any runnable source
+            # defers to the authoritative path (which also advances the
+            # source rotation).  The failing check has no side effects.
+            # Within one firing period the fired-set and source quanta
+            # are fixed, so a failing scan stays failing until the
+            # earliest pending arrival comes due — cache that horizon
+            # (bounded sources only) and re-check with one comparison.
+            now = self._now
+            until = self._no_source_until
+            if until is None or now >= until:
+                fired = self._fired_sources
+                quantum = self.quantum
+                horizon = _NEVER
+                for source in self.sources:
+                    if (
+                        source.name in fired
+                        or quantum.get(source.name, 0) <= 0
+                    ):
+                        continue
+                    if self.source_has_work(source, now):
+                        return False
+                    next_due = source.next_arrival_time()
+                    if next_due is not None and next_due < horizon:
+                        horizon = next_due
+                if self._sources_cacheable:
+                    self._no_source_until = horizon
+        name = actor.name
+        if self.quantum.get(name, 0) <= 0:
+            return False
+        if not self.ready[name]:
+            return False
+        return self._order.get(name) == self._firing_ticket
+
+    # ------------------------------------------------------------------
+    def on_actor_fire_end(self, actor: Actor, cost_us: int, now: int) -> None:
+        # ``AbstractScheduler.on_actor_fire_end`` inlined (clock stamp,
+        # internal-firing counter, state invalidation) — per-item on the
+        # train path, and the base hook is three plain statements.
+        self._now = now
+        name = actor.name
+        self.quantum[name] = self.quantum.get(name, 0) - cost_us
+        if actor.is_source:
+            self._fired_sources.add(name)
             self._internal_since_source = 0
+            # The source's fired/quantum inputs changed: the mid-train
+            # no-runnable-source horizon is stale.
+            self._no_source_until = None
         else:
+            self.internal_firings += 1
             self._internal_since_source += 1
+        self.invalidate_state(actor)
 
     def on_iteration_end(self, now: int) -> None:
         """Period roll-over: fresh equal slices for everyone."""
@@ -151,6 +273,7 @@ class RoundRobinScheduler(AbstractScheduler):
             self.invalidate_state(actor)
         self._fired_sources.clear()
         self._internal_since_source = 0
+        self._no_source_until = None
 
     # ------------------------------------------------------------------
     # Checkpointable protocol
@@ -165,6 +288,7 @@ class RoundRobinScheduler(AbstractScheduler):
         """Re-seed the ticket counter alongside the plain attributes."""
         super().policy_state_restore(state)
         self._rotation = itertools.count(int(state["next_ticket"]))
+        self._no_source_until = None  # transient; recompute on demand
 
     def describe(self) -> str:
         return f"RR(slice={self.slice_us}us, src_int={self.source_interval})"

@@ -31,17 +31,25 @@ import heapq
 from typing import Optional
 
 from ..core.actors import Actor, SourceActor
+from ..core.context import FiringContext
 from ..core.director import Director
 from ..core.events import CWEvent
-from ..core.exceptions import DirectorError
+from ..core.exceptions import DirectorError, ResilienceError
 from ..core.ports import InputPort
 from ..core.receivers import Receiver
-from ..core.exceptions import ResilienceError
 from ..core.windows import Window
 from ..observability import tracer as _obs
 from ..resilience import FailureAction, FaultPolicy, FaultSupervisor
 from .abstract_scheduler import AbstractScheduler
 from .tm_receiver import TMWindowedReceiver
+
+#: Sentinel returned by the train fire loop when the firing quantum ran out
+#: before a fresh scheduling decision was drawn: the caller must consult
+#: ``get_next_actor`` itself.  Distinct from ``None`` ("the scheduler was
+#: consulted and ended the iteration") — a drawn decision is consumed
+#: exactly once, which matters for policies with stateful selection (the
+#: RR source rotation advances inside ``get_next_actor``).
+_CONSULT = object()
 
 
 class SCWFDirector(Director):
@@ -56,12 +64,26 @@ class SCWFDirector(Director):
         cost_model,
         max_firings_per_iteration: int = 5_000_000,
         error_policy: "FaultPolicy | str" = FaultPolicy(propagate=True),
+        train_size: Optional[int] = 1,
     ):
         super().__init__()
         try:
             policy = FaultPolicy.coerce(error_policy)
         except ResilienceError as error:
             raise DirectorError(str(error)) from None
+        if train_size is not None and (
+            not isinstance(train_size, int) or train_size < 1
+        ):
+            raise DirectorError(
+                f"train_size must be a positive int or None, got {train_size!r}"
+            )
+        #: Event-train firing quantum: how many staged ready items one
+        #: dispatch of a non-source actor may drain (``None`` = drain-all),
+        #: and the chunk size emission trains are flushed in.  1 (the
+        #: default) preserves the historical strictly-per-event path; every
+        #: value is bit-identical to 1 by construction (see
+        #: ``_fire_internal_train``), batching only the bookkeeping.
+        self.train_size = train_size
         self.scheduler = scheduler
         self.clock = clock
         self.cost_model = cost_model
@@ -133,6 +155,12 @@ class SCWFDirector(Director):
     def current_time(self) -> int:
         return self.clock.now_us
 
+    def make_context(self, actor: Actor, now: int) -> FiringContext:
+        ctx = super().make_context(actor, now)
+        if self.train_size != 1:
+            ctx.enable_batch_emission(self.train_size, self.on_emit_batch)
+        return ctx
+
     # ------------------------------------------------------------------
     # Scheduler intake (invoked by TM receivers)
     # ------------------------------------------------------------------
@@ -142,6 +170,26 @@ class SCWFDirector(Director):
         self.total_events_admitted += 1
         self.statistics.record_input(actor, 1, self.clock.now_us)
         self.scheduler.enqueue(actor, port_name, item)
+
+    def schedule_ready_batch(
+        self, actor: Actor, port_name: str, items: "list[Window | CWEvent]"
+    ) -> None:
+        """Train intake: admit a burst of ready items in one call.
+
+        Same observable effect as ``schedule_ready`` per item — the
+        admission counter and input statistics are count-based, and
+        ``enqueue_batch`` is admission-order equivalent to an enqueue
+        loop (falling back to one when a shedder must see every event).
+        """
+        count = len(items)
+        if count == 0:
+            return
+        if count == 1:
+            self.schedule_ready(actor, port_name, items[0])
+            return
+        self.total_events_admitted += count
+        self.statistics.record_input(actor, count, self.clock.now_us)
+        self.scheduler.enqueue_batch(actor, port_name, items)
 
     # ------------------------------------------------------------------
     # The director iteration cycle
@@ -163,10 +211,10 @@ class SCWFDirector(Director):
         internal_firings = 0
         source_emissions = 0
         fired_total = 0
-        while True:
-            actor = scheduler.get_next_actor()
-            if actor is None:
-                break
+        budget = self.train_size
+        next_actor = scheduler.get_next_actor()
+        while next_actor is not None:
+            actor = next_actor
             if _obs.ENABLED:
                 _obs._TRACER.instant(
                     "sched.dispatch",
@@ -177,10 +225,26 @@ class SCWFDirector(Director):
             self.clock.advance(self.cost_model.dispatch_overhead_us)
             if actor.is_source:
                 source_emissions += self._fire_source(actor)
-            else:
+                fired_total += 1
+                next_actor = scheduler.get_next_actor()
+            elif budget == 1:
                 if self._fire_internal(actor):
                     internal_firings += 1
-            fired_total += 1
+                fired_total += 1
+                next_actor = scheduler.get_next_actor()
+            else:
+                # Event-train execution: keep draining this actor while
+                # the scheduler keeps choosing it, up to ``budget`` items.
+                fired, items, carried = self._fire_internal_train(
+                    actor, budget
+                )
+                internal_firings += fired
+                fired_total += items
+                next_actor = (
+                    scheduler.get_next_actor()
+                    if carried is _CONSULT
+                    else carried
+                )
             if fired_total > self.max_firings_per_iteration:
                 raise DirectorError(
                     "director iteration exceeded "
@@ -214,7 +278,9 @@ class SCWFDirector(Director):
         emitted = source.pump(ctx)
         source.postfire(ctx)
         ctx.close()
-        self._arrival_cache_valid = False
+        # Once per pump train — not per emitted event: the cache only
+        # depends on the source cursors, which move inside ``pump``.
+        self.invalidate_arrival_cache()
         cost = self.cost_model.source_cost(source, emitted)
         now = self.clock.advance(cost)
         self.statistics.record_invocation(source, cost)
@@ -322,6 +388,207 @@ class SCWFDirector(Director):
                 attempts=attempt + 1 if fired or attempt else 1,
             )
         return fired
+
+    def _fire_internal_train(self, actor: Actor, budget: Optional[int]):
+        """Drain up to *budget* ready items of *actor* in one dispatch.
+
+        Bit-identical to ``budget`` repetitions of the classic dispatch
+        loop (``get_next_actor`` → dispatch overhead → ``_fire_internal``)
+        for as long as the scheduler would keep choosing *actor*:
+
+        * the scheduler is consulted **between every item** — quantum
+          exhaustion, a window landing on a higher-priority actor, or a
+          due source all cut the train exactly where the per-event loop
+          would have switched;
+        * every item is dequeued, charged (dispatch overhead, invocation
+          or failure cost), recorded and flushed individually, in the
+          same order — only the Python-level bookkeeping (context
+          allocation, receiver staging round-trip, method dispatch) is
+          amortized, plus the tracer fires once per train carrying exact
+          per-event counts;
+        * a drawn-but-unusable scheduling decision is *carried* back to
+          the caller so it is consumed exactly once (policies like RR
+          advance rotation state inside ``get_next_actor``).
+
+        Returns ``(completed_firings, items_dispatched, carried)`` where
+        ``carried`` is the next actor decision, ``None`` (iteration
+        over), or :data:`_CONSULT` (budget exhausted with no decision
+        drawn).  Trains never outlive the call: there is no in-flight
+        train state for checkpoints to capture — ``checkpoint_barrier``
+        runs between director iterations, where every train has fully
+        drained.
+        """
+        scheduler = self.scheduler
+        supervisor = self.supervisor
+        cost_model = self.cost_model
+        clock = self.clock
+        # Prebound hot-path methods (one dict lookup each per train
+        # instead of two attribute walks per item).
+        dequeue_item = scheduler.dequeue_item
+        get_next_actor = scheduler.get_next_actor
+        continue_train = scheduler.continue_train
+        fire_start = scheduler.on_actor_fire_start
+        fire_end = scheduler.on_actor_fire_end
+        advance = clock.advance
+        invocation_cost = cost_model.invocation_cost
+        # Per-actor stats resolved once: the registry-level
+        # ``record_invocation`` is a pure delegation to this bound method.
+        record_invocation = self.statistics.register(actor).record_invocation
+        # With tracing off, ``dequeue_item`` reduces to a queue pop plus a
+        # state invalidation that the per-item ``fire_end`` hook (or the
+        # explicit empty-dequeue branch below) performs anyway — pop the
+        # queue directly.  With tracing on, keep the full call so the
+        # ``sched.queue_depth`` counter fires per dequeue.
+        queue_pop = scheduler.ready[actor.name].pop
+        obs_on = _obs.ENABLED
+        is_quarantined = supervisor.is_quarantined
+        on_success = supervisor.on_success
+        dispatch_overhead = cost_model.dispatch_overhead_us
+        actor_prefire = actor.prefire
+        actor_fire = actor.fire
+        actor_postfire = actor.postfire
+        # Stateless fast path: ``fire_batch`` may replace the
+        # prefire/fire/postfire triple only when the actor kept the
+        # trivial base-class lifecycle (both default to "always ready").
+        fire_batch = getattr(actor, "fire_batch", None)
+        if fire_batch is not None and (
+            type(actor).prefire is not Actor.prefire
+            or type(actor).postfire is not Actor.postfire
+        ):
+            fire_batch = None
+        # Deterministic cost fast path: when the model's charge is pure
+        # integer arithmetic (no jitter, unit scale), inline it and skip
+        # two method calls per item.  ``fast_invocation_base`` is duck
+        # typed so custom cost models silently keep the full path.
+        fast_base_fn = getattr(cost_model, "fast_invocation_base", None)
+        fast_base = None if fast_base_fn is None else fast_base_fn(actor)
+        if fast_base is not None:
+            per_input_us = cost_model.per_input_us
+            per_output_us = cost_model.per_output_us
+        train_start = clock.now_us
+        max_items = self.max_firings_per_iteration
+        fired = 0
+        items = 0
+        ctx: Optional[FiringContext] = None
+        while True:
+            ready = dequeue_item(actor) if obs_on else queue_pop()
+            items += 1
+            if ready is None:
+                # Runnable per a stale state but the queue is empty:
+                # no-op dispatch, exactly as ``_fire_internal``.
+                scheduler.invalidate_state(actor)
+            elif is_quarantined(actor.name):
+                now = clock.now_us
+                fire_start(actor, now)
+                supervisor.drop_quarantined(
+                    actor, ready.port_name, ready.item, now
+                )
+                self.actor_errors[actor.name] = (
+                    self.actor_errors.get(actor.name, 0) + 1
+                )
+                fire_end(actor, 0, now)
+            else:
+                now = clock.now_us
+                fire_start(actor, now)
+                if ctx is None:
+                    ctx = self.make_context(actor, now)
+                else:
+                    ctx.reset(now)
+                ctx.stage(ready.port_name, ready.item)
+                fired_this = False
+                attempt = 0
+                while True:
+                    try:
+                        if fire_batch is not None:
+                            fire_batch(ctx)
+                            fired_this = True
+                        elif actor_prefire(ctx):
+                            actor_fire(ctx)
+                            actor_postfire(ctx)
+                            fired_this = True
+                        ctx.close()
+                        if fast_base is not None:
+                            cost = (
+                                fast_base
+                                + per_input_us * ctx.inputs_consumed
+                                + per_output_us * ctx.outputs_produced
+                            )
+                            if cost < 1:
+                                cost = 1
+                        else:
+                            cost = invocation_cost(actor, ctx)
+                        advance(cost)
+                        record_invocation(cost)
+                        on_success(actor)
+                        break
+                    except Exception as error:
+                        ctx.abort()
+                        ctx.close()
+                        attempt += 1
+                        decision = supervisor.on_failure(
+                            actor,
+                            ready.port_name,
+                            ready.item,
+                            error,
+                            attempt,
+                            clock.now_us,
+                        )
+                        if decision.action is FailureAction.PROPAGATE:
+                            raise
+                        advance(cost_model.failure_cost(actor, ctx))
+                        if _obs.ENABLED:
+                            _obs._TRACER.instant(
+                                "actor.error",
+                                clock.now_us,
+                                actor.name,
+                                error=type(error).__name__,
+                                attempt=attempt,
+                            )
+                        if decision.action is FailureAction.RETRY:
+                            advance(decision.backoff_us)
+                            ctx.reset(clock.now_us)
+                            ctx.stage(ready.port_name, ready.item)
+                            continue
+                        self.actor_errors[actor.name] = (
+                            self.actor_errors.get(actor.name, 0) + 1
+                        )
+                        fired_this = False
+                        break
+                end_now = clock.now_us
+                fire_end(actor, end_now - now, end_now)
+                if fired_this:
+                    fired += 1
+            if items > max_items:
+                raise DirectorError(
+                    "director iteration exceeded "
+                    f"{max_items} firings; scheduler livelock?"
+                )
+            if budget is not None and items >= budget:
+                carried = _CONSULT
+                break
+            if not continue_train(actor):
+                chosen = get_next_actor()
+                if chosen is not actor:
+                    carried = chosen
+                    break
+            # The train continues: charge the dispatch the per-event loop
+            # would have paid for re-selecting the same actor.
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "sched.dispatch", clock.now_us, actor.name, source=False
+                )
+            advance(dispatch_overhead)
+        if _obs.ENABLED:
+            now = clock.now_us
+            _obs._TRACER.span(
+                "actor.fire_train",
+                train_start,
+                now - train_start,
+                actor.name,
+                items=items,
+                fired=fired,
+            )
+        return fired, items, carried
 
     # ------------------------------------------------------------------
     # Window timeout events

@@ -78,6 +78,34 @@ class TMWindowedReceiver(WindowedReceiver):
             # The window operator's pending boundaries may have moved.
             self._director._mark_deadline_dirty(self._deadline_slot)
 
+    def put_batch(self, events: list[CWEvent]) -> None:
+        """Train intake: one scheduler call for a windowless port's train.
+
+        Passthrough ports hand the whole event train to the scheduler in
+        a single ``schedule_ready_batch`` — the per-event path's dominant
+        cost.  Windowed ports run the (possibly amortized) operator batch
+        insert and mark the deadline slot dirty once: the dirty set is
+        idempotent, so marking per event was pure overhead.
+        """
+        if self._passthrough:
+            from ..core.punctuation import Punctuation
+
+            batch = [
+                event
+                for event in events
+                if not isinstance(event.value, Punctuation)
+            ]
+            if not batch:
+                return
+            assert self.port is not None
+            self._director.schedule_ready_batch(
+                self.port.actor, self.port.name, batch
+            )
+            return
+        super().put_batch(events)
+        if self._deadline_slot is not None:
+            self._director._mark_deadline_dirty(self._deadline_slot)
+
     def force_timeout(self, now: Optional[int] = None) -> int:
         produced = super().force_timeout(now)
         if self._deadline_slot is not None:

@@ -82,7 +82,7 @@ class TCPStreamSource(SourceActor):
     #: arrivals exist nowhere else, so dropping them would lose data.
     checkpoint_exclude = frozenset(
         {"_lock", "_thread", "_server", "_connection", "_stopping",
-         "codec", "clock"}
+         "codec", "clock", "_sole_output_name"}
     )
 
     def __init__(

@@ -347,6 +347,41 @@ class TestCrashResumeBitIdentical:
             resumed.internal_firings == reference_run.internal_firings
         )
 
+    def test_killed_train_run_resumes_bit_identical(
+        self, tmp_path, reference_run
+    ):
+        """Event trains leave nothing extra to checkpoint.
+
+        A ``train_size=64`` run killed mid-stream and resumed from disk
+        must reproduce the *per-event* uninterrupted reference exactly:
+        snapshots happen at iteration boundaries where every train has
+        fully flushed, and bit-identity makes the train width invisible
+        to everything but the wall clock.
+        """
+        config = _short_config(
+            checkpoint_dir=str(tmp_path),
+            checkpoint_every_s=10.0,
+            train_size=64,
+        )
+        store = _CrashAfter(tmp_path, crash_after=3)
+        from repro.harness.experiment import _execute_seed
+
+        with pytest.raises(KeyboardInterrupt):
+            _execute_seed(config, 7, store=store)
+
+        resumed, director, _, manifest = resume_run(str(tmp_path))
+        assert manifest.checkpoint_id == 3
+        assert director.train_size == 64  # meta round-trip
+        assert resumed.series.times_s == reference_run.series.times_s
+        assert (
+            resumed.series.responses_s == reference_run.series.responses_s
+        )
+        assert resumed.tolls == reference_run.tolls
+        assert resumed.alerts == reference_run.alerts
+        assert (
+            resumed.internal_firings == reference_run.internal_firings
+        )
+
     def test_resume_with_corrupted_latest_uses_previous(
         self, tmp_path, reference_run
     ):

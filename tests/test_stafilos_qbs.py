@@ -3,13 +3,13 @@
 import pytest
 
 from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.statistics import StatisticsRegistry
 from repro.core.workflow import Workflow
 from repro.stafilos.schedulers.qbs import (
     quantum_grant,
     QuantumPriorityScheduler,
 )
 from repro.stafilos.states import ActorState
-from repro.core.statistics import StatisticsRegistry
 
 
 def attach_scheduler(scheduler=None):

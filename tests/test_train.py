@@ -1,0 +1,304 @@
+"""Event-train execution: the bit-identity oracle and its satellites.
+
+The tentpole invariant: ``train_size`` is a pure wall-clock knob.  For
+every value, sink outputs, wave-tag assignment, window routing,
+scheduler decisions and ``snapshot()`` counters must equal the
+``train_size=1`` run.  The Hypothesis oracle sweeps the knob against
+random workflow shapes x schedulers; the Linear Road test pins the
+same invariant on the full benchmark byte-for-byte.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actors import MapActor, SinkActor, SourceActor
+from repro.core.context import FiringContext
+from repro.core.waves import WaveGenerator, WaveTag
+from repro.core.windows import WindowSpec
+from repro.core.workflow import Workflow
+from repro.harness.configs import ExperimentConfig, SchedulerSpec
+from repro.harness.experiment import run_once
+from repro.simulation.clock import VirtualClock
+from repro.simulation.cost_model import CostModel
+from repro.simulation.runtime import SimulationRuntime
+from repro.stafilos.schedulers import (
+    FIFOScheduler,
+    QuantumPriorityScheduler,
+    RateBasedScheduler,
+    RoundRobinScheduler,
+)
+from repro.stafilos.scwf_director import SCWFDirector
+
+TRAIN_SIZES = (1, 4, 64, None)
+
+SCHEDULERS = (
+    lambda: QuantumPriorityScheduler(500),
+    lambda: RoundRobinScheduler(10_000),
+    lambda: RateBasedScheduler(),
+    lambda: FIFOScheduler(),
+)
+
+TOPOLOGIES = ("relay", "tumbling_window", "grouped_window", "fanout", "expand")
+
+
+def _expand_fn(value):
+    """Deterministic mixed selectivity: drop some, fan out others."""
+    if value % 5 == 4:
+        return None
+    if value % 5 == 0:
+        return [value, -value]
+    return value
+
+
+def _build(topology, arrivals):
+    """One workflow of the given shape; returns (workflow, sinks)."""
+    workflow = Workflow(f"oracle-{topology}")
+    source = SourceActor("src", arrivals=arrivals)
+    source.add_output("out")
+    sinks = [SinkActor("sink")]
+    if topology == "relay":
+        relay = MapActor("relay", lambda v: v)
+    elif topology == "tumbling_window":
+        relay = MapActor(
+            "relay", lambda vs: sum(vs), window=WindowSpec.tokens(3, 3)
+        )
+    elif topology == "grouped_window":
+        relay = MapActor(
+            "relay",
+            lambda vs: sum(vs),
+            window=WindowSpec.tokens(
+                2, 1, group_by=lambda e: e.value % 3
+            ),
+        )
+    elif topology == "fanout":
+        relay = MapActor("relay", lambda v: v)
+        sinks.append(SinkActor("sink2"))
+    else:  # expand
+        relay = MapActor("relay", _expand_fn)
+    workflow.add_all([source, relay] + sinks)
+    workflow.connect(source, relay)
+    for sink in sinks:
+        workflow.connect(relay.output_ports["out"], sink)
+    return workflow, sinks
+
+
+def _run(topology, arrivals, scheduler_index, train_size):
+    """Run one configuration to completion; return the full canon."""
+    workflow, sinks = _build(topology, arrivals)
+    clock = VirtualClock()
+    director = SCWFDirector(
+        SCHEDULERS[scheduler_index](),
+        clock,
+        CostModel(),
+        train_size=train_size,
+    )
+    director.attach(workflow)
+    SimulationRuntime(director, clock).run(10.0, drain=True)
+    canon = {
+        sink.name: [
+            (
+                now,
+                event.timestamp,
+                tuple(event.wave.path),
+                repr(event.value),
+                event.last_in_wave,
+            )
+            for now, event in sink.items
+        ]
+        for sink in sinks
+    }
+    return (
+        canon,
+        director.statistics.snapshot(),
+        dict(director.statistics.engine_counters),
+        clock.now_us,
+    )
+
+
+class TestTrainOracle:
+    """train_size is invisible to everything except the wall clock."""
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=200_000),
+            min_size=1,
+            max_size=30,
+        ),
+        st.sampled_from(range(len(SCHEDULERS))),
+        st.sampled_from(TOPOLOGIES),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_train_sizes_bit_identical(
+        self, offsets, scheduler_index, topology
+    ):
+        arrivals = [(ts, i) for i, ts in enumerate(sorted(offsets))]
+        reference = _run(topology, arrivals, scheduler_index, 1)
+        for train_size in TRAIN_SIZES[1:]:
+            assert (
+                _run(topology, arrivals, scheduler_index, train_size)
+                == reference
+            ), f"train_size={train_size} diverged on {topology}"
+
+    @pytest.mark.parametrize("scheduler_index", range(len(SCHEDULERS)))
+    def test_drain_all_on_every_scheduler(self, scheduler_index):
+        """Directed spot-check: a dense burst under drain-all trains."""
+        arrivals = [(i * 97, i) for i in range(60)]
+        reference = _run("expand", arrivals, scheduler_index, 1)
+        assert _run("expand", arrivals, scheduler_index, None) == reference
+
+
+# ----------------------------------------------------------------------
+# Linear Road: the seeded run is byte-for-byte train-size independent
+# ----------------------------------------------------------------------
+def _lr_config(train_size):
+    config = ExperimentConfig(
+        scheduler=SchedulerSpec("RR", quantum_us=10_000),
+        seeds=(7,),
+        train_size=train_size,
+    )
+    return config.scaled_duration(60)
+
+
+def _lr_artifact(result) -> bytes:
+    """Canonical JSON bytes of everything a RunResult observes."""
+    return json.dumps(
+        {
+            "times_s": result.series.times_s,
+            "responses_s": result.series.responses_s,
+            "tolls": result.tolls,
+            "alerts": result.alerts,
+            "accidents_recorded": result.accidents_recorded,
+            "internal_firings": result.internal_firings,
+            "backlog_at_end": result.backlog_at_end,
+        },
+        sort_keys=True,
+    ).encode()
+
+
+class TestLinearRoadTrainEquality:
+    def test_train64_matches_per_event_artifact(self):
+        reference = _lr_artifact(run_once(_lr_config(1), 7))
+        trained = _lr_artifact(run_once(_lr_config(64), 7))
+        assert trained == reference  # byte-for-byte
+
+
+# ----------------------------------------------------------------------
+# Satellites: pump x batch_limit, arrival-cache amortization
+# ----------------------------------------------------------------------
+class TestPumpTrainInteraction:
+    def _pump(self, batch_limit, chunk, due):
+        source = SourceActor(
+            "src",
+            arrivals=[(0, i) for i in range(due)],
+            batch_limit=batch_limit,
+        )
+        source.add_output("out")
+        singles, batches = [], []
+        ctx = FiringContext(
+            source,
+            0,
+            lambda actor, port, event: singles.append(event),
+            wave_generator=WaveGenerator(),
+        )
+        ctx.enable_batch_emission(
+            chunk, lambda actor, port, events: batches.append(list(events))
+        )
+        emitted = source.pump(ctx)
+        ctx.close()
+        return emitted, singles, batches
+
+    def test_pump_bounded_by_batch_limit(self):
+        """batch_limit < train_size: the source limit wins."""
+        emitted, singles, batches = self._pump(
+            batch_limit=3, chunk=8, due=10
+        )
+        assert emitted == 3
+        assert not singles  # a 3-run flushes as one train, not 3 calls
+        assert [len(train) for train in batches] == [3]
+
+    def test_flush_bounded_by_train_size(self):
+        """train_size < emitted: flushes chunk at the train quantum."""
+        emitted, singles, batches = self._pump(
+            batch_limit=None, chunk=4, due=10
+        )
+        assert emitted == 10
+        assert not singles
+        assert [len(train) for train in batches] == [4, 4, 2]
+
+    def test_per_event_chunk_never_batches(self):
+        """chunk=1 keeps the historical one-call-per-event hook."""
+        emitted, singles, batches = self._pump(
+            batch_limit=None, chunk=1, due=5
+        )
+        assert emitted == 5
+        assert len(singles) == 5 and not batches
+
+    def test_arrival_cache_invalidated_once_per_train(self):
+        """One cache invalidation per pump, however many events it emits."""
+        workflow = Workflow("cache")
+        source = SourceActor("src", arrivals=[(0, i) for i in range(50)])
+        source.add_output("out")
+        sink = SinkActor("sink")
+        workflow.add_all([source, sink])
+        workflow.connect(source, sink)
+        clock = VirtualClock()
+        director = SCWFDirector(
+            RoundRobinScheduler(10_000),
+            clock,
+            CostModel(),
+            train_size=None,
+        )
+        counts = {"invalidate": 0, "pump": 0}
+        original_invalidate = director.invalidate_arrival_cache
+
+        def spy_invalidate():
+            counts["invalidate"] += 1
+            original_invalidate()
+
+        director.invalidate_arrival_cache = spy_invalidate
+        original_pump = source.pump
+
+        def spy_pump(ctx):
+            counts["pump"] += 1
+            return original_pump(ctx)
+
+        source.pump = spy_pump
+        director.attach(workflow)
+        SimulationRuntime(director, clock).run(10.0, drain=True)
+        assert len(sink.items) == 50
+        assert counts["invalidate"] == counts["pump"]
+        assert counts["pump"] < 50  # the burst pumped as trains
+
+
+# ----------------------------------------------------------------------
+# Satellite: WaveTag slots / root interning / __reduce__ round-trip
+# ----------------------------------------------------------------------
+class TestWaveTagSlotted:
+    def test_no_instance_dict(self):
+        assert not hasattr(WaveTag.root(1), "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            object.__setattr__(WaveTag.root(1), "extra", 1)
+
+    def test_root_tags_interned(self):
+        assert WaveTag.root(123) is WaveTag.root(123)
+        child = WaveTag.root(9).child(2)
+        assert child.root_tag is WaveTag.root(9)
+
+    def test_reduce_round_trip(self):
+        child = WaveTag.root(4).child(1).child(3)
+        revived = pickle.loads(pickle.dumps(child))
+        assert revived == child and revived.path == (4, 1, 3)
+        # Root tags revive straight into the interned instance.
+        assert pickle.loads(pickle.dumps(WaveTag.root(6))) is WaveTag.root(6)
+
+    def test_ordering_survives_round_trip(self):
+        tags = [WaveTag.root(2), WaveTag.root(1).child(1), WaveTag.root(1)]
+        revived = pickle.loads(pickle.dumps(tags))
+        assert sorted(revived) == sorted(tags) == [
+            WaveTag.root(1),
+            WaveTag.root(1).child(1),
+            WaveTag.root(2),
+        ]

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Duplicate/unsorted-import check (stdlib-only ruff "I"/F811 stand-in).
+
+``make lint`` prefers ruff (``select = ["I", ...]`` in pyproject.toml
+catches the full rule set), but the reference container ships without
+it — this checker enforces the two invariants the repo actually cares
+about in any environment:
+
+* **no duplicate imports**: a module must not be imported twice at the
+  top level of a file (the class of bug where ``from ..core.exceptions
+  import ...`` appeared twice in ``scwf_director.py``);
+* **sorted import runs**: within one contiguous block of top-level
+  imports, module names must be non-decreasing (case-insensitive, with
+  relative imports compared by their dot-prefix then name, mirroring
+  isort's default ordering closely enough to keep blocks tidy).
+
+Exit status 0 when clean; 1 with one ``file:line`` diagnostic per
+violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOTS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def _module_key(node: ast.stmt) -> tuple:
+    """Sort key approximating isort's defaults.
+
+    Straight ``import X`` statements come before ``from Y import``
+    statements within a run (isort's default, ``force_sort_within_
+    sections`` off), each sub-block alphabetical by lowercased module
+    path.  For relative imports the leading dots are part of the key,
+    which makes deeper relatives sort first (``...core.actors`` <
+    ``..abstract_scheduler``) — exactly the repo's established style.
+    """
+    if isinstance(node, ast.Import):
+        return (0, node.names[0].name.lower())
+    assert isinstance(node, ast.ImportFrom)
+    return (1, ("." * node.level + (node.module or "")).lower())
+
+
+def _dedupe_key(node: ast.stmt) -> list[tuple]:
+    """One key per imported module for duplicate detection.
+
+    ``from pkg import sub as _alias`` lines are exempt when *every*
+    name is aliased: importing two submodules of one package on two
+    lines is deliberate, not a duplicated import.
+    """
+    if isinstance(node, ast.Import):
+        return [("import", alias.name) for alias in node.names]
+    assert isinstance(node, ast.ImportFrom)
+    if all(alias.asname is not None for alias in node.names):
+        return []
+    return [("from", node.level, node.module or "")]
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:  # compileall's job, but report anyway
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    problems: list[str] = []
+    seen: dict[tuple, int] = {}
+    previous: ast.stmt | None = None
+    for node in tree.body:
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            previous = None
+            continue
+        for key in _dedupe_key(node):
+            if key in seen:
+                problems.append(
+                    f"{path}:{node.lineno}: duplicate import of "
+                    f"{key[-1] or '.'!s} (first at line {seen[key]})"
+                )
+            else:
+                seen[key] = node.lineno
+        if (
+            previous is not None
+            and node.lineno == getattr(previous, "end_lineno", -2) + 1
+            and _module_key(node) < _module_key(previous)
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: import of "
+                f"{_module_key(node)[1] or '.'} is not sorted after "
+                f"{_module_key(previous)[1] or '.'}"
+            )
+        previous = node
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    base = Path(argv[1]) if len(argv) > 1 else Path(".")
+    problems: list[str] = []
+    for root in ROOTS:
+        directory = base / root
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"check_imports: {len(problems)} problem(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
