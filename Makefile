@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train checkpoint-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-overload checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,7 +21,7 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass.
 	fi
 	$(PYTHON) tools/check_imports.py  # duplicate/unsorted imports (ruff "I" stand-in)
 
-ci: lint test checkpoint-smoke bench-train
+ci: lint test checkpoint-smoke bench-train bench-overload
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -48,6 +48,12 @@ bench-train:  # event-train throughput: speedup gate + absolute baselines
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-train.json \
 		--baseline benchmarks/baselines/train.json
 
+bench-overload:  # SLO gate: the QoS loop must hold bursty LR under 5 s p99
+	$(PYTHON) -m pytest benchmarks/bench_overload_slo.py -q \
+		--benchmark-json=.benchmark-overload.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-overload.json \
+		--baseline benchmarks/baselines/overload.json
+
 checkpoint-smoke:  # checkpoint tests + example + <10% overhead gate on fig-8
 	$(PYTHON) -m pytest tests/test_checkpoint.py -q
 	$(PYTHON) examples/checkpoint_resume.py
@@ -69,5 +75,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-overload.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -30,6 +30,9 @@ Top-level layout:
   the benchmark harness;
 * :mod:`repro.observability` — engine-wide tracing and metrics export
   (Chrome trace-event, JSONL, Prometheus text);
+* :mod:`repro.overload` — elastic overload control: the unified
+  ``QoSPolicy``, token-bucket admission, backpressure and the adaptive
+  SLO-targeting ``OverloadController``;
 * :mod:`repro.resilience` — fault policies, supervision, dead-letter
   queues and deterministic fault injection for continuous runs;
 * :mod:`repro.checkpoint` — wave-aligned checkpointing and crash
@@ -49,6 +52,7 @@ from . import (
     core,
     directors,
     observability,
+    overload,
     resilience,
     simulation,
     stafilos,
@@ -104,6 +108,12 @@ from .observability import (
     Tracer,
     use_tracer,
 )
+from .overload import (
+    BacklogShedder,
+    OverloadController,
+    QoSPolicy,
+    TokenBucket,
+)
 from .resilience import (
     DeadLetter,
     DeadLetterQueue,
@@ -153,6 +163,7 @@ __all__ = [
     "core",
     "directors",
     "observability",
+    "overload",
     "resilience",
     "simulation",
     "stafilos",
@@ -207,6 +218,11 @@ __all__ = [
     "RoundRobinScheduler",
     "RRScheduler",
     "SCWFDirector",
+    # overload control / QoS
+    "BacklogShedder",
+    "OverloadController",
+    "QoSPolicy",
+    "TokenBucket",
     # resilience
     "DeadLetter",
     "DeadLetterQueue",

@@ -51,8 +51,15 @@ from .protocol import dump_component, restore_component
 SNAPSHOT_FORMAT = 1
 
 #: Optional director-owned components, captured when present.  The SCWF
-#: director has all four; the live PNCWF director has only a supervisor.
-_OPTIONAL_COMPONENTS = ("clock", "cost_model", "scheduler", "supervisor")
+#: director has the first four (plus ``overload`` when a QoS controller
+#: is installed); the live PNCWF director has only a supervisor.
+_OPTIONAL_COMPONENTS = (
+    "clock",
+    "cost_model",
+    "scheduler",
+    "supervisor",
+    "overload",
+)
 
 
 def _read_count(counter: "itertools.count") -> int:

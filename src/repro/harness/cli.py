@@ -75,6 +75,15 @@ def _tune(config: ExperimentConfig, args) -> ExperimentConfig:
     train_size = getattr(args, "train_size", 1)
     if train_size != config.train_size:
         config = replace(config, train_size=train_size)
+    qos_spec = getattr(args, "qos", None)
+    if qos_spec is not None:
+        from ..core.exceptions import SchedulerError
+        from ..overload import QoSPolicy
+
+        try:
+            config = replace(config, qos=QoSPolicy.parse(qos_spec))
+        except SchedulerError as exc:
+            raise SystemExit(f"--qos: {exc}") from None
     return config
 
 
@@ -341,6 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "record an engine trace around the command and write a "
             "chrome://tracing JSON to PATH"
+        ),
+    )
+    parser.add_argument(
+        "--qos",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "overload control (repro.overload.QoSPolicy), e.g. "
+            "'slo=5,pause=20000,admit=400,adapt-train=1' — keys: backlog, "
+            "strategy, protect, source-pending, admit, burst, pause, "
+            "resume, slo, period, adapt-train, adapt-quantum"
         ),
     )
     parser.add_argument(

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..linearroad.generator import WorkloadConfig
+from ..overload.qos import QoSPolicy
 from ..simulation.cost_model import CostModel
 
 #: Table 3 parameter sets.
@@ -101,6 +102,11 @@ class ExperimentConfig:
     #: ``None`` drains until the scheduler switches away.  Results are
     #: bit-identical across values; only wall-clock changes.
     train_size: Optional[int] = 1
+    #: Overload-control policy (``--qos``): when set, the harness builds
+    #: an :class:`repro.overload.OverloadController` on the director with
+    #: the toll-notification sink as the latency probe.  ``None`` runs
+    #: uncontrolled (byte-identical to the pre-QoS engine).
+    qos: Optional[QoSPolicy] = None
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

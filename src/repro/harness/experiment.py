@@ -131,6 +131,7 @@ def checkpoint_meta(config: ExperimentConfig, seed: int) -> dict:
         "checkpoint_every_s": config.checkpoint_every_s,
         "checkpoint_retain": config.checkpoint_retain,
         "train_size": config.train_size,
+        "qos": None if config.qos is None else asdict(config.qos),
     }
 
 
@@ -139,8 +140,10 @@ def config_from_meta(
 ) -> tuple[ExperimentConfig, int]:
     """Rebuild ``(ExperimentConfig, seed)`` from manifest metadata."""
     from ..linearroad.generator import AccidentScript, WorkloadConfig
+    from ..overload import QoSPolicy
 
     try:
+        qos_raw = meta.get("qos")
         workload_raw = dict(meta["workload"])
         workload_raw["accidents"] = tuple(
             AccidentScript(**dict(script))
@@ -172,6 +175,8 @@ def config_from_meta(
                 if meta.get("train_size", 1) is None
                 else int(meta.get("train_size", 1))
             ),
+            # Older manifests predate QoS: default to uncontrolled.
+            qos=None if qos_raw is None else QoSPolicy(**dict(qos_raw)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
@@ -203,6 +208,11 @@ def _build_engine(
             else FaultPolicy(propagate=True)
         )
     if config.scheduler.kind == "PNCWF":
+        if config.qos is not None:
+            raise SimulationError(
+                "QoS overload control requires a STAFiLOS scheduler; "
+                "the thread-based PNCWF director has no shedding hooks"
+            )
         director = ThreadedCWFDirector(
             clock, cost_model, error_policy=error_policy
         )
@@ -214,6 +224,13 @@ def _build_engine(
             error_policy=error_policy,
             train_size=config.train_size,
         )
+        if config.qos is not None:
+            controller = director.apply_qos(config.qos)
+            # Observe the paper's headline latency: the 5 s toll
+            # notification deadline at the TollNotification sink.
+            controller.attach_latency_probe(
+                lambda sink=system.toll_out: sink.response_times_us
+            )
     director.attach(system.workflow)
     injectors = (
         install_faults(system.workflow, config.fault_spec)

@@ -71,6 +71,20 @@ class WorkloadConfig:
     congestion_segments: tuple[int, ...] = ()
     #: Fraction of cars routed into the congested segments.
     congestion_share: float = 0.0
+    #: Bursty-arrival mode: > 1 compresses each ``burst_period_s`` window
+    #: of *arrival* times into its first ``1/burst_factor`` — the same
+    #: reports (bit-identical trace), delivered in periodic bursts whose
+    #: instantaneous rate is ``burst_factor``× the mean.  1.0 (default)
+    #: leaves arrival times untouched, byte for byte.
+    burst_factor: float = 1.0
+    #: Length of one burst cycle in seconds (bursty mode only).
+    burst_period_s: int = 10
+
+    def __post_init__(self) -> None:
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1.0")
+        if self.burst_period_s < 1:
+            raise ValueError("burst_period_s must be >= 1")
 
     def scaled(self, rate_factor: float) -> "WorkloadConfig":
         """A copy with the load envelope scaled (sensitivity sweeps)."""
@@ -85,6 +99,8 @@ class WorkloadConfig:
             self.accidents,
             self.congestion_segments,
             self.congestion_share,
+            self.burst_factor,
+            self.burst_period_s,
         )
 
 
@@ -114,11 +130,30 @@ class LinearRoadWorkload:
         return self._reports
 
     def arrivals(self) -> list[tuple[int, PositionReport]]:
-        """(arrival_us, report) pairs for a :class:`SourceActor`."""
-        return [
+        """(arrival_us, report) pairs for a :class:`SourceActor`.
+
+        With ``burst_factor > 1`` the arrival times (never the report
+        payloads) are warped: each ``burst_period_s`` window is
+        compressed into its head, so the mean rate is unchanged while
+        the instantaneous rate spikes to ``burst_factor``× — a seeded,
+        reproducible overload scenario.  The warp is monotone, so the
+        trace stays time-sorted.
+        """
+        pairs = [
             (report.time * US_PER_S + index % 1000, report)
             for index, report in enumerate(self.reports())
         ]
+        factor = self.config.burst_factor
+        if factor == 1.0:
+            return pairs
+        period_us = self.config.burst_period_s * US_PER_S
+        warped = []
+        for arrival_us, report in pairs:
+            start = (arrival_us // period_us) * period_us
+            warped.append(
+                (start + int((arrival_us - start) / factor), report)
+            )
+        return warped
 
     def rate_series(self, bucket_s: int = 10) -> list[tuple[int, float]]:
         """(bucket_start_s, reports_per_second) — regenerates Figure 5."""

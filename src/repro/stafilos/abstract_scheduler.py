@@ -85,8 +85,12 @@ class AbstractScheduler(ABC):
         self._now = 0
         #: Count of internal (non-source) invocations, for source pacing.
         self.internal_firings = 0
-        #: Optional load-shedding policy (see repro.stafilos.shedding).
+        #: Optional load-shedding policy (see repro.overload.shedding).
         self.shedder = None
+        #: Optional admission gate (see repro.overload.controller): when
+        #: set, its ``pump_allowance(source, now)`` caps source pumping —
+        #: an allowance of 0 makes the source not-runnable this instant.
+        self.admission_gate = None
         # ---- dispatch index state -----------------------------------
         #: Actor names whose state/key may have changed since the last
         #: index flush.  Adding is O(1); ``get_next_actor`` drains it.
@@ -436,7 +440,12 @@ class AbstractScheduler(ABC):
         self.invalidate_state(actor)
 
     def source_has_work(self, source: SourceActor, now: int) -> bool:
-        return source.pending_arrivals(now) > 0
+        if source.pending_arrivals(now) <= 0:
+            return False
+        gate = self.admission_gate
+        if gate is not None and gate.pump_allowance(source, now) == 0:
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # Checkpointable protocol

@@ -87,6 +87,11 @@ class SCWFDirector(Director):
         self.scheduler = scheduler
         self.clock = clock
         self.cost_model = cost_model
+        #: Optional closed-loop overload controller (see
+        #: ``repro.overload``); installed via :meth:`apply_qos`.  Caps
+        #: source pumping, adjusts idle fast-forward for admission
+        #: tokens, and is checkpointed as its own component.
+        self.overload = None
         self.max_firings_per_iteration = max_firings_per_iteration
         #: The recovery configuration.  ``error_policy`` accepts a full
         #: :class:`~repro.resilience.FaultPolicy` or the legacy string
@@ -269,13 +274,40 @@ class SCWFDirector(Director):
     def _fire_source(self, source: SourceActor) -> int:
         scheduler = self.scheduler
         now = self.clock.now_us
+        allowance = None
+        if self.overload is not None:
+            allowance = self.overload.pump_allowance(source, now)
+            if allowance == 0:
+                # Paused by backpressure or token-starved: the dispatch
+                # was drawn before the gate closed.  No-op, like an
+                # empty-queue internal dispatch.  (``pump`` checks its
+                # limit only *after* emitting, so a zero cap must skip
+                # the pump call entirely.)
+                scheduler.invalidate_state(source)
+                scheduler.on_actor_fire_end(source, 0, now)
+                return 0
         start = now
         scheduler.on_actor_fire_start(source, now)
         ctx = self.make_context(source, now)
         if not source.prefire(ctx):
             scheduler.on_actor_fire_end(source, 0, now)
             return 0
-        emitted = source.pump(ctx)
+        if allowance is None:
+            emitted = source.pump(ctx)
+        else:
+            # Cap the pump train at the admission allowance.
+            saved_limit = source.batch_limit
+            limit = (
+                allowance
+                if saved_limit is None
+                else min(allowance, saved_limit)
+            )
+            source.batch_limit = limit
+            try:
+                emitted = source.pump(ctx)
+            finally:
+                source.batch_limit = saved_limit
+            self.overload.note_pumped(source, emitted)
         source.postfire(ctx)
         ctx.close()
         # Once per pump train — not per emitted event: the cache only
@@ -687,6 +719,19 @@ class SCWFDirector(Director):
         if self._arrival_cache_valid:
             return self._arrival_cache
         workflow = self._require_attached()
+        overload = self.overload
+        if overload is not None:
+            # Admission tokens can defer an arrival past its schedule
+            # time; jumping to the raw arrival would leave the source
+            # gated and crawl the clock 1 µs at a time.  Ask the
+            # controller for the earliest *admissible* instant per
+            # source.  Never cached: token state moves with the clock.
+            times = [
+                overload.earliest_admission(source, arrival)
+                for source in workflow.sources
+                if (arrival := source.next_arrival_time()) is not None
+            ]
+            return min(times, default=None)
         times = [
             arrival
             for source in workflow.sources
@@ -700,6 +745,25 @@ class SCWFDirector(Director):
 
     def backlog(self) -> int:
         return self.scheduler.total_backlog()
+
+    # ------------------------------------------------------------------
+    # QoS
+    # ------------------------------------------------------------------
+    def apply_qos(self, policy):
+        """Install an overload controller enforcing *policy*.
+
+        Convenience for the common wiring::
+
+            director.apply_qos(QoSPolicy(latency_slo_s=5.0, ...))
+
+        Builds a :class:`repro.overload.OverloadController` from the
+        :class:`repro.overload.QoSPolicy` and installs it at the
+        scheduler's shedding hook points.  Returns the controller (e.g.
+        to attach a latency probe).
+        """
+        from ..overload import OverloadController
+
+        return OverloadController(policy).install(self)
 
     def run_to_quiescence(self, now: int) -> int:
         """Composite-boundary entry point: iterate until no progress."""
