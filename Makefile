@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-overload checkpoint-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-fusion bench-overload checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,7 +21,7 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass.
 	fi
 	$(PYTHON) tools/check_imports.py  # duplicate/unsorted imports (ruff "I" stand-in)
 
-ci: lint test checkpoint-smoke bench-train bench-overload
+ci: lint test checkpoint-smoke bench-train bench-fusion bench-overload
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -47,6 +47,12 @@ bench-train:  # event-train throughput: speedup gate + absolute baselines
 		--benchmark-json=.benchmark-train.json
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-train.json \
 		--baseline benchmarks/baselines/train.json
+
+bench-fusion:  # fused-chain throughput: >=2x speedup gate + absolute baselines
+	$(PYTHON) -m pytest benchmarks/bench_fusion.py -q \
+		--benchmark-json=.benchmark-fusion.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-fusion.json \
+		--baseline benchmarks/baselines/fusion.json
 
 bench-overload:  # SLO gate: the QoS loop must hold bursty LR under 5 s p99
 	$(PYTHON) -m pytest benchmarks/bench_overload_slo.py -q \
@@ -75,5 +81,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-overload.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-fusion.json .benchmark-overload.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -96,6 +96,12 @@ from .directors import (
     PNDirector,
     SDFDirector,
 )
+from .fusion import (
+    detect_chains,
+    FusedChain,
+    fuse_workflow,
+    FusionReport,
+)
 from .observability import (
     export_chrome_trace,
     export_jsonl,
@@ -128,6 +134,7 @@ from .simulation import CostModel, SimulationRuntime, VirtualClock, WallClock
 from .stafilos import (
     AbstractScheduler,
     ActorState,
+    AdaptiveScheduler,
     EarliestDeadlineScheduler,
     FIFOScheduler,
     LoadShedder,
@@ -162,6 +169,7 @@ __all__ = [
     "checkpoint",
     "core",
     "directors",
+    "fusion",
     "observability",
     "overload",
     "resilience",
@@ -203,9 +211,15 @@ __all__ = [
     "PNCWFDirector",
     "PNDirector",
     "SDFDirector",
+    # operator-chain fusion
+    "detect_chains",
+    "FusedChain",
+    "fuse_workflow",
+    "FusionReport",
     # STAFiLOS
     "AbstractScheduler",
     "ActorState",
+    "AdaptiveScheduler",
     "EarliestDeadlineScheduler",
     "EDFScheduler",
     "FIFOScheduler",

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 import zlib
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from ..observability import tracer as _obs
 from .snapshot import (
@@ -47,6 +47,8 @@ class EngineCheckpointer:
         store: CheckpointStore,
         every_us: Optional[int] = None,
         meta: Optional[Dict[str, Any]] = None,
+        created_at_clock: Optional[Callable[[], float]] = None,
+        record_wall_time: bool = False,
     ):
         #: The engine being checkpointed (must stay attached throughout).
         self.director = director
@@ -58,6 +60,15 @@ class EngineCheckpointer:
         #: Free-form metadata copied into every manifest (the harness
         #: records scheduler/workload/seed here for ``repro resume``).
         self.meta = dict(meta or {})
+        #: Source for manifest ``created_at`` stamps.  Defaults to engine
+        #: time (seconds), so two identical seeded runs publish
+        #: byte-identical manifests; inject ``time.time`` to restore the
+        #: old wall-clock stamps.
+        self.created_at_clock = created_at_clock
+        #: When set, each manifest's ``meta`` additionally carries a
+        #: ``wall_time`` field.  Off by default — it would reintroduce
+        #: the nondeterminism ``created_at`` no longer leaks.
+        self.record_wall_time = record_wall_time
         #: Snapshots taken by this checkpointer instance.
         self.checkpoints_taken = 0
         existing = store.manifests()
@@ -115,13 +126,20 @@ class EngineCheckpointer:
         else:
             snapshot = capture_snapshot(self.director)
             payload = serialize_snapshot(snapshot)
+        if self.created_at_clock is not None:
+            created_at = float(self.created_at_clock())
+        else:
+            created_at = int(now_us) / 1_000_000.0
+        meta = dict(self.meta)
+        if self.record_wall_time:
+            meta["wall_time"] = time.time()
         manifest = CheckpointManifest(
             checkpoint_id=self._next_id,
             engine_time_us=int(now_us),
             payload_bytes=len(payload),
             crc32=zlib.crc32(payload),
-            created_at=time.time(),
-            meta=dict(self.meta),
+            created_at=created_at,
+            meta=meta,
         )
         self.store.save(manifest, payload)
         duration_us = (time.perf_counter() - started) * 1e6

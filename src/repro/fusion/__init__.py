@@ -1,0 +1,14 @@
+"""Operator-chain fusion: compile linear map segments into one firing.
+
+See :mod:`repro.fusion.chain` for the chain detector and the
+:class:`FusedChain` composed actor.
+"""
+
+from .chain import FusedChain, FusionReport, detect_chains, fuse_workflow
+
+__all__ = [
+    "FusedChain",
+    "FusionReport",
+    "detect_chains",
+    "fuse_workflow",
+]

@@ -75,6 +75,8 @@ def _tune(config: ExperimentConfig, args) -> ExperimentConfig:
     train_size = getattr(args, "train_size", 1)
     if train_size != config.train_size:
         config = replace(config, train_size=train_size)
+    if getattr(args, "fuse", False) and not config.fuse:
+        config = replace(config, fuse=True)
     qos_spec = getattr(args, "qos", None)
     if qos_spec is not None:
         from ..core.exceptions import SchedulerError
@@ -184,9 +186,15 @@ def _apply_checkpoint_flags(config: ExperimentConfig, args):
     )
 
 
+def _scheduler_kind(name: str) -> str:
+    """CLI spelling -> SchedulerSpec kind ("adaptive" is kind ADAPT)."""
+    kind = name.upper()
+    return "ADAPT" if kind == "ADAPTIVE" else kind
+
+
 def _cmd_run(args) -> int:
     spec = SchedulerSpec(
-        args.scheduler.upper(),
+        _scheduler_kind(args.scheduler),
         quantum_us=args.quantum,
         source_interval=args.source_interval,
     )
@@ -268,7 +276,7 @@ def _cmd_trace(args) -> int:
     from .experiment import run_traced
 
     spec = SchedulerSpec(
-        args.scheduler.upper(),
+        _scheduler_kind(args.scheduler),
         quantum_us=args.quantum,
         source_interval=args.source_interval,
     )
@@ -353,6 +361,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help=(
+            "compile linear map-only segments into fused chains "
+            "(repro.fusion) before the run: one dispatch traverses the "
+            "whole segment with no intermediate queueing. Sink outputs, "
+            "wave tags and per-actor counters are bit-identical to the "
+            "unfused engine; SCWF schedulers only"
+        ),
+    )
+    parser.add_argument(
         "--qos",
         metavar="SPEC",
         default=None,
@@ -390,8 +409,9 @@ def build_parser() -> argparse.ArgumentParser:
     ).set_defaults(fn=_cmd_dot)
     run = sub.add_parser("run", help="one scheduler configuration")
     run.add_argument(
-        "scheduler", choices=["qbs", "rr", "rb", "fifo", "pncwf", "QBS",
-                              "RR", "RB", "FIFO", "PNCWF"]
+        "scheduler", choices=["qbs", "rr", "rb", "fifo", "adaptive",
+                              "pncwf", "QBS", "RR", "RB", "FIFO",
+                              "ADAPTIVE", "PNCWF"]
     )
     run.add_argument("--quantum", type=int, default=None,
                      help="basic quantum / slice in microseconds")
@@ -447,7 +467,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--scheduler", default="qbs",
-        choices=["qbs", "rr", "rb", "fifo", "QBS", "RR", "RB", "FIFO"],
+        choices=["qbs", "rr", "rb", "fifo", "adaptive", "QBS", "RR",
+                 "RB", "FIFO", "ADAPTIVE"],
     )
     trace.add_argument("--quantum", type=int, default=None,
                        help="basic quantum / slice in microseconds")

@@ -53,7 +53,7 @@ def default_cost_model(seed: int = 7) -> CostModel:
 class SchedulerSpec:
     """Which policy to run and with what parameter."""
 
-    kind: str  # "QBS" | "RR" | "RB" | "FIFO" | "PNCWF"
+    kind: str  # "QBS" | "RR" | "RB" | "FIFO" | "ADAPT" | "PNCWF"
     quantum_us: Optional[int] = None  # QBS basic quantum / RR slice
     source_interval: int = QBS_SOURCE_INTERVAL
 
@@ -63,6 +63,8 @@ class SchedulerSpec:
             return f"QBS-q{self.quantum_us}"
         if self.kind == "RR":
             return f"RR-q{self.quantum_us}"
+        if self.kind == "ADAPT" and self.quantum_us is not None:
+            return f"ADAPT-q{self.quantum_us}"
         return self.kind
 
 
@@ -107,6 +109,13 @@ class ExperimentConfig:
     #: the toll-notification sink as the latency probe.  ``None`` runs
     #: uncontrolled (byte-identical to the pre-QoS engine).
     qos: Optional[QoSPolicy] = None
+    #: Operator-chain fusion (``--fuse``): when set, the harness runs
+    #: :func:`repro.fusion.fuse_workflow` over the built workflow before
+    #: attaching the director, compiling linear map segments into single
+    #: composed firings.  Sink outputs, wave tags and per-actor counters
+    #: are bit-identical to the unfused run; only dispatch overhead (and
+    #: therefore the engine-time trajectory) changes.  SCWF only.
+    fuse: bool = False
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

@@ -21,6 +21,7 @@ from ..checkpoint import (
     restore_latest,
 )
 from ..core.exceptions import CheckpointError, SimulationError
+from ..fusion import fuse_workflow
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.metrics import ResponseTimeSeries
 from ..linearroad.workflow import build_linear_road, LinearRoadSystem
@@ -31,6 +32,7 @@ from ..simulation.runtime import SimulationRuntime
 from ..simulation.threaded import ThreadedCWFDirector
 from ..stafilos.abstract_scheduler import AbstractScheduler
 from ..stafilos.schedulers import (
+    AdaptiveScheduler,
     FIFOScheduler,
     QuantumPriorityScheduler,
     RateBasedScheduler,
@@ -104,6 +106,10 @@ def make_scheduler(spec: SchedulerSpec) -> AbstractScheduler:
         return RateBasedScheduler()
     if spec.kind == "FIFO":
         return FIFOScheduler()
+    if spec.kind == "ADAPT":
+        if spec.quantum_us is not None:
+            return AdaptiveScheduler(initial_quantum_us=spec.quantum_us)
+        return AdaptiveScheduler()
     raise SimulationError(f"unknown scheduler kind {spec.kind!r}")
 
 
@@ -132,6 +138,7 @@ def checkpoint_meta(config: ExperimentConfig, seed: int) -> dict:
         "checkpoint_retain": config.checkpoint_retain,
         "train_size": config.train_size,
         "qos": None if config.qos is None else asdict(config.qos),
+        "fuse": config.fuse,
     }
 
 
@@ -177,6 +184,8 @@ def config_from_meta(
             ),
             # Older manifests predate QoS: default to uncontrolled.
             qos=None if qos_raw is None else QoSPolicy(**dict(qos_raw)),
+            # Older manifests predate fusion: default to unfused.
+            fuse=bool(meta.get("fuse", False)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
@@ -213,10 +222,20 @@ def _build_engine(
                 "QoS overload control requires a STAFiLOS scheduler; "
                 "the thread-based PNCWF director has no shedding hooks"
             )
+        if config.fuse:
+            raise SimulationError(
+                "operator-chain fusion requires the SCWF director; "
+                "the thread-based PNCWF engine fires actors on their "
+                "own threads and has no composed-firing path"
+            )
         director = ThreadedCWFDirector(
             clock, cost_model, error_policy=error_policy
         )
     else:
+        if config.fuse:
+            # Rewrite the workflow before the director sees it, so
+            # attach/initialize wire the fused chains like any actor.
+            fuse_workflow(system.workflow)
         director = SCWFDirector(
             make_scheduler(config.scheduler),
             clock,

@@ -237,7 +237,11 @@ def export_prometheus(
         for actor, stats in sorted(snapshot.items()):
             if key not in stats:
                 continue
-            label = actor.replace("\\", "\\\\").replace('"', '\\"')
+            label = (
+                actor.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+            )
             lines.append(
                 f'{metric}{{actor="{label}"}} '
                 f"{_format_value(stats[key])}"

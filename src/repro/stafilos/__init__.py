@@ -18,6 +18,7 @@ from .abstract_scheduler import AbstractScheduler
 from .multicore import MulticoreSCWFDirector
 from .ready import ReadyItem, ReadyQueue
 from .schedulers import (
+    AdaptiveScheduler,
     EarliestDeadlineScheduler,
     FIFOScheduler,
     QuantumPriorityScheduler,
@@ -33,6 +34,7 @@ from .tm_receiver import TMWindowedReceiver
 __all__ = [
     "AbstractScheduler",
     "ActorState",
+    "AdaptiveScheduler",
     "EarliestDeadlineScheduler",
     "FIFOScheduler",
     "LoadShedder",

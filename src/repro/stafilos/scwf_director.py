@@ -153,6 +153,12 @@ class SCWFDirector(Director):
         super().initialize_all()
         workflow = self._require_attached()
         self.scheduler.initialize(workflow, self.statistics)
+        # Fused chains prebind the cost model and per-member statistics
+        # records so per-hop attribution works from the first firing.
+        for actor in workflow.actors.values():
+            bind = getattr(actor, "bind_runtime", None)
+            if bind is not None:
+                bind(self)
         self._sources_static = all(
             not source.unbounded for source in workflow.sources
         )
@@ -350,6 +356,7 @@ class SCWFDirector(Director):
         port = actor.input(ready.port_name)
         receiver = port.receiver
         assert isinstance(receiver, TMWindowedReceiver)
+        fused_flush = getattr(actor, "flush_fused_charges", None)
         fired = False
         attempt = 0
         while True:
@@ -363,9 +370,16 @@ class SCWFDirector(Director):
                     fired = True
                 ctx.close()
                 # Only a completed attempt records a full invocation.
-                cost = self.cost_model.invocation_cost(actor, ctx)
-                self.clock.advance(cost)
-                self.statistics.record_invocation(actor, cost)
+                if fused_flush is not None:
+                    # Fused chains accrue per-member charges internally;
+                    # advance by the sum, then let the chain attribute
+                    # costs/tokens per member and emit its finals.
+                    self.clock.advance(actor.take_pending_cost())
+                    fused_flush(self.clock.now_us)
+                else:
+                    cost = self.cost_model.invocation_cost(actor, ctx)
+                    self.clock.advance(cost)
+                    self.statistics.record_invocation(actor, cost)
                 supervisor.on_success(actor)
                 break
             except Exception as error:
@@ -374,6 +388,8 @@ class SCWFDirector(Director):
                 # the supervisor decide: retry, dead-letter or propagate.
                 ctx.abort()
                 ctx.close()
+                if fused_flush is not None:
+                    actor.discard_fused_charges()
                 attempt += 1
                 decision = supervisor.on_failure(
                     actor,
@@ -488,12 +504,19 @@ class SCWFDirector(Director):
             or type(actor).postfire is not Actor.postfire
         ):
             fire_batch = None
+        # Fused chains settle their own per-member charges; the generic
+        # cost paths below must not double-charge them.
+        fused_flush = getattr(actor, "flush_fused_charges", None)
         # Deterministic cost fast path: when the model's charge is pure
         # integer arithmetic (no jitter, unit scale), inline it and skip
         # two method calls per item.  ``fast_invocation_base`` is duck
         # typed so custom cost models silently keep the full path.
         fast_base_fn = getattr(cost_model, "fast_invocation_base", None)
-        fast_base = None if fast_base_fn is None else fast_base_fn(actor)
+        fast_base = (
+            None
+            if fast_base_fn is None or fused_flush is not None
+            else fast_base_fn(actor)
+        )
         if fast_base is not None:
             per_input_us = cost_model.per_input_us
             per_output_us = cost_model.per_output_us
@@ -539,23 +562,29 @@ class SCWFDirector(Director):
                             actor_postfire(ctx)
                             fired_this = True
                         ctx.close()
-                        if fast_base is not None:
-                            cost = (
-                                fast_base
-                                + per_input_us * ctx.inputs_consumed
-                                + per_output_us * ctx.outputs_produced
-                            )
-                            if cost < 1:
-                                cost = 1
+                        if fused_flush is not None:
+                            advance(actor.take_pending_cost())
+                            fused_flush(clock.now_us)
                         else:
-                            cost = invocation_cost(actor, ctx)
-                        advance(cost)
-                        record_invocation(cost)
+                            if fast_base is not None:
+                                cost = (
+                                    fast_base
+                                    + per_input_us * ctx.inputs_consumed
+                                    + per_output_us * ctx.outputs_produced
+                                )
+                                if cost < 1:
+                                    cost = 1
+                            else:
+                                cost = invocation_cost(actor, ctx)
+                            advance(cost)
+                            record_invocation(cost)
                         on_success(actor)
                         break
                     except Exception as error:
                         ctx.abort()
                         ctx.close()
+                        if fused_flush is not None:
+                            actor.discard_fused_charges()
                         attempt += 1
                         decision = supervisor.on_failure(
                             actor,

@@ -237,6 +237,70 @@ class TestEngineCheckpointer:
         assert times == sorted(times)
         assert all(t >= 500_000 for t in times)
 
+    def test_manifests_are_deterministic(self):
+        """Regression: ``created_at`` used to stamp wall-clock
+        ``time.time()``, so two identical seeded runs published
+        different manifest bytes.  It now derives from engine time."""
+
+        def manifests():
+            director, clock, _ = _small_engine()
+            store = MemoryCheckpointStore(retain=10)
+            checkpointer = EngineCheckpointer(
+                director, store, every_us=500_000, meta={"seed": 7}
+            )
+            SimulationRuntime(
+                director, clock, checkpointer=checkpointer
+            ).run(2.0)
+            # The payload CRC is excluded: pickled events embed the
+            # process-global admission sequence, which advances across
+            # two runs *within one process* (separate processes are
+            # byte-identical).  Everything else — created_at included —
+            # must repeat exactly.
+            import json
+
+            dumps = []
+            for manifest in store.manifests():
+                record = json.loads(manifest.to_json())
+                record.pop("crc32")
+                dumps.append(record)
+            return dumps
+
+        first = manifests()
+        assert first  # the run actually checkpointed
+        assert first == manifests()
+
+    def test_created_at_clock_injectable(self):
+        director, clock, _ = _small_engine()
+        store = MemoryCheckpointStore()
+        checkpointer = EngineCheckpointer(
+            director, store, created_at_clock=lambda: 123.5
+        )
+        SimulationRuntime(director, clock).run(0.5)
+        manifest = checkpointer.checkpoint()
+        assert manifest.created_at == 123.5
+        assert "wall_time" not in manifest.meta
+
+    def test_created_at_defaults_to_engine_seconds(self):
+        director, clock, _ = _small_engine()
+        store = MemoryCheckpointStore()
+        checkpointer = EngineCheckpointer(director, store)
+        SimulationRuntime(director, clock).run(0.5)
+        manifest = checkpointer.checkpoint()
+        assert manifest.created_at == manifest.engine_time_us / 1_000_000.0
+
+    def test_record_wall_time_opts_back_in(self):
+        import time as _time
+
+        director, clock, _ = _small_engine()
+        store = MemoryCheckpointStore()
+        checkpointer = EngineCheckpointer(
+            director, store, record_wall_time=True
+        )
+        SimulationRuntime(director, clock).run(0.5)
+        before = _time.time()
+        manifest = checkpointer.checkpoint()
+        assert before <= manifest.meta["wall_time"] <= _time.time()
+
     def test_disabled_without_interval(self):
         director, clock, _ = _small_engine()
         store = MemoryCheckpointStore()

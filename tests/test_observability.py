@@ -328,6 +328,27 @@ class TestPrometheusExport:
         text = export_prometheus(registry, now_us=0)
         assert '{actor="ev\\"il\\\\actor"}' in text
 
+    def test_label_newline_escaping(self):
+        """Regression: a newline in an actor name must not split the
+        sample line — the exposition format requires ``\\n`` escapes in
+        label values, and an unescaped newline makes every scraper
+        reject the whole page."""
+        registry = StatisticsRegistry()
+
+        class Hostile:
+            name = 'bad\nactor"x\\y'
+
+        registry.get(Hostile()).record_invocation(10)
+        text = export_prometheus(registry, now_us=0)
+        assert '{actor="bad\\nactor\\"x\\\\y"}' in text
+        # Every non-comment line must still be a parseable sample.
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, _, value_part = line.rpartition(" ")
+            assert name_part, f"torn sample line: {line!r}"
+            float(value_part)
+
 
 class TestTraceRecordRepr:
     def test_repr_mentions_kind_and_actor(self):

@@ -108,3 +108,45 @@ class TestDynamicPriorities:
         _, scheduler, *_ = attach()
         scheduler.on_iteration_end(0)
         assert scheduler.periods == 1
+
+
+class TestTopologyMutation:
+    """Regression: mutating the workflow after the scheduler started
+    must flow into the next priority refresh — the cached
+    ``Workflow.graph()`` is keyed on the structure version, which every
+    ``add``/``connect`` bumps."""
+
+    def test_new_actor_enters_priorities_next_period(self):
+        from repro.core.actors import MapActor
+
+        workflow, scheduler, registry, source, cheap, _, sink = attach()
+        scheduler.on_iteration_end(0)
+        assert "late" not in scheduler.priorities
+        version = workflow._structure_version
+
+        late = MapActor("late", lambda v: v)
+        workflow.add(late)
+        workflow.connect(source, late)
+        workflow.connect(late, sink)
+        assert workflow._structure_version > version
+
+        scheduler.on_iteration_end(0)
+        assert "late" in scheduler.priorities
+        assert scheduler.priorities["late"] > 0.0
+
+    def test_rewired_channel_changes_global_rates(self):
+        """Re-connecting an actor re-aggregates its downstream path."""
+        from repro.core.actors import SinkActor
+
+        workflow, scheduler, registry, _, cheap, _, _ = attach()
+        registry.register(cheap).record_invocation(10)
+        scheduler.on_iteration_end(0)
+        before = scheduler.priorities[cheap.name]
+
+        # A second consumer doubles cheap's downstream fan-out, which
+        # the global selectivity aggregation must observe.
+        extra = SinkActor("extra")
+        workflow.add(extra)
+        workflow.connect(cheap.output_ports["out"], extra)
+        scheduler.on_iteration_end(0)
+        assert scheduler.priorities[cheap.name] != before
