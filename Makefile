@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-fusion bench-overload checkpoint-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-fusion bench-overload bench-shard bench-ablation checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,7 +21,7 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass.
 	fi
 	$(PYTHON) tools/check_imports.py  # duplicate/unsorted imports (ruff "I" stand-in)
 
-ci: lint test checkpoint-smoke bench-train bench-fusion bench-overload
+ci: lint test checkpoint-smoke bench-train bench-fusion bench-overload bench-shard
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -60,6 +60,18 @@ bench-overload:  # SLO gate: the QoS loop must hold bursty LR under 5 s p99
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-overload.json \
 		--baseline benchmarks/baselines/overload.json
 
+bench-shard:  # sharded execution: identity gate + absolute baselines
+	$(PYTHON) -m pytest benchmarks/bench_shard_scaling.py -q \
+		--benchmark-json=.benchmark-shard.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-shard.json \
+		--baseline benchmarks/baselines/shard.json
+
+bench-ablation:  # multicore SCWF ablation (slow; not part of ci)
+	$(PYTHON) -m pytest benchmarks/bench_ablation_multicore.py -q \
+		--benchmark-json=.benchmark-ablation.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-ablation.json \
+		--baseline benchmarks/baselines/ablation_multicore.json
+
 checkpoint-smoke:  # checkpoint tests + example + <10% overhead gate on fig-8
 	$(PYTHON) -m pytest tests/test_checkpoint.py -q
 	$(PYTHON) examples/checkpoint_resume.py
@@ -81,5 +93,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-fusion.json .benchmark-overload.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-fusion.json .benchmark-overload.json .benchmark-shard.json .benchmark-ablation.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,10 +1,18 @@
 """Ablation: the §5 scale-up direction — multicore-aware SCWF.
 
-Runs Linear Road under the processor-sharing multicore model with 1, 2 and
-4 cores and locates each configuration's thrash onset: capacity should
-grow with cores and the gains should taper as the workflow's runnable
-breadth is exhausted.
+Runs Linear Road under the processor-sharing multicore model with 1, 2
+and 4 cores and locates each configuration's thrash onset: capacity
+should grow with cores and the gains should taper as the workflow's
+runnable breadth is exhausted.
+
+Each core count is its own benchmark entry, so the ``--benchmark-json``
+output is comparable against ``baselines/ablation_multicore.json`` by
+``check_baseline.py`` exactly like the newer benches (``make
+bench-ablation``); the scaling assertions live in a separate
+non-benchmark test fed from the same cached runs.
 """
+
+import pytest
 
 from repro.harness import default_cost_model
 from repro.linearroad import build_linear_road, LinearRoadWorkload
@@ -15,8 +23,15 @@ from repro.stafilos import MulticoreSCWFDirector, QuantumPriorityScheduler
 
 WORKLOAD = WorkloadConfig(duration_s=300, peak_rate=420, seed=1)
 
+CORE_COUNTS = (1, 2, 4)
+
+#: Per-core-count run stats, cached as the benchmarks execute so the
+#: scaling-assertion test can compare without re-running everything.
+_RESULTS: dict = {}
+
 
 def run(cores):
+    """One seeded Linear Road run on a *cores*-wide SCWF engine."""
     workload = LinearRoadWorkload(WORKLOAD)
     system = build_linear_road(workload.arrivals())
     clock = VirtualClock()
@@ -35,16 +50,28 @@ def run(cores):
     rate = None
     if thrash is not None:
         rate = WORKLOAD.peak_rate * thrash / WORKLOAD.duration_s
-    return {
+    stats = {
         "thrash_s": thrash,
         "thrash_rate": rate,
         "mean_parallelism": director.mean_parallelism(),
         "tolls": len(system.toll_out.items),
     }
+    _RESULTS[cores] = stats
+    return stats
 
 
-def test_ablation_multicore_scaling(once):
-    results = once(lambda: {c: run(c) for c in (1, 2, 4)})
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_ablation_multicore(once, cores):
+    """Absolute wall-clock per core count (gated vs. the baseline)."""
+    stats = once(run, cores)
+    assert stats["tolls"] > 0
+
+
+def test_ablation_multicore_scaling():
+    """Capacity grows with cores because the engine genuinely ran wider."""
+    results = {
+        cores: _RESULTS.get(cores) or run(cores) for cores in CORE_COUNTS
+    }
     print()
     print("Ablation: multicore SCWF (processor-sharing model)")
     for cores, stats in results.items():

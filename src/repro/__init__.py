@@ -38,6 +38,9 @@ Top-level layout:
 * :mod:`repro.checkpoint` — wave-aligned checkpointing and crash
   recovery: the ``Checkpointable`` protocol, snapshot stores, the
   engine snapshot orchestrator and the periodic/barrier trigger layer;
+* :mod:`repro.shard` — sharded execution: the workload partitioned by a
+  group-by key across worker processes, routed over pipes, merged
+  deterministically, with live shard migration via checkpoints;
 * :mod:`repro.streams` — push sources, sinks and wire codecs;
 * :mod:`repro.sqldb` — the in-memory relational engine the Linear Road
   workflow stores segment statistics and accidents in;
@@ -54,6 +57,7 @@ from . import (
     observability,
     overload,
     resilience,
+    shard,
     simulation,
     stafilos,
     streams,
@@ -130,6 +134,14 @@ from .resilience import (
     parse_fault_spec,
     replay_dead_letters,
 )
+from .shard import (
+    merge_traces,
+    run_sharded,
+    ShardCoordinator,
+    ShardedRunResult,
+    ShardMigration,
+    ShardPlan,
+)
 from .simulation import CostModel, SimulationRuntime, VirtualClock, WallClock
 from .stafilos import (
     AbstractScheduler,
@@ -173,6 +185,7 @@ __all__ = [
     "observability",
     "overload",
     "resilience",
+    "shard",
     "simulation",
     "stafilos",
     "streams",
@@ -246,6 +259,13 @@ __all__ = [
     "install_faults",
     "parse_fault_spec",
     "replay_dead_letters",
+    # sharded execution
+    "merge_traces",
+    "run_sharded",
+    "ShardCoordinator",
+    "ShardedRunResult",
+    "ShardMigration",
+    "ShardPlan",
     # simulation substrate
     "CostModel",
     "SimulationRuntime",

@@ -49,6 +49,7 @@ class EngineCheckpointer:
         meta: Optional[Dict[str, Any]] = None,
         created_at_clock: Optional[Callable[[], float]] = None,
         record_wall_time: bool = False,
+        shard: Optional[Dict[str, Any]] = None,
     ):
         #: The engine being checkpointed (must stay attached throughout).
         self.director = director
@@ -69,6 +70,11 @@ class EngineCheckpointer:
         #: ``wall_time`` field.  Off by default — it would reintroduce
         #: the nondeterminism ``created_at`` no longer leaks.
         self.record_wall_time = record_wall_time
+        #: Shard/partition identity stamped on every manifest this
+        #: checkpointer publishes (``None`` for single-engine runs);
+        #: shard workers record ``{"key", "group", "groups"}`` here so
+        #: ``repro resume`` can reattach per-worker snapshots.
+        self.shard = None if shard is None else dict(shard)
         #: Snapshots taken by this checkpointer instance.
         self.checkpoints_taken = 0
         existing = store.manifests()
@@ -89,6 +95,19 @@ class EngineCheckpointer:
         self._next_id = max(self._next_id, manifest.checkpoint_id + 1)
         if self.every_us is not None:
             self._next_due = manifest.engine_time_us + self.every_us
+
+    def align_to(self, engine_time_us: int) -> None:
+        """Re-align the periodic schedule after an out-of-band restore.
+
+        Shard migration restores an engine whose clock is mid-run; the
+        next automatic snapshot must land on the same engine-time grid
+        the shard was already checkpointing on, not one interval after
+        the (arbitrary) migration point.
+        """
+        if self.every_us is None:
+            return
+        periods = engine_time_us // self.every_us + 1
+        self._next_due = periods * self.every_us
 
     # ------------------------------------------------------------------
     def maybe_checkpoint(self, now_us: int) -> Optional[CheckpointManifest]:
@@ -140,6 +159,7 @@ class EngineCheckpointer:
             crc32=zlib.crc32(payload),
             created_at=created_at,
             meta=meta,
+            shard=self.shard,
         )
         self.store.save(manifest, payload)
         duration_us = (time.perf_counter() - started) * 1e6

@@ -41,15 +41,31 @@ class CheckpointManifest:
     crc32: int
     created_at: float
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: Shard/partition identity for snapshots taken by a shard worker
+    #: (``{"key": ..., "group": ..., "groups": [...]}``); ``None`` for
+    #: single-engine runs.  Manifests written before sharding existed
+    #: have no such field and parse as ``None`` — old manifests stay
+    #: readable, and ``repro resume`` uses this record to reattach a
+    #: per-worker snapshot to the right slice of the workload.
+    shard: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
-        """Serialize the manifest as pretty-printed JSON."""
-        return json.dumps(asdict(self), indent=2, sort_keys=True)
+        """Serialize the manifest as pretty-printed JSON.
+
+        The ``shard`` key is omitted for single-engine snapshots so the
+        on-disk format of unsharded runs is byte-identical to what
+        pre-shard readers expect.
+        """
+        record = asdict(self)
+        if record.get("shard") is None:
+            record.pop("shard", None)
+        return json.dumps(record, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "CheckpointManifest":
         """Parse a manifest previously produced by :meth:`to_json`."""
         raw = json.loads(text)
+        shard = raw.get("shard")
         return cls(
             checkpoint_id=int(raw["checkpoint_id"]),
             engine_time_us=int(raw["engine_time_us"]),
@@ -57,6 +73,7 @@ class CheckpointManifest:
             crc32=int(raw["crc32"]),
             created_at=float(raw["created_at"]),
             meta=dict(raw.get("meta", {})),
+            shard=None if shard is None else dict(shard),
         )
 
 

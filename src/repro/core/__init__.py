@@ -45,7 +45,14 @@ from .statistics import (
 from .timekeeper import TimeKeeper, seconds_to_us, us_to_seconds
 from .tokens import RecordToken, Token, as_token
 from .waves import WaveGenerator, WaveScope, WaveTag
-from .windows import ConsumptionMode, Measure, Window, WindowOperator, WindowSpec
+from .windows import (
+    ConsumptionMode,
+    Measure,
+    strip_window_timeouts,
+    Window,
+    WindowOperator,
+    WindowSpec,
+)
 from .workflow import Workflow
 
 __all__ = [
@@ -92,6 +99,7 @@ __all__ = [
     "WaveGenerator",
     "WaveScope",
     "WaveTag",
+    "strip_window_timeouts",
     "Window",
     "WindowedReceiver",
     "WindowError",

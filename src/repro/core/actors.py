@@ -220,6 +220,27 @@ class SourceActor(Actor):
         self._pending = sorted(arrivals, key=lambda pair: pair[0])
         self._cursor = 0
 
+    def feed(self, arrivals: Iterable[tuple[int, Any]]) -> None:
+        """Append arrivals to the schedule mid-run (streamed delivery).
+
+        Unlike :meth:`load` this keeps the replay cursor, so a source
+        can receive its schedule incrementally — the shard workers feed
+        chunks routed over a pipe this way.  Appended arrivals must not
+        be earlier than anything already scheduled (the pending list
+        must stay sorted for the cursor to mean anything); violating
+        batches raise :class:`~repro.core.exceptions.ActorError`.
+        """
+        new = sorted(arrivals, key=lambda pair: pair[0])
+        if not new:
+            return
+        if self._pending and new[0][0] < self._pending[-1][0]:
+            raise ActorError(
+                f"source {self.name}: fed arrival at t={new[0][0]} is "
+                f"earlier than the already-scheduled "
+                f"t={self._pending[-1][0]}; feed() only appends"
+            )
+        self._pending.extend(new)
+
     # ------------------------------------------------------------------
     def next_arrival_time(self) -> Optional[int]:
         """Timestamp of the earliest undelivered arrival, if any."""

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -798,3 +798,32 @@ class WindowOperator:
                     "window.groups_evicted", before_ts, count=len(doomed)
                 )
         return len(doomed)
+
+
+def strip_window_timeouts(workflow: Any) -> int:
+    """Remove every window-formation timeout from *workflow*'s ports.
+
+    The formation timeout is the one window parameter that fires on
+    **engine time** rather than event time: a director force-closes a
+    partial window when its own clock passes the pane boundary plus the
+    timeout.  How far an engine clock has advanced depends on what else
+    shares that engine, so a timeout-forced flush is inherently
+    placement-dependent — the same workload can close a sparse pane at
+    slightly different points when run whole versus partitioned.
+
+    Deterministic sharded execution therefore runs workflows in
+    *event-time-pure* mode: every ``WindowSpec`` loses its ``timeout``
+    before the director attaches, and every pane closes only when a
+    later event crosses its boundary.  Call this on both the partitioned
+    engines and the single-process oracle they are compared against.
+    Must run before the director builds receivers (timeouts are
+    registered at attach time).  Returns the number of ports stripped.
+    """
+    stripped = 0
+    for actor in workflow.actors.values():
+        for port in actor.input_ports.values():
+            spec = port.window
+            if spec is not None and spec.timeout is not None:
+                port.window = replace(spec, timeout=None)
+                stripped += 1
+    return stripped

@@ -27,6 +27,7 @@ from .experiment import (
     resume_run,
     run_experiment,
     run_once,
+    run_sharded,
     RunResult,
     save_results,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "RR_BASIC_QUANTA_US",
     "run_experiment",
     "run_once",
+    "run_sharded",
     "RunResult",
     "SchedulerSpec",
     "sparkline",

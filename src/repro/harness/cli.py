@@ -27,6 +27,7 @@ from typing import Optional, Sequence
 
 from ..directors.taxonomy import render_table
 from ..linearroad.generator import LinearRoadWorkload, WorkloadConfig
+from ..linearroad.workflow import SHARD_KEYS
 from ..observability import (
     export_chrome_trace,
     export_jsonl,
@@ -192,6 +193,56 @@ def _scheduler_kind(name: str) -> str:
     return "ADAPT" if kind == "ADAPTIVE" else kind
 
 
+def _cmd_run_sharded(config: ExperimentConfig, args) -> int:
+    """``repro run --shards N``: partitioned execution, merged report."""
+    from .experiment import run_sharded
+
+    if len(config.seeds) > 1:
+        raise SystemExit(
+            "--shards requires a single seed (--seeds 1): the sharded "
+            "coordinator merges one run's partitions"
+        )
+    result = run_sharded(
+        config,
+        seed=config.seeds[0],
+        shards=args.shards,
+        shard_key=args.shard_key,
+    )
+    print(
+        f"sharded Linear Road run: {len(result.groups)} logical "
+        f"shard(s) by {args.shard_key!r} on {result.workers} worker "
+        f"process(es)"
+    )
+    print(
+        f"merged totals: {result.tolls} tolls, {result.alerts} alerts, "
+        f"{result.accidents_recorded} accidents recorded, "
+        f"{result.internal_firings} internal firings"
+    )
+    if config.fault_spec is not None:
+        print(
+            f"faults: {result.injected_faults} injected, "
+            f"{result.failures} failed attempts, "
+            f"{result.dead_letters} dead-lettered"
+        )
+    if result.checkpoints:
+        print(f"checkpoints: {result.checkpoints} snapshots published")
+    for group in result.groups:
+        shard = result.per_shard[group]
+        print(
+            f"  shard {args.shard_key}={group}: {shard['tolls']} tolls, "
+            f"{shard['alerts']} alerts, "
+            f"{shard['internal_firings']} firings, "
+            f"backlog {shard['backlog_at_end']} at end"
+        )
+    print(f"peak per-shard backlog: {result.peak_backlog()}")
+    for now_us, group, src, dst in result.migrations:
+        print(
+            f"  migrated shard {group} from worker {src} to {dst} "
+            f"at t={now_us}us"
+        )
+    return 0
+
+
 def _cmd_run(args) -> int:
     spec = SchedulerSpec(
         _scheduler_kind(args.scheduler),
@@ -201,6 +252,8 @@ def _cmd_run(args) -> int:
     config = _apply_checkpoint_flags(
         _tune(ExperimentConfig(spec), args), args
     )
+    if args.shards > 1:
+        return _cmd_run_sharded(config, args)
     result = run_experiment(config)
     print(
         render_series_table(
@@ -417,6 +470,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="basic quantum / slice in microseconds")
     run.add_argument("--source-interval", type=int,
                      default=QBS_SOURCE_INTERVAL)
+    run.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help=(
+            "partition the run across N worker processes by --shard-key "
+            "(repro.shard); merged sink output is bit-identical to the "
+            "single-process run. SCWF schedulers, single seed only"
+        ),
+    )
+    run.add_argument(
+        "--shard-key", default="xway", metavar="KEY",
+        choices=sorted(SHARD_KEYS),
+        help=(
+            "group-by key the workload is partitioned on: xway, "
+            "direction or car_id (default xway)"
+        ),
+    )
     run.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
         help="publish wave-aligned snapshots into DIR (single seed only)",

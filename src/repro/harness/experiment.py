@@ -21,6 +21,7 @@ from ..checkpoint import (
     restore_latest,
 )
 from ..core.exceptions import CheckpointError, SimulationError
+from ..core.windows import strip_window_timeouts
 from ..fusion import fuse_workflow
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.metrics import ResponseTimeSeries
@@ -195,7 +196,9 @@ def config_from_meta(
 
 
 def _build_engine(
-    config: ExperimentConfig, seed: int
+    config: ExperimentConfig,
+    seed: int,
+    window_timeouts: bool = True,
 ) -> tuple[object, LinearRoadSystem, VirtualClock, list]:
     """Rebuild the full engine *structure* for one config + seed.
 
@@ -203,9 +206,18 @@ def _build_engine(
     relies on: the same config + seed always produces a workflow whose
     fingerprint matches the one recorded in a snapshot, so restore can
     apply the data in place.
+
+    ``window_timeouts=False`` strips the window-formation timeouts
+    before the director attaches, running the workflow event-time pure
+    — the mode sharded execution uses, and what its single-process
+    oracle must therefore use too (timeouts fire on engine time, which
+    is placement-dependent).  Timeouts are fingerprint-neutral, so
+    either mode restores snapshots taken in the same mode.
     """
     workload = LinearRoadWorkload(replace(config.workload, seed=seed))
     system: LinearRoadSystem = build_linear_road(workload.arrivals())
+    if not window_timeouts:
+        strip_window_timeouts(system.workflow)
     clock = VirtualClock()
     cost_model = default_cost_model(seed=config.cost_seed + seed)
     error_policy = config.error_policy
@@ -287,6 +299,7 @@ def _execute_seed(
     resume: bool = False,
     store: Optional[CheckpointStore] = None,
     replay_deadletters: bool = False,
+    window_timeouts: bool = True,
 ) -> tuple[RunResult, object, LinearRoadSystem]:
     """Build + simulate one seed; returns (result, director, system).
 
@@ -299,7 +312,9 @@ def _execute_seed(
     ``replay_deadletters=True`` additionally re-enqueues the restored
     dead-letter queue before continuing.
     """
-    director, system, clock, injectors = _build_engine(config, seed)
+    director, system, clock, injectors = _build_engine(
+        config, seed, window_timeouts=window_timeouts
+    )
     checkpointer: Optional[EngineCheckpointer] = None
     if store is None and config.checkpoint_dir is not None:
         store = DirectoryCheckpointStore(
@@ -361,6 +376,102 @@ def run_once(config: ExperimentConfig, seed: int) -> RunResult:
     return result
 
 
+def run_sharded(
+    config: ExperimentConfig,
+    seed: int = 1,
+    shards: int = 2,
+    shard_key: str = "xway",
+    chunk_s: int = 10,
+    migrations=(),
+):
+    """One seed partitioned across *shards* worker processes.
+
+    The harness entry point behind ``repro run --shards N``: delegates
+    to :func:`repro.shard.run_sharded`, which partitions the seeded
+    workload by *shard_key*, streams each logical shard's slice to a
+    worker process over a pipe, and deterministically merges the sink
+    outputs — bit-identical to :func:`run_once` on the same config and
+    seed.  Returns a :class:`repro.shard.ShardedRunResult`.
+    """
+    from ..shard import run_sharded as _run_sharded
+
+    return _run_sharded(
+        config,
+        seed=seed,
+        shards=shards,
+        shard_key=shard_key,
+        chunk_s=chunk_s,
+        migrations=migrations,
+    )
+
+
+def _execute_shard_resume(
+    config: ExperimentConfig,
+    seed: int,
+    manifest: CheckpointManifest,
+    store: CheckpointStore,
+    checkpoint_dir: str,
+) -> tuple[RunResult, object, LinearRoadSystem]:
+    """Resume one *logical shard* from its per-worker checkpoint dir.
+
+    The manifest's ``shard`` record identifies the slice: the engine is
+    rebuilt with the full workload regenerated and *filtered* to the
+    shard's key group (byte-identical to the slice the worker was fed
+    over its pipe), the newest snapshot is applied in place, and the
+    shard runs alone to the original horizon.
+    """
+    from ..shard.worker import build_shard_engine
+
+    shard = manifest.shard or {}
+    key_name = shard.get("key")
+    group = shard.get("group")
+    if key_name is None or group is None:
+        raise CheckpointError(
+            f"manifest shard record {shard!r} names no key/group"
+        )
+    from ..linearroad.workflow import shard_key_fn
+
+    key_fn = shard_key_fn(key_name)
+    workload = LinearRoadWorkload(replace(config.workload, seed=seed))
+    arrivals = [
+        pair for pair in workload.arrivals() if key_fn(pair[1]) == group
+    ]
+    engine = build_shard_engine(
+        config,
+        seed,
+        key_name,
+        group,
+        all_groups=tuple(shard.get("groups", ())),
+        arrivals=arrivals,
+        checkpoint_path=checkpoint_dir,
+    )
+    engine.director.initialize_all()
+    restored = restore_latest(engine.director, store)
+    if restored is None:
+        raise CheckpointError("no valid snapshot found to resume from")
+    if engine.checkpointer is not None:
+        engine.checkpointer.note_resumed(restored)
+    engine.runtime.run(config.workload.duration_s)
+    system = engine.system
+    series = ResponseTimeSeries.from_samples(
+        system.toll_response_times_us,
+        config.bucket_s,
+        config.workload.duration_s,
+    )
+    result = RunResult(
+        series=series,
+        tolls=len(system.toll_out.items),
+        alerts=len(system.accident_out.items),
+        accidents_recorded=system.recorder.inserted,
+        internal_firings=engine.director.total_internal_firings,
+        backlog_at_end=engine.director.backlog(),
+        injected_faults=sum(inj.injected for inj in engine.injectors),
+        failures=engine.director.supervisor.total_failures,
+        dead_letters=len(engine.director.supervisor.dead_letters),
+    )
+    return result, engine.director, system
+
+
 def resume_run(
     checkpoint_dir: str,
     replay_deadletters: bool = False,
@@ -371,6 +482,12 @@ def resume_run(
     (scheduler, workload, seeds), restores the snapshot's data onto it
     and simulates to the original horizon.  The resumed run keeps
     checkpointing into the same directory on the same engine-time grid.
+
+    Manifests carrying a ``shard`` record (snapshots published by a
+    shard worker under ``<dir>/shard-<group>/``) resume that logical
+    shard alone: the workload is regenerated and filtered to the
+    shard's key group, so the resumed slice matches what the worker
+    was fed over its pipe.
     """
     store = DirectoryCheckpointStore(checkpoint_dir)
     found = store.latest()
@@ -381,6 +498,11 @@ def resume_run(
     manifest, _ = found
     config, seed = config_from_meta(manifest.meta, checkpoint_dir)
     store.retain = config.checkpoint_retain
+    if manifest.shard is not None:
+        result, director, system = _execute_shard_resume(
+            config, seed, manifest, store, checkpoint_dir
+        )
+        return result, director, system, manifest
     result, director, system = _execute_seed(
         config,
         seed,

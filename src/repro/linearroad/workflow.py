@@ -18,7 +18,7 @@ results and is what the benchmarks run).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Hashable, Optional
 
 from . import db as lrdb
 from ..core.actors import Actor
@@ -57,6 +57,57 @@ class LinearRoadSystem:
     def toll_response_times_us(self) -> list[tuple[int, int]]:
         """(emission_time_us, response_time_us) at TollNotification."""
         return self.toll_out.response_times_us
+
+
+#: Named group-by keys sharded execution can partition the feed on.
+#: Every actor's keyed state (windows grouped by car or location, the
+#: per-expressway database tables) partitions cleanly along ``xway``
+#: because a car never changes expressway mid-scenario — which is what
+#: makes ``xway`` the bit-reproducible shard key.  ``direction`` and
+#: ``car_id`` are offered for workloads keyed differently; ``car_id``
+#: has high cardinality and is only suitable for small scenarios.
+SHARD_KEYS: dict[str, Callable[[object], Hashable]] = {
+    "xway": lambda report: report.xway,
+    "direction": lambda report: report.direction,
+    "car_id": lambda report: report.car_id,
+}
+
+
+def shard_key_fn(name: str) -> Callable[[object], Hashable]:
+    """Resolve a ``--shard-key`` name to its report-keying function."""
+    try:
+        return SHARD_KEYS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown shard key {name!r}; choose one of "
+            f"{sorted(SHARD_KEYS)}"
+        ) from None
+
+
+def build_linear_road_shard(
+    arrivals,
+    key_name: str,
+    group: Hashable,
+    database: Optional[Database] = None,
+    hierarchical: bool = False,
+) -> LinearRoadSystem:
+    """The keyed workflow factory: one logical shard's Linear Road.
+
+    Filters the *global* arrival schedule down to the reports whose
+    shard key equals *group* — filtering (never regenerating) preserves
+    each report's arrival timestamp, which encodes its global index, so
+    a shard's slice is byte-identical to the same events' slice of a
+    single-process run.  The workflow structure is the full Linear Road
+    graph (its fingerprint matches every other shard and the
+    single-process build); only the data differs.
+    """
+    key_fn = shard_key_fn(key_name)
+    filtered = [
+        pair for pair in arrivals if key_fn(pair[1]) == group
+    ]
+    return build_linear_road(
+        filtered, database=database, hierarchical=hierarchical
+    )
 
 
 def build_linear_road(

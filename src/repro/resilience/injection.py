@@ -114,7 +114,12 @@ class FaultInjector:
     ``hash``), plus the firing counter — wall-clock time never enters.
     """
 
-    def __init__(self, actor: "Actor", specs: list[FaultSpec]):
+    def __init__(
+        self,
+        actor: "Actor",
+        specs: list[FaultSpec],
+        seed_salt: int = 0,
+    ):
         if not specs:
             raise ResilienceError("FaultInjector needs at least one FaultSpec")
         self.actor = actor
@@ -124,7 +129,9 @@ class FaultInjector:
         self._per_spec_injected = [0] * len(self.specs)
         self._rngs = [
             random.Random(
-                (spec.seed << 32) ^ zlib.crc32(actor.name.encode("utf-8"))
+                (spec.seed << 32)
+                ^ zlib.crc32(actor.name.encode("utf-8"))
+                ^ seed_salt
             )
             for spec in self.specs
         ]
@@ -181,7 +188,9 @@ class FaultInjector:
 
 
 def install_faults(
-    workflow: "Workflow", spec: "str | list[FaultSpec]"
+    workflow: "Workflow",
+    spec: "str | list[FaultSpec]",
+    seed_salt: int = 0,
 ) -> list[FaultInjector]:
     """Install injectors on every *internal* actor the spec matches.
 
@@ -189,6 +198,12 @@ def install_faults(
     staged items, and the interesting fault surface is the processing
     pipeline.  Returns the installed injectors (empty list when nothing
     matched) so callers can report per-actor injection counts.
+
+    ``seed_salt`` is XOR-mixed into every injector's RNG seed; sharded
+    runs pass :func:`repro.shard.shard_salt` (a CRC32 of the shard
+    name) so each logical shard draws its own — but worker-placement
+    independent — failure schedule.  The default ``0`` leaves
+    single-engine schedules byte-identical to earlier releases.
     """
     specs = parse_fault_spec(spec) if isinstance(spec, str) else list(spec)
     injectors: list[FaultInjector] = []
@@ -197,5 +212,7 @@ def install_faults(
             continue
         matched = [s for s in specs if s.matches(actor.name)]
         if matched:
-            injectors.append(FaultInjector(actor, matched).install())
+            injectors.append(
+                FaultInjector(actor, matched, seed_salt=seed_salt).install()
+            )
     return injectors

@@ -1,0 +1,353 @@
+"""The shard coordinator: partition, route, rebalance, merge.
+
+The coordinator is the only process that sees the whole input stream.
+It generates the seeded workload once, partitions the arrival schedule
+by the shard key (:func:`~repro.shard.routing.partition_arrivals` — a
+*filter* of the global schedule, so arrival timestamps stay
+byte-identical to the single-process run), spawns N worker processes
+each hosting its assigned logical shards, and streams the per-shard
+slices over ``multiprocessing`` pipes in watermarked chunks.
+
+Every chunk acknowledgement carries the per-shard backlog of the worker,
+giving the coordinator the live load picture an elastic policy needs;
+the scripted :class:`~repro.shard.migration.ShardMigration` hook (and
+the :meth:`ShardCoordinator.migrate_shard` primitive underneath it)
+moves a logical shard between workers mid-run by shipping a checkpoint
+snapshot — no replay, and the final merged output is byte-identical to
+an unmigrated run.
+
+When all arrivals are delivered the workers run their shards to the
+horizon and report canonical sink traces, which the coordinator merges
+deterministically (:func:`~repro.shard.routing.merge_traces`) — the
+merged trace is bit-identical to the canonical trace of a
+single-process run of the same config + seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import SimulationError
+from ..core.timekeeper import US_PER_S
+from ..linearroad.generator import LinearRoadWorkload
+from ..linearroad.workflow import shard_key_fn
+from .migration import ShardMigration
+from .routing import (
+    CanonicalRecord,
+    merge_traces,
+    partition_arrivals,
+    ShardPlan,
+)
+from .worker import ShardWorkerSpec, worker_main
+
+
+@dataclass
+class ShardedRunResult:
+    """The merged outcome of one sharded Linear Road run."""
+
+    #: Deterministically merged canonical toll-notification trace.
+    toll_trace: List[CanonicalRecord]
+    #: Deterministically merged canonical accident-alert trace.
+    accident_trace: List[CanonicalRecord]
+    tolls: int
+    alerts: int
+    accidents_recorded: int
+    internal_firings: int
+    injected_faults: int
+    failures: int
+    dead_letters: int
+    checkpoints: int
+    #: Worker process count the logical shards were multiplexed onto.
+    workers: int
+    #: The logical shard groups (sorted distinct shard-key values).
+    groups: Tuple[Hashable, ...]
+    #: Raw per-shard worker reports, keyed by group.
+    per_shard: Dict[Hashable, Dict[str, Any]] = field(default_factory=dict)
+    #: Per-chunk backlog telemetry: (watermark_us, {group: backlog}).
+    backlog_log: List[Tuple[int, Dict[Hashable, int]]] = field(
+        default_factory=list
+    )
+    #: Live migrations performed, as (engine_time_us, group, from, to).
+    migrations: List[Tuple[int, Hashable, int, int]] = field(
+        default_factory=list
+    )
+
+    def peak_backlog(self) -> int:
+        """The largest per-shard backlog any chunk ack reported."""
+        peak = 0
+        for _, backlogs in self.backlog_log:
+            for value in backlogs.values():
+                peak = max(peak, value)
+        return peak
+
+
+class ShardCoordinator:
+    """Drives one sharded run over worker processes and pipes."""
+
+    def __init__(
+        self,
+        config: Any,
+        seed: int = 1,
+        shards: int = 2,
+        shard_key: str = "xway",
+        chunk_s: int = 10,
+        migrations: Sequence[ShardMigration] = (),
+        start_method: Optional[str] = None,
+    ):
+        if config.scheduler.kind == "PNCWF":
+            raise SimulationError(
+                "sharded execution requires an SCWF scheduler"
+            )
+        if shards < 1:
+            raise SimulationError("--shards must be >= 1")
+        if chunk_s < 1:
+            raise SimulationError("the chunk interval must be >= 1 s")
+        self.config = config
+        self.seed = seed
+        self.shards = shards
+        self.shard_key = shard_key
+        self.chunk_s = chunk_s
+        self.scripted_migrations = sorted(
+            migrations, key=lambda m: m.at_s
+        )
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.plan: Optional[ShardPlan] = None
+        self._conns: List[Any] = []
+        self._procs: List[Any] = []
+        self.migrations_done: List[Tuple[int, Hashable, int, int]] = []
+
+    # ------------------------------------------------------------------
+    def _recv(self, worker: int, expected: str) -> tuple:
+        """Receive one reply from *worker*, surfacing worker errors."""
+        message = self._conns[worker].recv()
+        if message[0] == "error":
+            raise SimulationError(
+                f"shard worker {worker} failed: {message[2]}"
+            )
+        if message[0] != expected:
+            raise SimulationError(
+                f"shard worker {worker} sent {message[0]!r} "
+                f"(expected {expected!r})"
+            )
+        return message
+
+    def _spawn(self, plan: ShardPlan) -> None:
+        """Start one worker process per plan slot and await readiness."""
+        for worker_id in range(plan.workers):
+            parent, child = self._ctx.Pipe()
+            spec = ShardWorkerSpec(
+                worker_id=worker_id,
+                config=self.config,
+                seed=self.seed,
+                key_name=self.shard_key,
+                groups=plan.groups_of(worker_id),
+                all_groups=plan.groups,
+            )
+            process = self._ctx.Process(
+                target=worker_main, args=(child, spec), daemon=True
+            )
+            process.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(process)
+        for worker_id in range(plan.workers):
+            self._recv(worker_id, "ready")
+
+    # ------------------------------------------------------------------
+    def migrate_shard(
+        self, group: Hashable, to_worker: int, now_us: int = 0
+    ) -> None:
+        """Move one logical shard between workers, live, without replay.
+
+        The rebalancing primitive: snapshot the shard's engine on its
+        current worker (``dump``), ship the envelope through the
+        coordinator, rebuild + restore it on the target (``adopt``) and
+        repoint the routing plan.  Subsequent chunks flow to the new
+        worker; the shard's state — clock, queues, windows, RNGs —
+        continues bit-identically.
+        """
+        assert self.plan is not None
+        from_worker = self.plan.worker_of(group)
+        if from_worker == to_worker:
+            return
+        if not 0 <= to_worker < self.plan.workers:
+            raise SimulationError(
+                f"cannot migrate shard {group!r} to worker {to_worker}: "
+                f"workers are 0..{self.plan.workers - 1}"
+            )
+        self._conns[from_worker].send(("dump", group))
+        _, _, _, envelope = self._recv(from_worker, "state")
+        self._conns[to_worker].send(("adopt", group, envelope))
+        self._recv(to_worker, "adopted")
+        self.plan.move(group, to_worker)
+        self.migrations_done.append(
+            (now_us, group, from_worker, to_worker)
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> ShardedRunResult:
+        """Execute the sharded run end to end and merge the outputs."""
+        config = self.config
+        workload = LinearRoadWorkload(
+            replace(config.workload, seed=self.seed)
+        )
+        key_fn = shard_key_fn(self.shard_key)
+        slices = partition_arrivals(workload.arrivals(), key_fn)
+        plan = ShardPlan(slices.keys(), self.shards)
+        self.plan = plan
+        horizon_us = int(config.workload.duration_s * US_PER_S)
+        chunk_us = int(self.chunk_s * US_PER_S)
+        pending = sorted(self.scripted_migrations, key=lambda m: m.at_s)
+        backlog_log: List[Tuple[int, Dict[Hashable, int]]] = []
+        try:
+            self._spawn(plan)
+            cursors = {group: 0 for group in plan.groups}
+            last_ts = max(
+                (items[-1][0] for items in slices.values() if items),
+                default=0,
+            )
+            watermark = 0
+            while watermark < horizon_us:
+                watermark = min(watermark + chunk_us, horizon_us)
+                per_worker: Dict[int, Dict[Hashable, list]] = {
+                    worker: {} for worker in range(plan.workers)
+                }
+                for group in plan.groups:
+                    items = slices[group]
+                    start = cursors[group]
+                    stop = start
+                    while (
+                        stop < len(items) and items[stop][0] < watermark
+                    ):
+                        stop += 1
+                    cursors[group] = stop
+                    if stop > start:
+                        per_worker[plan.worker_of(group)][group] = items[
+                            start:stop
+                        ]
+                for worker in range(plan.workers):
+                    self._conns[worker].send(
+                        ("chunk", watermark, per_worker[worker])
+                    )
+                chunk_backlogs: Dict[Hashable, int] = {}
+                for worker in range(plan.workers):
+                    _, _, backlogs = self._recv(worker, "ack")
+                    chunk_backlogs.update(backlogs)
+                backlog_log.append((watermark, chunk_backlogs))
+                while pending and pending[0].at_s * US_PER_S <= watermark:
+                    migration = pending.pop(0)
+                    self.migrate_shard(
+                        migration.group, migration.to_worker, watermark
+                    )
+                if watermark > last_ts and not pending:
+                    break
+            for worker in range(plan.workers):
+                self._conns[worker].send(("finish", horizon_us))
+            per_shard: Dict[Hashable, Dict[str, Any]] = {}
+            for worker in range(plan.workers):
+                _, _, results = self._recv(worker, "result")
+                per_shard.update(results)
+        finally:
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for process in self._procs:
+                process.join(timeout=30)
+                if process.is_alive():  # pragma: no cover - hang guard
+                    process.terminate()
+            for conn in self._conns:
+                conn.close()
+            self._conns = []
+            self._procs = []
+        missing = set(plan.groups) - set(per_shard)
+        if missing:
+            raise SimulationError(
+                f"shard groups {sorted(missing)} reported no result"
+            )
+        ordered = [per_shard[group] for group in plan.groups]
+        return ShardedRunResult(
+            toll_trace=merge_traces(
+                [shard["traces"]["toll"] for shard in ordered]
+            ),
+            accident_trace=merge_traces(
+                [shard["traces"]["accident"] for shard in ordered]
+            ),
+            tolls=sum(shard["tolls"] for shard in ordered),
+            alerts=sum(shard["alerts"] for shard in ordered),
+            accidents_recorded=sum(
+                shard["accidents_recorded"] for shard in ordered
+            ),
+            internal_firings=sum(
+                shard["internal_firings"] for shard in ordered
+            ),
+            injected_faults=sum(
+                shard["injected_faults"] for shard in ordered
+            ),
+            failures=sum(shard["failures"] for shard in ordered),
+            dead_letters=sum(
+                shard["dead_letters"] for shard in ordered
+            ),
+            checkpoints=sum(
+                shard["checkpoints"] for shard in ordered
+            ),
+            workers=plan.workers,
+            groups=plan.groups,
+            per_shard=per_shard,
+            backlog_log=backlog_log,
+            migrations=list(self.migrations_done),
+        )
+
+
+def run_sharded(
+    config: Any,
+    seed: int = 1,
+    shards: int = 2,
+    shard_key: str = "xway",
+    chunk_s: int = 10,
+    migrations: Sequence[ShardMigration] = (),
+) -> ShardedRunResult:
+    """One seeded Linear Road run partitioned across worker processes.
+
+    The convenience entry point behind ``repro run --shards N``: builds
+    a :class:`ShardCoordinator` and runs it.  The merged canonical
+    traces in the result are bit-identical to
+    :func:`run_single_canonical` on the same config + seed, for any
+    shard count and any scripted migrations.
+    """
+    return ShardCoordinator(
+        config,
+        seed=seed,
+        shards=shards,
+        shard_key=shard_key,
+        chunk_s=chunk_s,
+        migrations=migrations,
+    ).run()
+
+
+def run_single_canonical(
+    config: Any, seed: int = 1
+) -> Dict[str, List[CanonicalRecord]]:
+    """Canonical sink traces of a single-process run (the merge oracle).
+
+    Runs the ordinary in-process harness path — in the same
+    *event-time-pure* windowing mode the shard workers use (formation
+    timeouts fire on placement-dependent engine time, so both sides of
+    the comparison must run without them) — and canonicalizes its sinks
+    exactly as the workers do, so equality against a
+    :class:`ShardedRunResult`'s merged traces is a pure list compare.
+    """
+    from ..harness.experiment import _execute_seed
+    from .routing import canonical_run_traces
+
+    _, _, system = _execute_seed(config, seed, window_timeouts=False)
+    return canonical_run_traces(system)
