@@ -1,0 +1,98 @@
+"""Frontier-tracking overhead on the in-order figure-8 workload.
+
+Timestamp-frontier progress tracking (``repro.frontier``) touches the
+engine's hottest paths: every event entering flight adds a wave token,
+every retired ready item removes one.  For the subsystem to stay on by
+default in production runs, that accounting must be nearly free when
+the stream is in order and no windows need frontier closure.  This
+benchmark runs the figure-8 Linear Road workload under the best RR
+scheduler twice — once plain, once with ``frontier="track"`` — and
+enforces two gates:
+
+* **overhead**: the tracked run's wall time must stay within 10% of
+  the plain run's.  Both sides are measured over the same rounds and
+  compared min-to-min, so transient machine load cannot fail the gate
+  unless it hits every round.
+* **purity**: the tracked run must produce the exact series,
+  toll/alert counts and firing totals of the plain run.  Tracking is a
+  pure observation — any divergence means the tracker consumed a
+  serial, reordered a queue or perturbed the scheduler.
+
+The committed baseline (``baselines/frontier.json``) additionally
+bounds the tracked run's absolute wall time via ``check_baseline.py``,
+so per-event tracking cost cannot quietly bloat between sessions.
+"""
+
+import time
+from dataclasses import replace
+
+from conftest import tune
+
+from repro.harness import figure8_configs
+from repro.harness.experiment import _execute_seed
+
+#: Hard gate from the subsystem's design budget.
+MAX_OVERHEAD_FRACTION = 0.10
+
+_SEED = 7
+_ROUNDS = 3
+
+
+def _fig8_rr_config():
+    """The figure-8 head-to-head's best RR scheduler, env-tuned."""
+    config = tune(figure8_configs()[0])
+    assert config.scheduler.label == "RR-q40000"
+    return config
+
+
+def test_frontier_tracking_overhead_fig8(benchmark):
+    """Tracked fig-8 run: <=10% overhead vs plain, identical outputs."""
+    config = _fig8_rr_config()
+    tracked_config = replace(config, frontier="track")
+
+    plain_walls = []
+    plain_result = None
+    for _ in range(_ROUNDS):
+        started = time.perf_counter()
+        plain_result, _, _ = _execute_seed(config, _SEED)
+        plain_walls.append(time.perf_counter() - started)
+
+    runs = []
+
+    def run():
+        started = time.perf_counter()
+        result, director, _ = _execute_seed(tracked_config, _SEED)
+        wall_s = time.perf_counter() - started
+        runs.append(
+            (result, dict(director.statistics.engine_counters), wall_s)
+        )
+        return result
+
+    benchmark.pedantic(run, rounds=_ROUNDS, iterations=1)
+
+    for result, counters, _ in runs:
+        # Purity: tracking observes tokens, it never perturbs the run.
+        assert result.series.responses_s == plain_result.series.responses_s
+        assert result.tolls == plain_result.tolls
+        assert result.alerts == plain_result.alerts
+        assert result.internal_firings == plain_result.internal_firings
+        # The tracker actually saw the workload's waves drain.
+        assert counters["frontier_advances"] > 0
+        assert counters["frontier_outstanding"] >= 0
+
+    # Overhead: best tracked round against best plain round.  Means
+    # would let one noisy round (a GC pause, a page-cache miss) fail
+    # the gate on an otherwise healthy engine.
+    tracked_s = min(wall_s for _, _, wall_s in runs)
+    plain_s = min(plain_walls)
+    overhead = tracked_s / plain_s - 1.0
+    assert overhead < MAX_OVERHEAD_FRACTION, (
+        f"frontier tracking cost {overhead:.1%} over the plain run "
+        f"({tracked_s:.2f}s vs {plain_s:.2f}s; budget "
+        f"{MAX_OVERHEAD_FRACTION:.0%})"
+    )
+    print(
+        f"\nfrontier tracking overhead (fig-8 RR): {overhead:+.1%} "
+        f"({tracked_s:.2f}s tracked vs {plain_s:.2f}s plain, "
+        f"best of {_ROUNDS})"
+    )

@@ -52,13 +52,15 @@ SNAPSHOT_FORMAT = 1
 
 #: Optional director-owned components, captured when present.  The SCWF
 #: director has the first four (plus ``overload`` when a QoS controller
-#: is installed); the live PNCWF director has only a supervisor.
+#: is installed and ``frontier`` when progress tracking is enabled); the
+#: live PNCWF director has only a supervisor.
 _OPTIONAL_COMPONENTS = (
     "clock",
     "cost_model",
     "scheduler",
     "supervisor",
     "overload",
+    "frontier",
 )
 
 

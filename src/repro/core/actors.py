@@ -19,6 +19,7 @@ top-level workflow is continuous while its sub-tasks run under SDF or DDF.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence
 
 from ..observability import tracer as _obs
@@ -187,6 +188,16 @@ class SourceActor(Actor):
     whatever external arrivals are due at engine time ``ctx.now`` via
     ``ctx.send``.  Sub-classes either override :meth:`pump` or provide an
     ``arrivals`` iterable of ``(timestamp_us, value)`` pairs.
+
+    With ``out_of_order=True`` the source models bounded-disorder
+    delivery: arrivals are ``(delivery_us, value, event_ts_us)`` triples
+    (2-tuples still work — delivery time doubles as event time), sorted
+    by *delivery*.  Due deliveries land in a reorder heap and are
+    released to the workflow **in event-time order** once they are
+    ``disorder_us`` old (nothing earlier can still be in transit), so
+    downstream sees the same monotone stream an in-order source would
+    emit, just later.  :meth:`progress_watermark` exposes the matching
+    bounded-disorder frontier bound (see ``repro.frontier``).
     """
 
     is_source = True
@@ -196,69 +207,116 @@ class SourceActor(Actor):
     #: The arrival schedule is structural (reproduced by the workload
     #: builder on recovery); only the replay *cursor* is checkpointed, so
     #: a resumed source re-emits nothing and drops nothing.  The cached
-    #: sole-output-port name is derived from the (structural) port dict.
-    checkpoint_exclude = frozenset({"_pending", "_sole_output_name"})
+    #: sole-output-port name is derived from the (structural) port dict,
+    #: and the reorder heap is rebuilt from the cursor + release count.
+    checkpoint_exclude = frozenset(
+        {"_pending", "_sole_output_name", "_reorder"}
+    )
 
     def __init__(
         self,
         name: str,
-        arrivals: Optional[Iterable[tuple[int, Any]]] = None,
+        arrivals: Optional[Iterable[tuple]] = None,
         batch_limit: Optional[int] = None,
+        out_of_order: bool = False,
+        disorder_us: int = 0,
     ):
         super().__init__(name)
-        self._pending: list[tuple[int, Any]] = (
+        if disorder_us < 0:
+            raise ActorError("disorder_us cannot be negative")
+        self._pending: list[tuple] = (
             sorted(arrivals, key=lambda pair: pair[0]) if arrivals else []
         )
         self._cursor = 0
         self.batch_limit = batch_limit
+        self._out_of_order = out_of_order
+        self.disorder_us = disorder_us
+        #: Reorder heap of ``(event_ts, pending_index, value)``: due
+        #: deliveries awaiting release in event-time order.
+        self._reorder: list[tuple[int, int, Any]] = []
+        #: How many heap entries have been released (checkpoint cursor
+        #: for the deterministic heap rebuild on restore).
+        self._released_count = 0
         #: Lazily cached result of :meth:`_sole_output` — looked up once,
         #: not once per emitted arrival (ports are fixed after wiring).
         self._sole_output_name: Optional[str] = None
 
-    def load(self, arrivals: Iterable[tuple[int, Any]]) -> None:
+    def load(self, arrivals: Iterable[tuple]) -> None:
         """Replace the arrival schedule (before the workflow starts)."""
         self._pending = sorted(arrivals, key=lambda pair: pair[0])
         self._cursor = 0
+        self._reorder = []
+        self._released_count = 0
 
-    def feed(self, arrivals: Iterable[tuple[int, Any]]) -> None:
+    def feed(self, arrivals: Iterable[tuple]) -> None:
         """Append arrivals to the schedule mid-run (streamed delivery).
 
         Unlike :meth:`load` this keeps the replay cursor, so a source
         can receive its schedule incrementally — the shard workers feed
-        chunks routed over a pipe this way.  Appended arrivals must not
-        be earlier than anything already scheduled (the pending list
-        must stay sorted for the cursor to mean anything); violating
-        batches raise :class:`~repro.core.exceptions.ActorError`.
+        chunks routed over a pipe this way.
+
+        In strict (in-order) mode, fed arrivals must not be earlier than
+        anything already scheduled: the pending list must stay sorted by
+        delivery time for the cursor to mean anything, so a violating
+        batch raises :class:`~repro.core.exceptions.ActorError` instead
+        of silently corrupting the cursor.  An ``out_of_order`` source
+        tolerates it — the undelivered tail is re-sorted with the new
+        batch and event-time ordering is restored by the reorder heap.
         """
         new = sorted(arrivals, key=lambda pair: pair[0])
         if not new:
             return
         if self._pending and new[0][0] < self._pending[-1][0]:
-            raise ActorError(
-                f"source {self.name}: fed arrival at t={new[0][0]} is "
-                f"earlier than the already-scheduled "
-                f"t={self._pending[-1][0]}; feed() only appends"
+            if not self._out_of_order:
+                raise ActorError(
+                    f"source {self.name}: fed arrival at t={new[0][0]} is "
+                    f"earlier than the already-scheduled "
+                    f"t={self._pending[-1][0]}; feed() only appends — "
+                    "use an out_of_order source for disordered streams"
+                )
+            tail = self._pending[self._cursor:]
+            del self._pending[self._cursor:]
+            self._pending.extend(
+                sorted(tail + new, key=lambda pair: pair[0])
             )
+            return
         self._pending.extend(new)
 
     # ------------------------------------------------------------------
     def next_arrival_time(self) -> Optional[int]:
-        """Timestamp of the earliest undelivered arrival, if any."""
-        if self._cursor >= len(self._pending):
-            return None
-        return self._pending[self._cursor][0]
+        """Engine time of the next emission this source could make."""
+        if not self._out_of_order:
+            if self._cursor >= len(self._pending):
+                return None
+            return self._pending[self._cursor][0]
+        times = []
+        if self._cursor < len(self._pending):
+            times.append(self._pending[self._cursor][0])
+            if self._reorder:
+                # A buffered event releases once it is disorder_us old.
+                times.append(self._reorder[0][0] + self.disorder_us)
+        elif self._reorder:
+            # The delivery schedule is drained: the buffer flushes on
+            # the next pump, whenever the clock reaches it.
+            times.append(self._reorder[0][0])
+        return min(times) if times else None
 
     def pending_arrivals(self, now: int) -> int:
-        """How many arrivals are due (timestamp <= now) but undelivered."""
-        count = 0
+        """How many arrivals are due (timestamp <= now) but undelivered.
+
+        For an out-of-order source, everything buffered for reordering
+        also counts as due — it has been delivered but not yet released.
+        """
+        count = len(self._reorder)
+        pending = self._pending
         index = self._cursor
-        while index < len(self._pending) and self._pending[index][0] <= now:
+        while index < len(pending) and pending[index][0] <= now:
             count += 1
             index += 1
         return count
 
     def exhausted(self) -> bool:
-        return self._cursor >= len(self._pending)
+        return self._cursor >= len(self._pending) and not self._reorder
 
     def shed_due(self, now: int, max_pending: int) -> int:
         """Drop the oldest due arrivals beyond *max_pending* (shedding).
@@ -295,6 +353,8 @@ class SourceActor(Actor):
 
     def pump(self, ctx: FiringContext) -> int:
         """Emit due arrivals (up to ``batch_limit``); returns how many."""
+        if self._out_of_order:
+            return self._pump_out_of_order(ctx)
         emitted = 0
         limit = self.batch_limit
         while self._cursor < len(self._pending):
@@ -312,6 +372,92 @@ class SourceActor(Actor):
                     "source.pump", ctx.now, self.name, emitted=emitted
                 )
         return emitted
+
+    def _pump_out_of_order(self, ctx: FiringContext) -> int:
+        """Bounded-disorder pump: buffer due deliveries, release in order.
+
+        Deliveries whose transport time has come move into the reorder
+        heap keyed by event timestamp; the heap releases an event once
+        nothing older can still be in transit — its event time is at
+        least ``disorder_us`` behind the clock, or the entire delivery
+        schedule has drained (then one timestamp per pump).  Released
+        events therefore reach the workflow in monotone event-time
+        order.
+        """
+        pending = self._pending
+        heap = self._reorder
+        now = ctx.now
+        cursor = self._cursor
+        deposited = False
+        while cursor < len(pending):
+            entry = pending[cursor]
+            if entry[0] > now:
+                break
+            event_ts = entry[2] if len(entry) > 2 else entry[0]
+            heapq.heappush(heap, (event_ts, cursor, entry[1]))
+            cursor += 1
+            deposited = True
+        self._cursor = cursor
+        # Release one distinct event timestamp per pump, and never in
+        # the same pump that deposited a delivery.  Idle consults
+        # (frontier closures) then interleave between releases at the
+        # same event-time positions as they do between in-order
+        # deliveries: once deposits are in, the progress watermark just
+        # before releasing a ripe timestamp T is exactly T (any
+        # undelivered transport is newer than T + disorder).  Releasing
+        # in the deposit pump would process the event before any idle
+        # consult sees the advanced watermark; a bulk flush of every
+        # ripened event would likewise fire a burst with no closure
+        # opportunity in between.  Both desynchronize the run from the
+        # in-order oracle.
+        if deposited or not heap:
+            release_limit = -1
+        elif cursor >= len(pending) or heap[0][0] <= now - self.disorder_us:
+            # Ripe (nothing older can still be in transit) or the
+            # delivery schedule has drained: flush this timestamp only.
+            release_limit = heap[0][0]
+        else:
+            release_limit = -1
+        emitted = 0
+        limit = self.batch_limit
+        while heap and heap[0][0] <= release_limit:
+            event_ts, _, value = heapq.heappop(heap)
+            self.emit_arrival(ctx, event_ts, value)
+            self._released_count += 1
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                break
+        if emitted:
+            if _obs.ENABLED:
+                _obs._TRACER.instant(
+                    "source.pump",
+                    ctx.now,
+                    self.name,
+                    emitted=emitted,
+                    buffered=len(heap),
+                )
+        return emitted
+
+    def progress_watermark(self) -> Optional[int]:
+        """Event-time bound below which this source emits nothing more.
+
+        ``None`` means unbounded — the source is drained and asserts
+        nothing further.  In-order sources are bounded by the next
+        undelivered arrival; out-of-order sources by the oldest buffered
+        event and the disorder bound on undelivered transport
+        (``next_delivery - disorder_us``): any future delivery carries
+        an event at most ``disorder_us`` older than its delivery time.
+        """
+        if self._cursor >= len(self._pending):
+            if self._reorder:
+                return self._reorder[0][0]
+            return None
+        if not self._out_of_order:
+            return self._pending[self._cursor][0]
+        bound = self._pending[self._cursor][0] - self.disorder_us
+        if self._reorder and self._reorder[0][0] < bound:
+            bound = self._reorder[0][0]
+        return max(0, bound)
 
     def emit_arrival(self, ctx: FiringContext, timestamp: int, value: Any) -> None:
         """Emit one arrival; sub-classes may transform or fan out."""
@@ -333,6 +479,29 @@ class SourceActor(Actor):
 
     def fire(self, ctx: FiringContext) -> None:
         self.pump(ctx)
+
+    def state_restore(self, state: dict) -> None:
+        """Re-apply the cursor and rebuild the reorder heap.
+
+        The heap is derived state: its entries are exactly the delivered
+        (``index < cursor``) arrivals minus the ``_released_count``
+        oldest in ``(event_ts, index)`` order — the same order
+        :meth:`_pump_out_of_order` pops them in — so a resumed source
+        releases the identical remaining sequence.
+        """
+        super().state_restore(state)
+        if not self._out_of_order:
+            return
+        delivered = sorted(
+            (
+                entry[2] if len(entry) > 2 else entry[0],
+                index,
+                entry[1],
+            )
+            for index, entry in enumerate(self._pending[: self._cursor])
+        )
+        self._reorder = delivered[self._released_count:]
+        heapq.heapify(self._reorder)
 
 
 class FunctionActor(Actor):

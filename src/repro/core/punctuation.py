@@ -28,3 +28,24 @@ class Punctuation:
     def __post_init__(self) -> None:
         if self.up_to_us < 0:
             raise ValueError("punctuation timestamps cannot be negative")
+
+
+@dataclass(frozen=True)
+class Watermark:
+    """A frontier assertion: event time has progressed to ``up_to_us``.
+
+    Semantically a punctuation ("no event with timestamp < ``up_to_us``
+    is still coming"), but consumed by the *frontier* closure path: a
+    windowed receiver that sees one closes every time-based pane whose
+    right boundary lies at or before the watermark and remembers the
+    bound for lateness classification — it never force-flushes partial
+    token/wave windows the way a :class:`Punctuation` timeout would.
+    Deliberately not a ``Punctuation`` subclass so the two control items
+    cannot be routed into each other's handling by an isinstance check.
+    """
+
+    up_to_us: int
+
+    def __post_init__(self) -> None:
+        if self.up_to_us < 0:
+            raise ValueError("watermark timestamps cannot be negative")

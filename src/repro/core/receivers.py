@@ -124,12 +124,23 @@ class WindowedReceiver(Receiver):
         self.spec = spec
         self.operator = WindowOperator(spec)
         self._windows: deque[Window] = deque()
+        #: Lateness policy for events behind the applied frontier
+        #: (:class:`repro.frontier.LatenessPolicy`); ``None`` admits all.
+        self.lateness = None
+        #: Newest event-time frontier applied to this queue.
+        self._frontier_us = -1
 
     # ------------------------------------------------------------------
     def put(self, event: CWEvent) -> None:
-        from .punctuation import Punctuation
+        from .punctuation import Punctuation, Watermark
 
-        if isinstance(event.value, Punctuation):
+        value = event.value
+        if isinstance(value, Watermark):
+            # Frontier assertion: close complete time panes, remember
+            # the bound for lateness classification, consume the item.
+            self.close_on_frontier(value.up_to_us)
+            return
+        if isinstance(value, Punctuation):
             # Control item: close every time window the assertion
             # completes.  Count/wave windows are unaffected — their
             # completeness does not depend on timestamps.
@@ -137,11 +148,22 @@ class WindowedReceiver(Receiver):
 
             if self.spec.measure is Measure.TIME:
                 for window in self.operator.force_timeout(
-                    now=event.value.up_to_us
+                    now=value.up_to_us
                 ):
                     self._deliver(window)
                 self._route_expired()
             return
+        if (
+            self.lateness is not None
+            and self._frontier_us >= 0
+            and event.timestamp < self._frontier_us
+        ):
+            disposition = self.lateness.disposition(
+                event.timestamp, self._frontier_us
+            )
+            if disposition != "ontime":
+                self._dispose_late(event, disposition)
+                return
         for window in self.operator.put(event):
             self._deliver(window)
         self._route_expired()
@@ -150,21 +172,46 @@ class WindowedReceiver(Receiver):
         """Insert a train of events through one operator call.
 
         Falls back to per-event :meth:`put` whenever expired routing is
-        configured or the train carries punctuation — both interleave
-        side effects between insertions, so only the plain streaming case
-        is amortized.  Window production order is identical either way.
+        configured, the train carries control items, or a lateness
+        policy is armed — all interleave side effects between
+        insertions, so only the plain streaming case is amortized.
+        Window production order is identical either way.
         """
-        from .punctuation import Punctuation
+        from .punctuation import Punctuation, Watermark
 
         target = self.port.expired_to if self.port is not None else None
-        if target is not None or any(
-            isinstance(event.value, Punctuation) for event in events
+        if (
+            target is not None
+            or (self.lateness is not None and self._frontier_us >= 0)
+            or any(
+                isinstance(event.value, (Punctuation, Watermark))
+                for event in events
+            )
         ):
             for event in events:
                 self.put(event)
             return
         for window in self.operator.put_batch(events):
             self._deliver(window)
+
+    def _dispose_late(self, event: CWEvent, disposition: str) -> None:
+        """Drop or side-output one event the lateness policy rejected."""
+        if _obs.ENABLED:
+            _obs._TRACER.instant(
+                "event.late",
+                event.timestamp,
+                self.port.actor.name if self.port is not None else "?",
+                frontier=self._frontier_us,
+                disposition=disposition,
+            )
+        self._note_late(event)
+        if disposition == "expired":
+            target = self.port.expired_to if self.port is not None else None
+            if target is not None:
+                target.put(event)
+
+    def _note_late(self, event: CWEvent) -> None:
+        """Hook for subclasses to count/retire a rejected late event."""
 
     def _deliver(self, window: Window) -> None:
         """Route a produced window; subclasses override to hand it off."""
@@ -215,6 +262,26 @@ class WindowedReceiver(Receiver):
         self._route_expired()
         return len(produced)
 
+    def next_frontier_boundary(self, up_to_us: int):
+        """Earliest closable time-pane boundary at or before *up_to_us*."""
+        return self.operator.next_frontier_boundary(up_to_us)
+
+    def close_on_frontier(self, up_to_us: int) -> int:
+        """Apply an event-time frontier; returns produced window count.
+
+        Closes every complete time pane (right boundary at or before
+        *up_to_us*) and records the bound so later arrivals behind it
+        are classified by the lateness policy.  Count/wave windows only
+        record the bound.
+        """
+        if up_to_us > self._frontier_us:
+            self._frontier_us = up_to_us
+        produced = self.operator.close_on_frontier(up_to_us)
+        for window in produced:
+            self._deliver(window)
+        self._route_expired()
+        return len(produced)
+
     @property
     def expired(self) -> deque[CWEvent]:
         return self.operator.expired
@@ -235,12 +302,18 @@ class WindowedReceiver(Receiver):
     # ------------------------------------------------------------------
     def state_dump(self) -> dict:
         """Snapshot operator state + produced-window queue (Checkpointable)."""
-        return {
+        state = {
             "operator": self.operator.state_dump(),
             "windows": list(self._windows),
         }
+        if self._frontier_us >= 0:
+            # Only frontier-enabled runs carry the key, so dumps of
+            # frontier-less runs stay byte-identical to the seed's.
+            state["frontier_us"] = self._frontier_us
+        return state
 
     def state_restore(self, state: dict) -> None:
         """Re-apply a dump in place on the rebuilt receiver (Checkpointable)."""
         self.operator.state_restore(state["operator"])
         self._windows = deque(state["windows"])
+        self._frontier_us = state.get("frontier_us", -1)

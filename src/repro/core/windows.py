@@ -724,6 +724,62 @@ class WindowOperator:
                     )
         return produced
 
+    def next_frontier_boundary(self, up_to_us: int) -> Optional[int]:
+        """Earliest closable pane boundary at or before *up_to_us*.
+
+        The minimum right boundary (``window_start + size``) over every
+        non-empty time group, or ``None`` when no pane is complete yet.
+        Directors use this to close frontier panes one event-time
+        boundary at a time, so a closure that feeds a downstream timed
+        window is fired and delivered before the downstream pane with a
+        later boundary closes.
+        """
+        if self.spec.measure is not Measure.TIME:
+            return None
+        size = self.spec.size
+        boundary: Optional[int] = None
+        for state in self._groups.values():
+            if not isinstance(state, _TimeGroupState) or not state.queue:
+                continue
+            end = state.window_start + size
+            if end <= up_to_us and (boundary is None or end < boundary):
+                boundary = end
+        return boundary
+
+    def close_on_frontier(self, up_to_us: int) -> list[Window]:
+        """Close every time-based pane the frontier has passed.
+
+        A frontier at ``up_to_us`` asserts no event with an earlier
+        timestamp is still in flight, so panes whose right boundary lies
+        at or before it are *complete* — they close through the same
+        :meth:`_close_time_window` path an in-order boundary-crossing
+        event would take (not ``forced``: the content is exact, unlike a
+        formation-timeout guess).  Token- and wave-measured windows
+        close by count/mark, never by the frontier; for those this is a
+        no-op.
+        """
+        if self.spec.measure is not Measure.TIME:
+            return []
+        produced: list[Window] = []
+        size = self.spec.size
+        for key, state in self._groups.items():
+            if not isinstance(state, _TimeGroupState) or not state.queue:
+                continue
+            while state.queue and state.window_start + size <= up_to_us:
+                produced.extend(
+                    self._close_time_window(state, key, forced=False)
+                )
+        self.total_windows += len(produced)
+        if produced and _obs.ENABLED:
+            for window in produced:
+                _obs._TRACER.instant(
+                    "window.frontier_closed",
+                    window.timestamp,
+                    size=len(window),
+                    group=repr(window.group_key),
+                )
+        return produced
+
     # ------------------------------------------------------------------
     # Checkpointable protocol
     # ------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""Lateness policy: what to do with events behind the frontier.
+
+Once a frontier has been applied to a windowed queue, the panes it
+passed are closed and gone — an event older than the applied bound can
+no longer join the window it belongs to.  The policy decides its fate:
+
+``drop``
+    Discard it (traced as ``event.late``, counted in ``late_events``).
+``expired``
+    Side-output it on the port's expired route (``expired_to``), the
+    same path straggler events already use — downstream can audit or
+    reprocess.
+``grace:<us>``
+    Allowed lateness: events within ``<us>`` of the applied frontier
+    are still admitted (they may open a stale pane, which the next
+    frontier closes); older ones are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ACTIONS = ("drop", "expired", "grace")
+
+
+@dataclass(frozen=True)
+class LatenessPolicy:
+    """Disposition of events arriving behind an applied frontier."""
+
+    action: str = "drop"
+    allowed_lateness_us: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown lateness action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+        if self.allowed_lateness_us < 0:
+            raise ValueError("allowed lateness cannot be negative")
+        if self.allowed_lateness_us and self.action != "grace":
+            raise ValueError(
+                "allowed lateness only applies to the 'grace' action"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "LatenessPolicy":
+        """Parse a CLI spec: ``drop``, ``expired``, or ``grace:<us>``."""
+        spec = spec.strip()
+        if spec.startswith("grace"):
+            _, _, amount = spec.partition(":")
+            return cls("grace", int(amount) if amount else 0)
+        return cls(spec)
+
+    def disposition(self, event_ts_us: int, applied_us: int) -> str:
+        """``"ontime"``, ``"drop"`` or ``"expired"`` for one event."""
+        if applied_us < 0 or event_ts_us >= applied_us:
+            return "ontime"
+        if self.action == "grace":
+            if event_ts_us >= applied_us - self.allowed_lateness_us:
+                return "ontime"
+            return "drop"
+        return self.action
+
+    def spec(self) -> str:
+        """The round-trippable CLI form (inverse of :meth:`parse`)."""
+        if self.action == "grace":
+            return f"grace:{self.allowed_lateness_us}"
+        return self.action

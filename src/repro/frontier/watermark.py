@@ -1,0 +1,88 @@
+"""Per-source watermark generators.
+
+A watermark generator turns what a source knows about its own stream
+into :class:`~repro.core.punctuation.Watermark` bounds:
+
+* :class:`BoundedDisorderWatermarks` — the source promises that arrival
+  disorder is bounded by ``disorder_us``: once an event with timestamp
+  ``t`` has been *delivered* (entered the source's reorder buffer),
+  nothing older than ``t - disorder_us`` can still show up, so the
+  watermark trails the newest delivered timestamp by the bound.
+* :class:`ExplicitWatermarks` — the stream itself carries progress
+  assertions (a replayed log with embedded punctuations, a test
+  harness); the generator just enforces monotonicity.
+
+Both expose ``current()`` returning the event-time bound in
+microseconds, or ``None`` while nothing is known yet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.punctuation import Watermark
+
+__all__ = ["BoundedDisorderWatermarks", "ExplicitWatermarks", "Watermark"]
+
+
+class BoundedDisorderWatermarks:
+    """Watermarks for a source with a hard disorder bound."""
+
+    def __init__(self, disorder_us: int):
+        if disorder_us < 0:
+            raise ValueError("the disorder bound cannot be negative")
+        self.disorder_us = disorder_us
+        self.max_seen_us = -1
+
+    def observe(self, event_ts_us: int) -> None:
+        """Note a delivered event timestamp (any order)."""
+        if event_ts_us > self.max_seen_us:
+            self.max_seen_us = event_ts_us
+
+    def current(self) -> Optional[int]:
+        if self.max_seen_us < 0:
+            return None
+        return max(0, self.max_seen_us - self.disorder_us)
+
+    def current_mark(self) -> Optional[Watermark]:
+        bound = self.current()
+        return None if bound is None else Watermark(bound)
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        return {"max_seen_us": self.max_seen_us}
+
+    def state_restore(self, state: dict) -> None:
+        self.max_seen_us = state["max_seen_us"]
+
+
+class ExplicitWatermarks:
+    """Watermarks asserted by the stream (or the test) itself."""
+
+    def __init__(self):
+        self.mark_us = -1
+
+    def advance_to(self, up_to_us: int) -> None:
+        if up_to_us < self.mark_us:
+            raise ValueError(
+                f"watermarks must be monotone: {up_to_us} < {self.mark_us}"
+            )
+        self.mark_us = up_to_us
+
+    def current(self) -> Optional[int]:
+        return None if self.mark_us < 0 else self.mark_us
+
+    def current_mark(self) -> Optional[Watermark]:
+        bound = self.current()
+        return None if bound is None else Watermark(bound)
+
+    # ------------------------------------------------------------------
+    # Checkpointable protocol
+    # ------------------------------------------------------------------
+    def state_dump(self) -> dict:
+        return {"mark_us": self.mark_us}
+
+    def state_restore(self, state: dict) -> None:
+        self.mark_us = state["mark_us"]

@@ -78,6 +78,24 @@ def _tune(config: ExperimentConfig, args) -> ExperimentConfig:
         config = replace(config, train_size=train_size)
     if getattr(args, "fuse", False) and not config.fuse:
         config = replace(config, fuse=True)
+    frontier = getattr(args, "out_of_order", None)
+    if frontier is not None:
+        config = replace(config, frontier=frontier)
+    lateness = getattr(args, "lateness", None)
+    if lateness is not None:
+        from ..frontier import LatenessPolicy
+
+        try:
+            LatenessPolicy.parse(lateness)
+        except ValueError as exc:
+            raise SystemExit(f"--lateness: {exc}") from None
+        config = replace(config, lateness=lateness)
+    disorder_s = getattr(args, "watermark_disorder", 0.0)
+    if disorder_s:
+        config = replace(
+            config,
+            workload=replace(config.workload, disorder_s=float(disorder_s)),
+        )
     qos_spec = getattr(args, "qos", None)
     if qos_spec is not None:
         from ..core.exceptions import SchedulerError
@@ -433,6 +451,44 @@ def build_parser() -> argparse.ArgumentParser:
             "'slo=5,pause=20000,admit=400,adapt-train=1' — keys: backlog, "
             "strategy, protect, source-pending, admit, burst, pause, "
             "resume, slo, period, adapt-train, adapt-quantum"
+        ),
+    )
+    parser.add_argument(
+        "--out-of-order",
+        nargs="?",
+        const="close",
+        choices=["track", "close"],
+        default=None,
+        metavar="MODE",
+        help=(
+            "frontier progress tracking (repro.frontier): 'track' "
+            "observes wave tokens for counters/traces only, 'close' "
+            "(the bare flag's default) additionally closes timed "
+            "windows once the merged source/wave frontier passes them. "
+            "SCWF schedulers only"
+        ),
+    )
+    parser.add_argument(
+        "--watermark-disorder",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "deliver Linear Road reports out of order: each report's "
+            "delivery is delayed by a seeded uniform jitter up to "
+            "SECONDS while its event timestamp is kept (requires "
+            "--out-of-order)"
+        ),
+    )
+    parser.add_argument(
+        "--lateness",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "how frontier-managed receivers treat events older than the "
+            "applied frontier: 'drop', 'expired' (side-output to the "
+            "port's expired route) or 'grace:<us>' (allowed lateness). "
+            "Requires --out-of-order close"
         ),
     )
     parser.add_argument(

@@ -116,6 +116,17 @@ class ExperimentConfig:
     #: are bit-identical to the unfused run; only dispatch overhead (and
     #: therefore the engine-time trajectory) changes.  SCWF only.
     fuse: bool = False
+    #: Frontier progress tracking (``--out-of-order``): ``None`` runs
+    #: without a tracker (byte-identical to the pre-frontier engine),
+    #: ``"track"`` observes wave tokens for counters/traces only, and
+    #: ``"close"`` additionally closes timed windows once the merged
+    #: source/wave frontier passes them — replacing the engine-time
+    #: formation timeout for frontier-managed panes.  SCWF only.
+    frontier: Optional[str] = None
+    #: Lateness policy spec (``--lateness``): ``"drop"``, ``"expired"``
+    #: or ``"grace:<us>"`` — how frontier-managed receivers treat events
+    #: older than the applied frontier.  Requires ``frontier="close"``.
+    lateness: Optional[str] = None
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

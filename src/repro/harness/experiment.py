@@ -21,6 +21,7 @@ from ..checkpoint import (
     restore_latest,
 )
 from ..core.exceptions import CheckpointError, SimulationError
+from ..core.timekeeper import US_PER_S
 from ..core.windows import strip_window_timeouts
 from ..fusion import fuse_workflow
 from ..linearroad.generator import LinearRoadWorkload
@@ -140,6 +141,8 @@ def checkpoint_meta(config: ExperimentConfig, seed: int) -> dict:
         "train_size": config.train_size,
         "qos": None if config.qos is None else asdict(config.qos),
         "fuse": config.fuse,
+        "frontier": config.frontier,
+        "lateness": config.lateness,
     }
 
 
@@ -153,6 +156,8 @@ def config_from_meta(
     try:
         qos_raw = meta.get("qos")
         workload_raw = dict(meta["workload"])
+        # Older manifests predate out-of-order delivery: in order.
+        workload_raw.setdefault("disorder_s", 0.0)
         workload_raw["accidents"] = tuple(
             AccidentScript(**dict(script))
             for script in workload_raw.get("accidents", ())
@@ -187,6 +192,9 @@ def config_from_meta(
             qos=None if qos_raw is None else QoSPolicy(**dict(qos_raw)),
             # Older manifests predate fusion: default to unfused.
             fuse=bool(meta.get("fuse", False)),
+            # Older manifests predate frontiers: default to untracked.
+            frontier=meta.get("frontier"),
+            lateness=meta.get("lateness"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
@@ -215,7 +223,31 @@ def _build_engine(
     either mode restores snapshots taken in the same mode.
     """
     workload = LinearRoadWorkload(replace(config.workload, seed=seed))
-    system: LinearRoadSystem = build_linear_road(workload.arrivals())
+    disorder_us = int(config.workload.disorder_s * US_PER_S)
+    if disorder_us > 0 and config.frontier is None:
+        raise SimulationError(
+            "out-of-order delivery (disorder_s > 0) needs frontier "
+            "progress tracking; set frontier='track' or 'close' "
+            "(--out-of-order on the CLI)"
+        )
+    if config.lateness is not None and config.frontier != "close":
+        raise SimulationError(
+            "a lateness policy only takes effect when the frontier "
+            "closes windows; set frontier='close' (--out-of-order close)"
+        )
+    system: LinearRoadSystem = build_linear_road(
+        workload.arrivals(),
+        # Frontier-closing runs pace the source through the reorder pump
+        # even with zero disorder: it releases one event timestamp per
+        # pump, so frontier closures interleave between arrivals at
+        # fixed event-time positions.  The plain in-order pump delivers
+        # every due arrival in one train — under a burst the train can
+        # straddle a pane boundary, admitting an event before the
+        # closure it should follow, at clock-dependent (cost-model-
+        # dependent) positions that an out-of-order run cannot mirror.
+        out_of_order=disorder_us > 0 or config.frontier == "close",
+        disorder_us=disorder_us,
+    )
     if not window_timeouts:
         strip_window_timeouts(system.workflow)
     clock = VirtualClock()
@@ -240,6 +272,12 @@ def _build_engine(
                 "the thread-based PNCWF engine fires actors on their "
                 "own threads and has no composed-firing path"
             )
+        if config.frontier is not None:
+            raise SimulationError(
+                "frontier progress tracking requires the SCWF director; "
+                "the thread-based PNCWF engine has no token-accounting "
+                "hooks"
+            )
         director = ThreadedCWFDirector(
             clock, cost_model, error_policy=error_policy
         )
@@ -261,6 +299,15 @@ def _build_engine(
             # notification deadline at the TollNotification sink.
             controller.attach_latency_probe(
                 lambda sink=system.toll_out: sink.response_times_us
+            )
+        if config.frontier is not None:
+            from ..frontier import FrontierTracker, LatenessPolicy
+
+            director.enable_frontier(
+                FrontierTracker(mode=config.frontier),
+                LatenessPolicy.parse(config.lateness)
+                if config.lateness is not None
+                else None,
             )
     director.attach(system.workflow)
     injectors = (
@@ -300,6 +347,7 @@ def _execute_seed(
     store: Optional[CheckpointStore] = None,
     replay_deadletters: bool = False,
     window_timeouts: bool = True,
+    drain: bool = False,
 ) -> tuple[RunResult, object, LinearRoadSystem]:
     """Build + simulate one seed; returns (result, director, system).
 
@@ -350,7 +398,11 @@ def _execute_seed(
 
             replay_dead_letters(director, clock.now_us)
     runtime = SimulationRuntime(director, clock, checkpointer=checkpointer)
-    runtime.run(config.workload.duration_s)
+    # ``drain=True`` processes everything admitted before stopping —
+    # what out-of-order comparisons need, since a bounded-disorder
+    # source still holds up to ``disorder_us`` of in-transit events
+    # when the horizon arrives.
+    runtime.run(config.workload.duration_s, drain=drain)
     series = ResponseTimeSeries.from_samples(
         system.toll_response_times_us,
         config.bucket_s,

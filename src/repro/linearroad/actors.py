@@ -55,8 +55,19 @@ WINDOW_TIMEOUT_US = 5 * US_PER_S
 class CarPositionSource(SourceActor):
     """Pushes the position-report feed into the workflow."""
 
-    def __init__(self, name: str = "CarPositionReports", arrivals=None):
-        super().__init__(name, arrivals)
+    def __init__(
+        self,
+        name: str = "CarPositionReports",
+        arrivals=None,
+        out_of_order: bool = False,
+        disorder_us: int = 0,
+    ):
+        super().__init__(
+            name,
+            arrivals,
+            out_of_order=out_of_order,
+            disorder_us=disorder_us,
+        )
         self.add_output("reports")
         self.nominal_cost_us = 20
 

@@ -79,12 +79,20 @@ class WorkloadConfig:
     burst_factor: float = 1.0
     #: Length of one burst cycle in seconds (bursty mode only).
     burst_period_s: int = 10
+    #: Out-of-order mode: > 0 delays each report's *delivery* by a seeded
+    #: uniform jitter in ``[0, disorder_s]`` while keeping the report's
+    #: event timestamp — the same reports (bit-identical trace), arriving
+    #: shuffled within the disorder bound.  0.0 (default) leaves the
+    #: arrival schedule untouched, byte for byte.
+    disorder_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.burst_factor < 1.0:
             raise ValueError("burst_factor must be >= 1.0")
         if self.burst_period_s < 1:
             raise ValueError("burst_period_s must be >= 1")
+        if self.disorder_s < 0.0:
+            raise ValueError("disorder_s must be >= 0.0")
 
     def scaled(self, rate_factor: float) -> "WorkloadConfig":
         """A copy with the load envelope scaled (sensitivity sweeps)."""
@@ -101,6 +109,7 @@ class WorkloadConfig:
             self.congestion_share,
             self.burst_factor,
             self.burst_period_s,
+            self.disorder_s,
         )
 
 
@@ -129,7 +138,7 @@ class LinearRoadWorkload:
             self._reports = self._generate()
         return self._reports
 
-    def arrivals(self) -> list[tuple[int, PositionReport]]:
+    def arrivals(self) -> list[tuple]:
         """(arrival_us, report) pairs for a :class:`SourceActor`.
 
         With ``burst_factor > 1`` the arrival times (never the report
@@ -138,22 +147,46 @@ class LinearRoadWorkload:
         the instantaneous rate spikes to ``burst_factor``× — a seeded,
         reproducible overload scenario.  The warp is monotone, so the
         trace stays time-sorted.
+
+        With ``disorder_s > 0`` each report instead becomes a triple
+        ``(delivery_us, report, event_ts_us)``: the event timestamp is
+        the (possibly burst-warped) arrival time, and delivery is
+        delayed by a seeded uniform jitter in ``[0, disorder_s]``,
+        capped at the scenario horizon.  The list is sorted by delivery
+        time, so consecutive entries carry out-of-order event
+        timestamps — bounded by the disorder — for an
+        ``out_of_order`` :class:`~repro.core.actors.SourceActor`.
         """
         pairs = [
             (report.time * US_PER_S + index % 1000, report)
             for index, report in enumerate(self.reports())
         ]
         factor = self.config.burst_factor
-        if factor == 1.0:
+        if factor != 1.0:
+            period_us = self.config.burst_period_s * US_PER_S
+            warped = []
+            for arrival_us, report in pairs:
+                start = (arrival_us // period_us) * period_us
+                warped.append(
+                    (start + int((arrival_us - start) / factor), report)
+                )
+            pairs = warped
+        disorder_us = int(self.config.disorder_s * US_PER_S)
+        if disorder_us == 0:
             return pairs
-        period_us = self.config.burst_period_s * US_PER_S
-        warped = []
-        for arrival_us, report in pairs:
-            start = (arrival_us // period_us) * period_us
-            warped.append(
-                (start + int((arrival_us - start) / factor), report)
-            )
-        return warped
+        # Delivery jitter draws from a dedicated stream so the report
+        # trace itself stays bit-identical to the in-order run.
+        rng = random.Random(f"{self.config.seed}:disorder")
+        horizon_us = self.config.duration_s * US_PER_S - 1
+        entries = []
+        for index, (event_us, report) in enumerate(pairs):
+            delivery = min(event_us + rng.randint(0, disorder_us), horizon_us)
+            entries.append((delivery, index, event_us, report))
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return [
+            (delivery, report, event_us)
+            for delivery, _, event_us, report in entries
+        ]
 
     def rate_series(self, bucket_s: int = 10) -> list[tuple[int, float]]:
         """(bucket_start_s, reports_per_second) — regenerates Figure 5."""

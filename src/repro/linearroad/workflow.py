@@ -90,6 +90,8 @@ def build_linear_road_shard(
     group: Hashable,
     database: Optional[Database] = None,
     hierarchical: bool = False,
+    out_of_order: bool = False,
+    disorder_us: int = 0,
 ) -> LinearRoadSystem:
     """The keyed workflow factory: one logical shard's Linear Road.
 
@@ -106,7 +108,11 @@ def build_linear_road_shard(
         pair for pair in arrivals if key_fn(pair[1]) == group
     ]
     return build_linear_road(
-        filtered, database=database, hierarchical=hierarchical
+        filtered,
+        database=database,
+        hierarchical=hierarchical,
+        out_of_order=out_of_order,
+        disorder_us=disorder_us,
     )
 
 
@@ -114,12 +120,18 @@ def build_linear_road(
     arrivals,
     database: Optional[Database] = None,
     hierarchical: bool = False,
+    out_of_order: bool = False,
+    disorder_us: int = 0,
 ) -> LinearRoadSystem:
     """Build the full Linear Road CWf over the given arrival schedule."""
     db = database or lrdb.create_linear_road_database()
     workflow = Workflow("linear-road")
 
-    source = CarPositionSource(arrivals=arrivals)
+    source = CarPositionSource(
+        arrivals=arrivals,
+        out_of_order=out_of_order,
+        disorder_us=disorder_us,
+    )
     if hierarchical:
         from .subworkflows import (
             build_avgsv_composite,

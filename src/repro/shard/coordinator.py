@@ -33,6 +33,7 @@ from ..core.exceptions import SimulationError
 from ..core.timekeeper import US_PER_S
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.workflow import shard_key_fn
+from ..stafilos.scwf_director import _FAR_FUTURE
 from .migration import ShardMigration
 from .routing import (
     CanonicalRecord,
@@ -69,6 +70,9 @@ class ShardedRunResult:
     backlog_log: List[Tuple[int, Dict[Hashable, int]]] = field(
         default_factory=list
     )
+    #: Per-chunk merged-frontier telemetry (frontier closure runs only):
+    #: (watermark_us, merged_frontier_us).
+    frontier_log: List[Tuple[int, int]] = field(default_factory=list)
     #: Live migrations performed, as (engine_time_us, group, from, to).
     migrations: List[Tuple[int, Hashable, int, int]] = field(
         default_factory=list
@@ -207,6 +211,15 @@ class ShardCoordinator:
         chunk_us = int(self.chunk_s * US_PER_S)
         pending = sorted(self.scripted_migrations, key=lambda m: m.at_s)
         backlog_log: List[Tuple[int, Dict[Hashable, int]]] = []
+        frontier_close = getattr(config, "frontier", None) == "close"
+        disorder_us = int(
+            getattr(config.workload, "disorder_s", 0.0) * US_PER_S
+        )
+        #: Merged minimum frontier across every logical shard, applied
+        #: by the workers at the next chunk boundary.  ``None`` until
+        #: the first acks arrive (and always, when closure is off).
+        merged_frontier: Optional[int] = None
+        frontier_log: List[Tuple[int, int]] = []
         try:
             self._spawn(plan)
             cursors = {group: 0 for group in plan.groups}
@@ -235,13 +248,36 @@ class ShardCoordinator:
                         ]
                 for worker in range(plan.workers):
                     self._conns[worker].send(
-                        ("chunk", watermark, per_worker[worker])
+                        ("chunk", watermark, per_worker[worker],
+                         merged_frontier)
                     )
                 chunk_backlogs: Dict[Hashable, int] = {}
+                chunk_frontiers: Dict[Hashable, Optional[int]] = {}
                 for worker in range(plan.workers):
-                    _, _, backlogs = self._recv(worker, "ack")
+                    _, _, backlogs, frontiers = self._recv(worker, "ack")
                     chunk_backlogs.update(backlogs)
+                    chunk_frontiers.update(frontiers)
                 backlog_log.append((watermark, chunk_backlogs))
+                if frontier_close:
+                    # The merge: minimum of every shard's local bound,
+                    # floored by the chunk watermark minus the disorder
+                    # bound — a temporarily drained shard (bound None)
+                    # can still receive events no older than that from
+                    # the next chunk.  Per-group bounds come from the
+                    # shards' own deterministic engines, so the merged
+                    # sequence is identical for every worker count.
+                    bounds = [
+                        bound
+                        for bound in chunk_frontiers.values()
+                        if bound is not None
+                    ]
+                    bounds.append(watermark - disorder_us)
+                    candidate = min(bounds)
+                    if merged_frontier is None or (
+                        candidate > merged_frontier
+                    ):
+                        merged_frontier = candidate
+                    frontier_log.append((watermark, merged_frontier))
                 while pending and pending[0].at_s * US_PER_S <= watermark:
                     migration = pending.pop(0)
                     self.migrate_shard(
@@ -250,7 +286,10 @@ class ShardCoordinator:
                 if watermark > last_ts and not pending:
                     break
             for worker in range(plan.workers):
-                self._conns[worker].send(("finish", horizon_us))
+                self._conns[worker].send(
+                    ("finish", horizon_us,
+                     _FAR_FUTURE if frontier_close else None)
+                )
             per_shard: Dict[Hashable, Dict[str, Any]] = {}
             for worker in range(plan.workers):
                 _, _, results = self._recv(worker, "result")
@@ -304,6 +343,7 @@ class ShardCoordinator:
             groups=plan.groups,
             per_shard=per_shard,
             backlog_log=backlog_log,
+            frontier_log=frontier_log,
             migrations=list(self.migrations_done),
         )
 

@@ -24,14 +24,19 @@ cross their boundaries.
 
 The message protocol (coordinator -> worker, replies in parentheses)::
 
-    ("chunk", watermark_us, {group: [(ts, value), ...]})
-        feed + advance every hosted shard   (-> "ack" with backlogs)
+    ("chunk", watermark_us, {group: [(ts, value), ...]}, frontier_us)
+        feed + advance every hosted shard; ``frontier_us`` (None when
+        frontier closure is off) is the coordinator's merged minimum
+        frontier, applied to every shard's timed windows before the
+        chunk runs          (-> "ack" with backlogs + local frontiers)
     ("dump", group)      extract a shard as a migration envelope
                                             (-> "state")
     ("adopt", group, envelope)  rebuild + restore a migrated shard
                                             (-> "adopted")
-    ("finish", horizon_us)  run every shard to the horizon and report
-                            canonical traces + counters (-> "result")
+    ("finish", horizon_us, frontier_us)  run every shard to the horizon
+                            (closing passed panes when ``frontier_us``
+                            is set) and report canonical traces +
+                            counters (-> "result")
     ("stop",)            exit the loop
 
 Failures inside a handler are reported as ``("error", worker_id,
@@ -115,6 +120,22 @@ class ShardEngine:
         """Advance the shard's virtual clock to the watermark."""
         self.runtime.run(watermark_us / US_PER_S)
 
+    def drain(self, horizon_us: int) -> None:
+        """Process everything admitted, past the horizon if needed."""
+        self.runtime.run(horizon_us / US_PER_S, drain=True)
+
+    def close_frontier(self, up_to_us: int) -> int:
+        """Apply the coordinator's merged frontier to timed windows."""
+        if self.director.frontier is None:
+            return 0
+        return self.director.close_frontier_windows(up_to_us)
+
+    def frontier_bound(self) -> Optional[int]:
+        """This shard's local progress bound for the coordinator merge."""
+        if self.director.frontier is None:
+            return None
+        return self.director.frontier_bound()
+
     def backlog(self) -> int:
         """Unprocessed items currently queued inside the shard engine."""
         return self.director.backlog()
@@ -176,14 +197,28 @@ def build_shard_engine(
     from ..harness.configs import default_cost_model
 
     name = _shard_name(key_name, group)
-    system = build_linear_road(list(arrivals))
+    disorder_us = int(getattr(config.workload, "disorder_s", 0.0) * US_PER_S)
+    frontier_mode = getattr(config, "frontier", None)
+    system = build_linear_road(
+        list(arrivals),
+        # Frontier-closing shards pace the source through the reorder
+        # pump even with zero disorder, matching the single-process
+        # engine's release discipline (one event timestamp per pump).
+        out_of_order=disorder_us > 0 or frontier_mode == "close",
+        disorder_us=disorder_us,
+    )
     # Sharded engines run event-time pure: window-formation timeouts
     # fire on engine time, and engine clocks are placement-dependent
     # (they advance with whatever shares the process).  Stripping them
     # before attach makes every pane close on event arrival only, so a
     # shard computes the same answer under any placement — and matches
-    # the equally-stripped single-process oracle bit for bit.
-    strip_window_timeouts(system.workflow)
+    # the equally-stripped single-process oracle bit for bit.  With
+    # frontier closure the timeouts are never armed (the director skips
+    # deadline registration) and panes close on the coordinator's merged
+    # frontier instead — equally placement-independent, since per-group
+    # frontiers derive from each shard's own deterministic engine.
+    if frontier_mode != "close":
+        strip_window_timeouts(system.workflow)
     clock = VirtualClock()
     cost_model = default_cost_model(
         seed=shard_seed(config.cost_seed + seed, name)
@@ -208,6 +243,18 @@ def build_shard_engine(
         controller = director.apply_qos(config.qos)
         controller.attach_latency_probe(
             lambda sink=system.toll_out: sink.response_times_us
+        )
+    if frontier_mode is not None:
+        from ..frontier import FrontierTracker, LatenessPolicy
+
+        # ``external=True``: a shard never self-closes on its local
+        # frontier — closure arrives only as the coordinator's merged
+        # minimum, so every placement sees the same closure sequence.
+        director.enable_frontier(
+            FrontierTracker(mode=frontier_mode, external=True),
+            LatenessPolicy.parse(config.lateness)
+            if getattr(config, "lateness", None) is not None
+            else None,
         )
     director.attach(system.workflow)
     injectors = (
@@ -282,14 +329,25 @@ def worker_main(conn: Any, spec: ShardWorkerSpec) -> None:
             break
         try:
             if kind == "chunk":
-                _, watermark_us, slices = message
+                _, watermark_us, slices, frontier_us = message
                 backlogs: Dict[Hashable, int] = {}
+                frontiers: Dict[Hashable, Optional[int]] = {}
                 for group in sorted(engines):
                     engine = engines[group]
                     engine.feed(slices.get(group, ()))
+                    if frontier_us is not None:
+                        # Graduated closure: each call closes one pane
+                        # boundary, so drain the staged firings between
+                        # rounds to let a closure's output reach any
+                        # downstream pane before that pane closes too
+                        # (run_to would no-op once the clock sits at
+                        # the watermark).
+                        while engine.close_frontier(frontier_us):
+                            engine.drain(watermark_us)
                     engine.run_to(watermark_us)
                     backlogs[group] = engine.backlog()
-                conn.send(("ack", spec.worker_id, backlogs))
+                    frontiers[group] = engine.frontier_bound()
+                conn.send(("ack", spec.worker_id, backlogs, frontiers))
             elif kind == "dump":
                 _, group = message
                 engine = engines.pop(group)
@@ -309,11 +367,18 @@ def worker_main(conn: Any, spec: ShardWorkerSpec) -> None:
                 engines[group] = engine
                 conn.send(("adopted", spec.worker_id, group))
             elif kind == "finish":
-                _, horizon_us = message
+                _, horizon_us, frontier_us = message
                 results = {}
                 for group in sorted(engines):
                     engine = engines[group]
                     engine.run_to(horizon_us)
+                    if frontier_us is not None:
+                        # Final closure cascades: a closed pane's firing
+                        # can feed a downstream timed window, so close
+                        # and drain until no pane remains.
+                        engine.drain(horizon_us)
+                        while engine.close_frontier(frontier_us):
+                            engine.drain(horizon_us)
                     results[group] = engine.result()
                 conn.send(("result", spec.worker_id, results))
             else:

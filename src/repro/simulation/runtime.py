@@ -74,7 +74,12 @@ class SimulationRuntime:
                 if self.checkpointer is not None:
                     self.checkpointer.maybe_checkpoint(self.clock.now_us)
                 continue
-            # Idle: fast-forward to whatever happens next.
+            # Idle: let the frontier close any passed panes first — a
+            # closure is productive work the next iteration dispatches.
+            consult = getattr(director, "consult_frontier", None)
+            if consult is not None and consult():
+                continue
+            # Fast-forward to whatever happens next.
             next_times = []
             arrival = director.next_arrival_time()
             if arrival is not None:

@@ -51,6 +51,10 @@ from .tm_receiver import TMWindowedReceiver
 #: RR source rotation advances inside ``get_next_actor``).
 _CONSULT = object()
 
+#: Stand-in event-time bound for "the stream has fully drained": far
+#: beyond any admissible timestamp, so every pending pane closes.
+_FAR_FUTURE = 2**62
+
 
 class SCWFDirector(Director):
     """Generic, pluggable scheduled continuous-workflow director."""
@@ -92,6 +96,13 @@ class SCWFDirector(Director):
         #: source pumping, adjusts idle fast-forward for admission
         #: tokens, and is checkpointed as its own component.
         self.overload = None
+        #: Optional :class:`repro.frontier.FrontierTracker`; installed
+        #: via :meth:`enable_frontier` *before* ``attach`` so receiver
+        #: creation can see the closure mode.  ``None`` keeps every hot
+        #: path on the historical branch.
+        self.frontier = None
+        #: Lateness policy handed to timed receivers at creation.
+        self.frontier_lateness = None
         self.max_firings_per_iteration = max_firings_per_iteration
         #: The recovery configuration.  ``error_policy`` accepts a full
         #: :class:`~repro.resilience.FaultPolicy` or the legacy string
@@ -139,9 +150,18 @@ class SCWFDirector(Director):
     # ------------------------------------------------------------------
     def create_receiver(self, port: InputPort) -> Receiver:
         receiver = TMWindowedReceiver(port.window, self, port)
+        frontier_closes = (
+            self.frontier is not None and self.frontier.mode == "close"
+        )
         if port.window is not None and port.window.measure.value == "time":
             self._timed_receivers.append(receiver)
-            if port.window.timeout is not None:
+            if self.frontier_lateness is not None:
+                receiver.lateness = self.frontier_lateness
+            # Under frontier closure, timed panes close when the
+            # event-time frontier passes them — the engine-time
+            # formation-timeout watch would race it non-deterministically
+            # across placements, so it is not registered.
+            if port.window.timeout is not None and not frontier_closes:
                 slot = len(self._deadline_watch)
                 self._deadline_watch.append(receiver)
                 self._deadline_cache.append(None)
@@ -292,6 +312,25 @@ class SCWFDirector(Director):
                 scheduler.invalidate_state(source)
                 scheduler.on_actor_fire_end(source, 0, now)
                 return 0
+        frontier = self.frontier
+        if (
+            frontier is not None
+            and frontier.mode == "close"
+            and not frontier.external
+            and (scheduler.total_backlog() or self.consult_frontier())
+        ):
+            # Frontier-closure admission order: an in-order run reaches
+            # a delivery's clock time only after every pane the frontier
+            # passed has closed, fired and flushed — the engine settles,
+            # then closes, then admits.  An out-of-order source's ripe
+            # backlog would otherwise make it dispatchable mid-cascade,
+            # letting an arrival overtake a closure's output.  Defer the
+            # pump while internal work is pending or a closure round
+            # just staged more; the rotation retries the source once the
+            # cascade has settled and the bound is fully applied.
+            scheduler.invalidate_state(source)
+            scheduler.on_actor_fire_end(source, 0, now)
+            return 0
         start = now
         scheduler.on_actor_fire_start(source, now)
         ctx = self.make_context(source, now)
@@ -348,6 +387,8 @@ class SCWFDirector(Director):
             self.actor_errors[actor.name] = (
                 self.actor_errors.get(actor.name, 0) + 1
             )
+            if self.frontier is not None:
+                self.frontier.retire_item(ready.item)
             scheduler.on_actor_fire_end(actor, 0, now)
             return False
         now = self.clock.now_us
@@ -422,6 +463,11 @@ class SCWFDirector(Director):
                 )
                 fired = False
                 break
+        if self.frontier is not None:
+            # The item's token retires only after its firing settled —
+            # emissions flushed at ctx.close() re-upped the root first,
+            # so a live wave's count never transiently reaches zero.
+            self.frontier.retire_item(ready.item)
         now = self.clock.now_us
         elapsed = now - start
         scheduler.on_actor_fire_end(actor, elapsed, now)
@@ -520,6 +566,7 @@ class SCWFDirector(Director):
         if fast_base is not None:
             per_input_us = cost_model.per_input_us
             per_output_us = cost_model.per_output_us
+        frontier = self.frontier
         train_start = clock.now_us
         max_items = self.max_firings_per_iteration
         fired = 0
@@ -541,6 +588,8 @@ class SCWFDirector(Director):
                 self.actor_errors[actor.name] = (
                     self.actor_errors.get(actor.name, 0) + 1
                 )
+                if frontier is not None:
+                    frontier.retire_item(ready.item)
                 fire_end(actor, 0, now)
             else:
                 now = clock.now_us
@@ -615,6 +664,8 @@ class SCWFDirector(Director):
                         )
                         fired_this = False
                         break
+                if frontier is not None:
+                    frontier.retire_item(ready.item)
                 end_now = clock.now_us
                 fire_end(actor, end_now - now, end_now)
                 if fired_this:
@@ -728,6 +779,109 @@ class SCWFDirector(Director):
         if produced:
             if _obs.ENABLED:
                 _obs._TRACER.instant("window.timeout_fired", now, produced=produced)
+        return produced
+
+    # ------------------------------------------------------------------
+    # Frontier progress (repro.frontier)
+    # ------------------------------------------------------------------
+    def enable_frontier(self, tracker, lateness=None) -> None:
+        """Install a frontier tracker (call *before* ``attach``).
+
+        Receiver creation consults the tracker's mode — ``"close"``
+        replaces the engine-time formation-timeout watch with
+        event-time frontier closure — so enabling after attachment
+        would leave the deadline heap armed.
+        """
+        if self._attached:
+            raise DirectorError(
+                "enable_frontier must be called before attach()"
+            )
+        self.frontier = tracker
+        self.frontier_lateness = lateness
+        tracker.bind_counters(self.statistics.engine_counters)
+
+    def close_frontier_windows(self, up_to_us: int) -> int:
+        """Apply an event-time frontier to every timed receiver.
+
+        Closure is *graduated*: each call closes only the earliest
+        pending pane boundary at or before *up_to_us*, then returns so
+        the scheduler can fire the staged windows and flush their
+        emissions before any later boundary closes.  A windowed actor
+        feeding another windowed actor (AvgSv → AvgS in Linear Road)
+        needs this — closing both panes in one sweep would deliver the
+        upstream firing's output *after* the downstream pane it belongs
+        to has already closed, silently dropping it as a straggler.
+        Barren boundaries (a pane whose range holds no queued events)
+        stage nothing, so the loop continues through them in place.
+        """
+        produced = 0
+        while True:
+            boundary = None
+            for receiver in self._timed_receivers:
+                b = receiver.next_frontier_boundary(up_to_us)
+                if b is not None and (boundary is None or b < boundary):
+                    boundary = b
+            if boundary is None:
+                if self.frontier is not None and produced == 0:
+                    # Nothing left to close below the bound: record the
+                    # full bound so idle consults stop rescanning until
+                    # the frontier moves again.
+                    self.frontier.note_applied(up_to_us)
+                break
+            for receiver in self._timed_receivers:
+                produced += receiver.close_on_frontier(boundary)
+            if self.frontier is not None:
+                self.frontier.note_applied(boundary)
+            if produced:
+                break
+        return produced
+
+    def frontier_bound(self) -> Optional[int]:
+        """The event-time bound no in-flight or future event precedes.
+
+        The minimum of every source's progress watermark and the
+        tracker's outstanding-token frontier; ``None`` when the system
+        has fully drained (no bound — every pane is complete).
+        """
+        workflow = self._require_attached()
+        bounds = []
+        for source in workflow.sources:
+            mark = source.progress_watermark()
+            if mark is not None:
+                bounds.append(mark)
+        frontier_ts = self.frontier.frontier_ts()
+        if frontier_ts is not None:
+            bounds.append(frontier_ts)
+        return min(bounds) if bounds else None
+
+    def consult_frontier(self) -> int:
+        """Idle-loop hook: publish progress, close passed panes.
+
+        Returns the number of windows the frontier produced, so the
+        runtime treats a closure like any other productive work instead
+        of fast-forwarding past it.  Externally driven trackers (shard
+        workers applying the coordinator's merged minimum) never
+        self-close.
+        """
+        tracker = self.frontier
+        if tracker is None:
+            return 0
+        now = self.clock.now_us
+        tracker.publish(now)
+        if tracker.mode != "close" or tracker.external:
+            return 0
+        bound = self.frontier_bound()
+        if bound is None:
+            # Fully drained: every remaining pane is complete.
+            bound = _FAR_FUTURE
+        if bound <= tracker.applied_us:
+            return 0
+        produced = self.close_frontier_windows(bound)
+        if _obs.ENABLED and produced:
+            _obs._TRACER.instant(
+                "frontier.closed_windows", now,
+                bound=bound, produced=produced,
+            )
         return produced
 
     # ------------------------------------------------------------------

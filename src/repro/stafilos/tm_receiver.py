@@ -64,11 +64,14 @@ class TMWindowedReceiver(WindowedReceiver):
             # passthrough spec never pends, expires, or times out, so
             # the observable behaviour is bit-identical.  (The threaded
             # engine's receiver takes the same shortcut.)
-            from ..core.punctuation import Punctuation
+            from ..core.punctuation import Punctuation, Watermark
 
-            if isinstance(event.value, Punctuation):
-                return  # token windows ignore time punctuations
+            if isinstance(event.value, (Punctuation, Watermark)):
+                return  # control items never become ready work here
             assert self.port is not None
+            tracker = self._director.frontier
+            if tracker is not None:
+                tracker.observe(event)
             self._director.schedule_ready(
                 self.port.actor, self.port.name, event
             )
@@ -88,16 +91,20 @@ class TMWindowedReceiver(WindowedReceiver):
         idempotent, so marking per event was pure overhead.
         """
         if self._passthrough:
-            from ..core.punctuation import Punctuation
+            from ..core.punctuation import Punctuation, Watermark
 
             batch = [
                 event
                 for event in events
-                if not isinstance(event.value, Punctuation)
+                if not isinstance(event.value, (Punctuation, Watermark))
             ]
             if not batch:
                 return
             assert self.port is not None
+            tracker = self._director.frontier
+            if tracker is not None:
+                for event in batch:
+                    tracker.observe(event)
             self._director.schedule_ready_batch(
                 self.port.actor, self.port.name, batch
             )
@@ -112,6 +119,17 @@ class TMWindowedReceiver(WindowedReceiver):
             self._director._mark_deadline_dirty(self._deadline_slot)
         return produced
 
+    def close_on_frontier(self, up_to_us: int) -> int:
+        produced = super().close_on_frontier(up_to_us)
+        if self._deadline_slot is not None:
+            self._director._mark_deadline_dirty(self._deadline_slot)
+        return produced
+
+    def _note_late(self, event: CWEvent) -> None:
+        tracker = self._director.frontier
+        if tracker is not None:
+            tracker.note_late()
+
     def clear(self) -> None:
         super().clear()
         if self._deadline_slot is not None:
@@ -124,6 +142,9 @@ class TMWindowedReceiver(WindowedReceiver):
         if self._passthrough:
             item = window.events[0]
         assert self.port is not None
+        tracker = self._director.frontier
+        if tracker is not None:
+            tracker.observe_item(item)
         if _obs.ENABLED and not self._passthrough:
             # Passthrough events are ubiquitous; window completions are
             # the signal worth a record per delivery.

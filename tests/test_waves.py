@@ -1,9 +1,11 @@
 """Wave-tag semantics (paper §2.1)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.events import CWEvent
 from repro.core.waves import WaveGenerator, WaveScope, WaveTag
+from repro.frontier import FrontierTracker
 
 
 class TestWaveTag:
@@ -68,6 +70,25 @@ class TestWaveTag:
         ordered = sorted(str(t) for t in tags)
         assert [str(t) for t in sorted(tags)] == ordered
 
+    def test_parent_precedes_child_in_ordering(self):
+        # A tag is a strict prefix of its children: (t,) sorts before
+        # (t, 1), which sorts before any deeper or later sibling.
+        parent = WaveTag.root(7)
+        first_child = parent.child(1)
+        assert parent < first_child
+        assert not first_child < parent
+        assert first_child < parent.child(2)
+        assert first_child.child(1) < parent.child(2)
+        assert sorted([first_child, parent]) == [parent, first_child]
+
+    def test_same_wave_across_depths(self):
+        root = WaveTag.root(3)
+        deep = root.child(2).child(1).child(4)
+        assert deep.same_wave(root)
+        assert root.same_wave(deep)
+        assert deep.same_wave(root.child(9))
+        assert not deep.same_wave(WaveTag.root(4).child(2).child(1))
+
     def test_child_index_must_be_positive(self):
         with pytest.raises(ValueError):
             WaveTag.root(1).child(0)
@@ -88,6 +109,52 @@ class TestWaveGenerator:
         serials = [t.serial for t in tags]
         assert serials == sorted(serials)
         assert len(set(serials)) == 10
+
+
+class TestFrontierFollowsTagOrder:
+    """The frontier advances in sorted root-tag (admission) order."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        serials=st.lists(
+            st.integers(min_value=0, max_value=999),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        ),
+        data=st.data(),
+    )
+    def test_advancement_order_equals_sorted_root_order(
+        self, serials, data
+    ):
+        # Sources admit roots with monotone timestamps in serial order,
+        # but the waves *complete* in an arbitrary permutation — the
+        # frontier must still pass each admission timestamp in sorted
+        # root-tag order, never skipping ahead of an outstanding root.
+        tracker = FrontierTracker()
+        admitted = {}
+        for serial in sorted(serials):
+            tag = WaveTag.root(serial)
+            event = CWEvent("x", 1_000 * serial, tag)
+            tracker.observe(event)
+            admitted[serial] = event.timestamp
+        completion = data.draw(st.permutations(sorted(serials)))
+
+        outstanding = set(serials)
+        frontiers = []
+        for serial in completion:
+            tracker.retire(WaveTag.root(serial))
+            outstanding.discard(serial)
+            frontier = tracker.frontier_ts()
+            if outstanding:
+                # The oldest *outstanding* root bounds the frontier,
+                # whatever completed in between.
+                assert frontier == admitted[min(outstanding)]
+                frontiers.append(frontier)
+            else:
+                assert frontier is None
+        # The frontier trajectory itself is monotone: sorted root order.
+        assert frontiers == sorted(frontiers)
 
 
 class TestWaveScope:
