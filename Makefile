@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-fusion bench-overload bench-shard bench-frontier bench-ablation checkpoint-smoke figures examples chaos clean
+.PHONY: install test lint ci bench bench-quick bench-paper bench-smoke bench-train bench-fusion bench-overload bench-shard bench-shard-transport bench-frontier bench-ablation checkpoint-smoke figures examples chaos clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -21,7 +21,7 @@ lint:  # ruff when available; otherwise a byte-compile syntax pass.
 	fi
 	$(PYTHON) tools/check_imports.py  # duplicate/unsorted imports (ruff "I" stand-in)
 
-ci: lint test checkpoint-smoke bench-train bench-fusion bench-overload bench-shard bench-frontier
+ci: lint test checkpoint-smoke bench-train bench-fusion bench-overload bench-shard bench-shard-transport bench-frontier
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -66,6 +66,12 @@ bench-shard:  # sharded execution: identity gate + absolute baselines
 	$(PYTHON) benchmarks/check_baseline.py .benchmark-shard.json \
 		--baseline benchmarks/baselines/shard.json
 
+bench-shard-transport:  # data plane: >=30% per-chunk gate + absolute baselines
+	$(PYTHON) -m pytest benchmarks/bench_shard_transport.py -q \
+		--benchmark-json=.benchmark-shard-transport.json
+	$(PYTHON) benchmarks/check_baseline.py .benchmark-shard-transport.json \
+		--baseline benchmarks/baselines/shard_transport.json
+
 bench-frontier:  # frontier tracking: <=10% overhead + purity gate on in-order fig-8
 	REPRO_BENCH_DURATION=120 $(PYTHON) -m pytest \
 		benchmarks/bench_frontier_overhead.py --benchmark-only -q \
@@ -100,5 +106,5 @@ chaos:  # deterministic fault-injection suite (resilience + chaos runs)
 	$(PYTHON) -m pytest tests/test_resilience.py tests/test_chaos.py tests/test_window_forced.py
 
 clean:
-	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-fusion.json .benchmark-overload.json .benchmark-shard.json .benchmark-frontier.json .benchmark-ablation.json
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info .benchmark-smoke.json .benchmark-checkpoint.json .benchmark-engine-micro.json .benchmark-train.json .benchmark-fusion.json .benchmark-overload.json .benchmark-shard.json .benchmark-shard-transport.json .benchmark-frontier.json .benchmark-ablation.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

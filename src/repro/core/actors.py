@@ -282,6 +282,38 @@ class SourceActor(Actor):
             return
         self._pending.extend(new)
 
+    def feed_columns(
+        self,
+        ts: Sequence[int],
+        values: Sequence[Any],
+        event_ts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Append a decoded columnar batch (the shard codec fast path).
+
+        Semantically ``feed(zip(ts, values[, event_ts]))`` without ever
+        materializing an intermediate row list: the delivery column is
+        verified monotone and non-regressing (codec chunks are slices
+        of a delivery-sorted schedule, so this is the common case) and
+        the rows stream straight from ``zip`` into the pending
+        schedule.  A batch that violates the ordering falls back to
+        :meth:`feed`, keeping the strict-mode/out-of-order semantics —
+        and their failure modes — identical to row-wise feeding.
+        """
+        if not ts:
+            return
+        rows = (
+            zip(ts, values)
+            if event_ts is None
+            else zip(ts, values, event_ts)
+        )
+        in_order = all(a <= b for a, b in zip(ts, ts[1:]))
+        if not in_order or (
+            self._pending and ts[0] < self._pending[-1][0]
+        ):
+            self.feed(list(rows))
+            return
+        self._pending.extend(rows)
+
     # ------------------------------------------------------------------
     def next_arrival_time(self) -> Optional[int]:
         """Engine time of the next emission this source could make."""

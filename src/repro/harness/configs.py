@@ -127,6 +127,21 @@ class ExperimentConfig:
     #: or ``"grace:<us>"`` — how frontier-managed receivers treat events
     #: older than the applied frontier.  Requires ``frontier="close"``.
     lateness: Optional[str] = None
+    #: Shard data-plane credit window (``--shard-inflight``): chunks the
+    #: coordinator may keep outstanding per worker before waiting for an
+    #: ack.  ``1`` is the historical lockstep barrier; deeper windows
+    #: overlap encode + pipe I/O with worker compute.  Merged output is
+    #: bit-identical at any depth (frontier-close runs clamp to 1).
+    shard_inflight: int = 4
+    #: Shard chunk wire codec (``--shard-codec``): ``"struct"`` packs
+    #: homogeneous LR report chunks as fixed-width columns with a framed
+    #: pickle-5 fallback per group; ``"pickle"`` frames the whole
+    #: payload through protocol-5 pickling.  Output-identical.
+    shard_codec: str = "struct"
+    #: Adaptive chunk sizing (``--shard-adaptive-chunk``): widen/narrow
+    #: the chunk interval between bounds from acked backlog telemetry.
+    #: Off = the fixed grid.  Output-identical either way.
+    shard_adaptive_chunk: bool = False
 
     def with_seeds(self, seeds: tuple[int, ...]) -> "ExperimentConfig":
         return replace(self, seeds=seeds)

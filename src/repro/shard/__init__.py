@@ -13,15 +13,25 @@ Layout:
 
 * :mod:`repro.shard.routing` — shard plans, per-shard CRC seeds,
   canonical traces and the deterministic merge;
+* :mod:`repro.shard.codec` — the data plane's wire format: columnar
+  struct packing for homogeneous LR chunks, framed pickle-5 fallback;
 * :mod:`repro.shard.worker` — the worker process: engines, the pipe
   message loop and the per-shard engine builder;
-* :mod:`repro.shard.coordinator` — the coordinator: chunked routing,
-  backlog telemetry, migration orchestration and the merge;
+* :mod:`repro.shard.coordinator` — the coordinator: credit-based
+  pipelined chunk streaming, backlog telemetry, adaptive chunk sizing,
+  migration orchestration and the merge;
 * :mod:`repro.shard.migration` — snapshot envelopes: the checkpoint
   layer as a migration primitive.
 """
 
+from .codec import (
+    CODECS,
+    ColumnarBatch,
+    decode_chunk,
+    encode_chunk,
+)
 from .coordinator import (
+    AdaptiveChunker,
     run_sharded,
     run_single_canonical,
     ShardCoordinator,
@@ -53,6 +63,11 @@ __all__ = [
     "run_single_canonical",
     "shard_salt",
     "shard_seed",
+    "AdaptiveChunker",
+    "CODECS",
+    "ColumnarBatch",
+    "decode_chunk",
+    "encode_chunk",
     "ShardCoordinator",
     "ShardedRunResult",
     "ShardEngine",

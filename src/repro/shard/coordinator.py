@@ -8,13 +8,38 @@ byte-identical to the single-process run), spawns N worker processes
 each hosting its assigned logical shards, and streams the per-shard
 slices over ``multiprocessing`` pipes in watermarked chunks.
 
+The data plane is a **credit-based pipelined stream**: each worker has
+a credit window of ``max_inflight`` chunks (``--shard-inflight``), and
+the coordinator keeps sending — encoding the next chunk through
+:mod:`repro.shard.codec` while workers chew on earlier ones — blocking
+only when a window is full.  Acks return credits asynchronously and
+carry the per-shard backlog + frontier telemetry of their chunk;
+completed rounds are folded into the logs in watermark order, so the
+telemetry stream reads exactly like the historical lockstep one
+(``max_inflight=1``, which remains bit-identical by construction).
+Chunked delivery itself is placement- and pacing-independent — the
+simulation runtime admits arrivals at their stamped times — so *any*
+in-flight depth, codec and chunk grid produces the same merged output.
+
+Two consumers do need the pipeline quiesced:
+
+* **frontier closure** (``frontier="close"``): the merged minimum
+  frontier applied to chunk N+1 is computed from every shard's ack of
+  chunk N, so the run clamps the window to one chunk and barriers each
+  round — the lockstep cadence *is* the frontier protocol;
+* **live migration**: :meth:`ShardCoordinator.migrate_shard` drains the
+  donor's and the target's credit windows before dumping state, so the
+  snapshot covers exactly the chunks sent so far.
+
 Every chunk acknowledgement carries the per-shard backlog of the worker,
-giving the coordinator the live load picture an elastic policy needs;
-the scripted :class:`~repro.shard.migration.ShardMigration` hook (and
-the :meth:`ShardCoordinator.migrate_shard` primitive underneath it)
-moves a logical shard between workers mid-run by shipping a checkpoint
-snapshot — no replay, and the final merged output is byte-identical to
-an unmigrated run.
+giving the coordinator the live load picture an elastic policy needs —
+and, opt-in (``--shard-adaptive-chunk``), driving
+:class:`AdaptiveChunker`, which widens the chunk interval while shards
+keep up and narrows it under backlog.  The scripted
+:class:`~repro.shard.migration.ShardMigration` hook moves a logical
+shard between workers mid-run by shipping a checkpoint snapshot — no
+replay, and the final merged output is byte-identical to an unmigrated
+run.
 
 When all arrivals are delivered the workers run their shards to the
 horizon and report canonical sink traces, which the coordinator merges
@@ -26,14 +51,18 @@ single-process run of the same config + seed.
 from __future__ import annotations
 
 import multiprocessing
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from time import perf_counter_ns
+from typing import Any, Deque, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.exceptions import SimulationError
+from ..core.statistics import StatisticsRegistry
 from ..core.timekeeper import US_PER_S
 from ..linearroad.generator import LinearRoadWorkload
 from ..linearroad.workflow import shard_key_fn
 from ..stafilos.scwf_director import _FAR_FUTURE
+from .codec import CODECS, DEFAULT_CODEC, encode_chunk
 from .migration import ShardMigration
 from .routing import (
     CanonicalRecord,
@@ -42,6 +71,65 @@ from .routing import (
     ShardPlan,
 )
 from .worker import ShardWorkerSpec, worker_main
+
+#: Default credit-window depth (``--shard-inflight``): how many chunks
+#: may be outstanding per worker before the coordinator waits for an
+#: ack.  ``1`` reproduces the historical lockstep barrier exactly.
+DEFAULT_INFLIGHT = 4
+
+
+class AdaptiveChunker:
+    """Backlog-driven chunk sizing between bounds (opt-in).
+
+    Fed the peak per-shard backlog of each completed chunk round, it
+    widens the chunk interval while every shard keeps up (peak at or
+    below *low*) — fewer, bigger chunks amortize encode + ship + ack
+    overhead — and halves it once backlog builds past *high*, restoring
+    fine-grained telemetry and migration points.  Bounds default to
+    ``[max(1, base//4), base*4]`` seconds.
+
+    The chunk grid never touches outputs: chunked delivery is
+    equivalent to preloading the schedule, so adaptation trades
+    transport overhead against telemetry resolution only.
+    """
+
+    def __init__(
+        self,
+        base_s: int,
+        min_s: Optional[int] = None,
+        max_s: Optional[int] = None,
+        low: int = 0,
+        high: int = 256,
+    ):
+        self.min_s = max(1, base_s // 4) if min_s is None else min_s
+        self.max_s = base_s * 4 if max_s is None else max_s
+        if not self.min_s <= base_s <= self.max_s:
+            raise SimulationError(
+                f"adaptive chunk bounds [{self.min_s}, {self.max_s}] s "
+                f"must bracket the base interval {base_s} s"
+            )
+        if low >= high:
+            raise SimulationError(
+                "adaptive chunking needs low watermark < high watermark"
+            )
+        self.low = low
+        self.high = high
+        self.chunk_s = base_s
+        #: How many times the interval actually changed.
+        self.resizes = 0
+
+    def update(self, peak_backlog: int) -> int:
+        """Fold one completed round's peak backlog; return the new size."""
+        if peak_backlog > self.high:
+            size = max(self.min_s, self.chunk_s // 2)
+        elif peak_backlog <= self.low:
+            size = min(self.max_s, self.chunk_s * 2)
+        else:
+            size = self.chunk_s
+        if size != self.chunk_s:
+            self.chunk_s = size
+            self.resizes += 1
+        return self.chunk_s
 
 
 @dataclass
@@ -77,6 +165,10 @@ class ShardedRunResult:
     migrations: List[Tuple[int, Hashable, int, int]] = field(
         default_factory=list
     )
+    #: Data-plane counters (``shard_bytes_sent``, ``shard_encode_us``,
+    #: ``shard_peak_inflight``...) — a copy of the coordinator
+    #: registry's ``engine_counters`` at the end of the run.
+    transport: Dict[str, float] = field(default_factory=dict)
 
     def peak_backlog(self) -> int:
         """The largest per-shard backlog any chunk ack reported."""
@@ -99,6 +191,9 @@ class ShardCoordinator:
         chunk_s: int = 10,
         migrations: Sequence[ShardMigration] = (),
         start_method: Optional[str] = None,
+        max_inflight: Optional[int] = None,
+        codec: Optional[str] = None,
+        adaptive_chunk: Optional[bool] = None,
     ):
         if config.scheduler.kind == "PNCWF":
             raise SimulationError(
@@ -108,11 +203,29 @@ class ShardCoordinator:
             raise SimulationError("--shards must be >= 1")
         if chunk_s < 1:
             raise SimulationError("the chunk interval must be >= 1 s")
+        # Transport knobs default from the experiment config (where the
+        # CLI and checkpoint manifests put them); explicit arguments
+        # win, so the coordinator stays usable with bare configs.
+        if max_inflight is None:
+            max_inflight = getattr(config, "shard_inflight", DEFAULT_INFLIGHT)
+        if codec is None:
+            codec = getattr(config, "shard_codec", DEFAULT_CODEC)
+        if adaptive_chunk is None:
+            adaptive_chunk = getattr(config, "shard_adaptive_chunk", False)
+        if max_inflight < 1:
+            raise SimulationError("--shard-inflight must be >= 1")
+        if codec not in CODECS:
+            raise SimulationError(
+                f"unknown shard codec {codec!r} (choose from {CODECS})"
+            )
         self.config = config
         self.seed = seed
         self.shards = shards
         self.shard_key = shard_key
         self.chunk_s = chunk_s
+        self.max_inflight = max_inflight
+        self.codec = codec
+        self.adaptive_chunk = bool(adaptive_chunk)
         self.scripted_migrations = sorted(
             migrations, key=lambda m: m.at_s
         )
@@ -127,11 +240,46 @@ class ShardCoordinator:
         self._conns: List[Any] = []
         self._procs: List[Any] = []
         self.migrations_done: List[Tuple[int, Hashable, int, int]] = []
+        #: Per-worker credit windows: watermarks sent but not yet acked.
+        self._outstanding: List[Deque[int]] = []
+        #: Chunk rounds awaiting acks: watermark -> [remaining worker
+        #: count, merged backlogs, merged frontier bounds].
+        self._rounds: Dict[int, list] = {}
+        #: Send order of rounds, so telemetry folds in watermark order.
+        self._round_order: Deque[int] = deque()
+        #: Data-plane counters, surfaced through ``snapshot()`` (and
+        #: therefore the Prometheus exporter) under ``__engine__``.
+        self.statistics = StatisticsRegistry()
+        self.statistics.engine_counters.update(
+            shard_bytes_sent=0,
+            shard_chunks_sent=0,
+            shard_chunks_inflight=0,
+            shard_peak_inflight=0,
+            shard_encode_us=0,
+            shard_decode_us=0,
+        )
 
     # ------------------------------------------------------------------
     def _recv(self, worker: int, expected: str) -> tuple:
-        """Receive one reply from *worker*, surfacing worker errors."""
-        message = self._conns[worker].recv()
+        """Receive one reply from *worker*, surfacing worker errors.
+
+        A worker that died without reporting (OOM-killed, segfaulted,
+        ``kill -9``...) closes its pipe end; the raw ``EOFError`` /
+        ``BrokenPipeError`` is translated into a :class:`SimulationError`
+        naming the worker and its exit code, after reaping the process.
+        """
+        try:
+            message = self._conns[worker].recv()
+        except (EOFError, OSError) as exc:
+            exit_code: Optional[int] = None
+            if worker < len(self._procs):
+                process = self._procs[worker]
+                process.join(timeout=5)
+                exit_code = process.exitcode
+            raise SimulationError(
+                f"shard worker {worker} died mid-run (pipe closed while "
+                f"awaiting {expected!r}; exit code {exit_code})"
+            ) from exc
         if message[0] == "error":
             raise SimulationError(
                 f"shard worker {worker} failed: {message[2]}"
@@ -162,8 +310,56 @@ class ShardCoordinator:
             child.close()
             self._conns.append(parent)
             self._procs.append(process)
+        self._outstanding = [deque() for _ in range(plan.workers)]
+        self._rounds = {}
+        self._round_order = deque()
         for worker_id in range(plan.workers):
             self._recv(worker_id, "ready")
+
+    # ------------------------------------------------------------------
+    # Credit accounting
+    # ------------------------------------------------------------------
+    def _inflight_total(self) -> int:
+        return sum(len(window) for window in self._outstanding)
+
+    def _drain_one_ack(self, worker: int) -> None:
+        """Block for one ack from *worker* and return its credit.
+
+        Acks arrive over a FIFO pipe, so they match the head of the
+        worker's credit window; the echoed watermark is checked anyway
+        — a mismatch means the transport invariant broke.
+        """
+        message = self._recv(worker, "ack")
+        _, _, watermark_us, backlogs, frontiers, decode_us = message
+        expected = self._outstanding[worker].popleft()
+        if watermark_us != expected:
+            raise SimulationError(
+                f"shard worker {worker} acked chunk {watermark_us} "
+                f"out of order (expected {expected})"
+            )
+        entry = self._rounds[watermark_us]
+        entry[0] -= 1
+        entry[1].update(backlogs)
+        entry[2].update(frontiers)
+        counters = self.statistics.engine_counters
+        counters["shard_decode_us"] += decode_us
+        counters["shard_chunks_inflight"] = self._inflight_total()
+
+    def _drain_ready_acks(self) -> None:
+        """Consume every ack already sitting in the pipes (non-blocking)."""
+        for worker, window in enumerate(self._outstanding):
+            while window and self._conns[worker].poll(0):
+                self._drain_one_ack(worker)
+
+    def _drain_all_acks(self, workers: Optional[Sequence[int]] = None) -> None:
+        """Block until the given credit windows (default: all) are empty."""
+        if not self._outstanding:
+            return
+        if workers is None:
+            workers = range(len(self._outstanding))
+        for worker in workers:
+            while self._outstanding[worker]:
+                self._drain_one_ack(worker)
 
     # ------------------------------------------------------------------
     def migrate_shard(
@@ -171,12 +367,13 @@ class ShardCoordinator:
     ) -> None:
         """Move one logical shard between workers, live, without replay.
 
-        The rebalancing primitive: snapshot the shard's engine on its
-        current worker (``dump``), ship the envelope through the
-        coordinator, rebuild + restore it on the target (``adopt``) and
-        repoint the routing plan.  Subsequent chunks flow to the new
-        worker; the shard's state — clock, queues, windows, RNGs —
-        continues bit-identically.
+        The rebalancing primitive: quiesce the donor's and the target's
+        credit windows (so the snapshot reflects exactly the chunks
+        sent so far), snapshot the shard's engine on its current worker
+        (``dump``), ship the envelope through the coordinator, rebuild +
+        restore it on the target (``adopt``) and repoint the routing
+        plan.  Subsequent chunks flow to the new worker; the shard's
+        state — clock, queues, windows, RNGs — continues bit-identically.
         """
         assert self.plan is not None
         from_worker = self.plan.worker_of(group)
@@ -187,6 +384,7 @@ class ShardCoordinator:
                 f"cannot migrate shard {group!r} to worker {to_worker}: "
                 f"workers are 0..{self.plan.workers - 1}"
             )
+        self._drain_all_acks((from_worker, to_worker))
         self._conns[from_worker].send(("dump", group))
         _, _, _, envelope = self._recv(from_worker, "state")
         self._conns[to_worker].send(("adopt", group, envelope))
@@ -220,6 +418,51 @@ class ShardCoordinator:
         #: the first acks arrive (and always, when closure is off).
         merged_frontier: Optional[int] = None
         frontier_log: List[Tuple[int, int]] = []
+        # Frontier closure needs the full previous round before cutting
+        # the next chunk (the merged bound rides in the chunk message),
+        # so the credit window clamps to 1 and the grid stays fixed —
+        # the lockstep barrier *is* the frontier protocol.
+        inflight = 1 if frontier_close else self.max_inflight
+        chunker = (
+            AdaptiveChunker(self.chunk_s)
+            if self.adaptive_chunk and not frontier_close
+            else None
+        )
+        counters = self.statistics.engine_counters
+
+        def fold_completed_rounds() -> None:
+            """Move fully-acked head rounds into the telemetry logs."""
+            nonlocal merged_frontier, chunk_us
+            while self._round_order and not self._rounds[
+                self._round_order[0]
+            ][0]:
+                done = self._round_order.popleft()
+                _, backlogs, frontiers = self._rounds.pop(done)
+                backlog_log.append((done, backlogs))
+                if frontier_close:
+                    # The merge: minimum of every shard's local bound,
+                    # floored by the chunk watermark minus the disorder
+                    # bound — a temporarily drained shard (bound None)
+                    # can still receive events no older than that from
+                    # the next chunk.  Per-group bounds come from the
+                    # shards' own deterministic engines, so the merged
+                    # sequence is identical for every worker count.
+                    bounds = [
+                        bound
+                        for bound in frontiers.values()
+                        if bound is not None
+                    ]
+                    bounds.append(done - disorder_us)
+                    candidate = min(bounds)
+                    if merged_frontier is None or (
+                        candidate > merged_frontier
+                    ):
+                        merged_frontier = candidate
+                    frontier_log.append((done, merged_frontier))
+                if chunker is not None:
+                    peak = max(backlogs.values(), default=0)
+                    chunk_us = chunker.update(peak) * US_PER_S
+
         try:
             self._spawn(plan)
             cursors = {group: 0 for group in plan.groups}
@@ -246,45 +489,49 @@ class ShardCoordinator:
                         per_worker[plan.worker_of(group)][group] = items[
                             start:stop
                         ]
+                self._rounds[watermark] = [plan.workers, {}, {}]
+                self._round_order.append(watermark)
                 for worker in range(plan.workers):
-                    self._conns[worker].send(
-                        ("chunk", watermark, per_worker[worker],
-                         merged_frontier)
+                    # The credit gate: at most ``inflight`` chunks
+                    # outstanding per worker — encode + send overlap
+                    # with every worker's compute until a window fills.
+                    while len(self._outstanding[worker]) >= inflight:
+                        self._drain_one_ack(worker)
+                    encode_start = perf_counter_ns()
+                    blob = encode_chunk(
+                        per_worker[worker], self.codec, now_us=watermark
                     )
-                chunk_backlogs: Dict[Hashable, int] = {}
-                chunk_frontiers: Dict[Hashable, Optional[int]] = {}
-                for worker in range(plan.workers):
-                    _, _, backlogs, frontiers = self._recv(worker, "ack")
-                    chunk_backlogs.update(backlogs)
-                    chunk_frontiers.update(frontiers)
-                backlog_log.append((watermark, chunk_backlogs))
+                    counters["shard_encode_us"] += (
+                        perf_counter_ns() - encode_start
+                    ) // 1000
+                    counters["shard_bytes_sent"] += len(blob)
+                    counters["shard_chunks_sent"] += 1
+                    self._conns[worker].send(
+                        ("chunk", watermark, blob, merged_frontier)
+                    )
+                    self._outstanding[worker].append(watermark)
+                total = self._inflight_total()
+                counters["shard_chunks_inflight"] = total
+                if total > counters["shard_peak_inflight"]:
+                    counters["shard_peak_inflight"] = total
                 if frontier_close:
-                    # The merge: minimum of every shard's local bound,
-                    # floored by the chunk watermark minus the disorder
-                    # bound — a temporarily drained shard (bound None)
-                    # can still receive events no older than that from
-                    # the next chunk.  Per-group bounds come from the
-                    # shards' own deterministic engines, so the merged
-                    # sequence is identical for every worker count.
-                    bounds = [
-                        bound
-                        for bound in chunk_frontiers.values()
-                        if bound is not None
-                    ]
-                    bounds.append(watermark - disorder_us)
-                    candidate = min(bounds)
-                    if merged_frontier is None or (
-                        candidate > merged_frontier
-                    ):
-                        merged_frontier = candidate
-                    frontier_log.append((watermark, merged_frontier))
+                    self._drain_all_acks()
+                else:
+                    # Opportunistic: collect acks already queued, so
+                    # telemetry (and adaptive sizing) stays fresh
+                    # without ever stalling the send loop.
+                    self._drain_ready_acks()
+                fold_completed_rounds()
                 while pending and pending[0].at_s * US_PER_S <= watermark:
                     migration = pending.pop(0)
                     self.migrate_shard(
                         migration.group, migration.to_worker, watermark
                     )
+                    fold_completed_rounds()
                 if watermark > last_ts and not pending:
                     break
+            self._drain_all_acks()
+            fold_completed_rounds()
             for worker in range(plan.workers):
                 self._conns[worker].send(
                     ("finish", horizon_us,
@@ -308,6 +555,9 @@ class ShardCoordinator:
                 conn.close()
             self._conns = []
             self._procs = []
+            self._outstanding = []
+            self._rounds = {}
+            self._round_order = deque()
         missing = set(plan.groups) - set(per_shard)
         if missing:
             raise SimulationError(
@@ -345,6 +595,7 @@ class ShardCoordinator:
             backlog_log=backlog_log,
             frontier_log=frontier_log,
             migrations=list(self.migrations_done),
+            transport=dict(self.statistics.engine_counters),
         )
 
 
@@ -355,14 +606,20 @@ def run_sharded(
     shard_key: str = "xway",
     chunk_s: int = 10,
     migrations: Sequence[ShardMigration] = (),
+    max_inflight: Optional[int] = None,
+    codec: Optional[str] = None,
+    adaptive_chunk: Optional[bool] = None,
 ) -> ShardedRunResult:
     """One seeded Linear Road run partitioned across worker processes.
 
     The convenience entry point behind ``repro run --shards N``: builds
-    a :class:`ShardCoordinator` and runs it.  The merged canonical
-    traces in the result are bit-identical to
+    a :class:`ShardCoordinator` and runs it.  Transport knobs left as
+    ``None`` default from the config's ``shard_inflight`` /
+    ``shard_codec`` / ``shard_adaptive_chunk`` fields.  The merged
+    canonical traces in the result are bit-identical to
     :func:`run_single_canonical` on the same config + seed, for any
-    shard count and any scripted migrations.
+    shard count, in-flight depth, codec, chunk grid and any scripted
+    migrations.
     """
     return ShardCoordinator(
         config,
@@ -371,6 +628,9 @@ def run_sharded(
         shard_key=shard_key,
         chunk_s=chunk_s,
         migrations=migrations,
+        max_inflight=max_inflight,
+        codec=codec,
+        adaptive_chunk=adaptive_chunk,
     ).run()
 
 

@@ -25,6 +25,15 @@ arrival lists are structural (``checkpoint_exclude``) and normally
 rebuilt by the workload builder, but a shard worker receives its
 arrivals incrementally over a pipe, so the fed-so-far prefix must travel
 with the snapshot for the restored cursor to be meaningful.
+
+With the pipelined data plane that prefix is only well-defined once the
+coordinator *quiesces* both ends: chunks may sit unprocessed in the
+donor's credit window when the migration triggers, so
+``ShardCoordinator.migrate_shard`` drains the donor's and the target's
+outstanding acks before sending ``dump`` — the envelope then covers
+exactly the chunks sent so far, the same prefix a lockstep run would
+have fed, which is what keeps migrated runs byte-identical at any
+in-flight depth.
 """
 
 from __future__ import annotations

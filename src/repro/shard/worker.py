@@ -24,11 +24,16 @@ cross their boundaries.
 
 The message protocol (coordinator -> worker, replies in parentheses)::
 
-    ("chunk", watermark_us, {group: [(ts, value), ...]}, frontier_us)
-        feed + advance every hosted shard; ``frontier_us`` (None when
+    ("chunk", watermark_us, payload, frontier_us)
+        feed + advance every hosted shard; ``payload`` is either a
+        ``repro.shard.codec`` wire blob (bytes) or a raw ``{group:
+        [(ts, value), ...]}`` dict, and ``frontier_us`` (None when
         frontier closure is off) is the coordinator's merged minimum
         frontier, applied to every shard's timed windows before the
-        chunk runs          (-> "ack" with backlogs + local frontiers)
+        chunk runs.  The coordinator pipelines chunks — up to its
+        credit window may be outstanding before any ack returns
+            (-> ("ack", worker_id, watermark_us, backlogs, frontiers,
+                 decode_us), one per chunk, in chunk order)
     ("dump", group)      extract a shard as a migration envelope
                                             (-> "state")
     ("adopt", group, envelope)  rebuild + restore a migrated shard
@@ -48,7 +53,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Dict, Hashable, Optional, Sequence, Tuple
+from time import perf_counter_ns
+from typing import Any, Dict, Hashable, Optional, Sequence, Tuple, Union
 
 from ..checkpoint import DirectoryCheckpointStore, EngineCheckpointer
 from ..core.exceptions import SimulationError
@@ -60,6 +66,7 @@ from ..resilience import FaultPolicy, install_faults
 from ..simulation.clock import VirtualClock
 from ..simulation.runtime import SimulationRuntime
 from ..stafilos.scwf_director import SCWFDirector
+from .codec import ColumnarBatch, decode_chunk
 from .migration import apply_envelope, make_envelope
 from .routing import canonical_run_traces, shard_salt, shard_seed
 
@@ -110,11 +117,24 @@ class ShardEngine:
         self.checkpointer = checkpointer
         self.injectors = injectors
 
-    def feed(self, arrivals: Sequence[Tuple[int, Any]]) -> None:
-        """Append one chunk of arrivals to the shard's source."""
-        if arrivals:
+    def feed(
+        self, arrivals: Union[Sequence[Tuple[int, Any]], ColumnarBatch]
+    ) -> None:
+        """Append one chunk of arrivals to the shard's source.
+
+        Accepts either the classic row-tuple list or a decoded
+        :class:`~repro.shard.codec.ColumnarBatch`, which is handed to
+        the source column-wise — no intermediate tuple list is built.
+        """
+        if not arrivals:
+            return
+        if isinstance(arrivals, ColumnarBatch):
+            self.system.source.feed_columns(
+                arrivals.ts, arrivals.values, arrivals.event_ts
+            )
+        else:
             self.system.source.feed(arrivals)
-            self.director.invalidate_arrival_cache()
+        self.director.invalidate_arrival_cache()
 
     def run_to(self, watermark_us: int) -> None:
         """Advance the shard's virtual clock to the watermark."""
@@ -329,7 +349,15 @@ def worker_main(conn: Any, spec: ShardWorkerSpec) -> None:
             break
         try:
             if kind == "chunk":
-                _, watermark_us, slices, frontier_us = message
+                _, watermark_us, payload, frontier_us = message
+                if isinstance(payload, (bytes, bytearray, memoryview)):
+                    decode_start = perf_counter_ns()
+                    slices = decode_chunk(payload, now_us=watermark_us)
+                    decode_us = (
+                        perf_counter_ns() - decode_start
+                    ) // 1000
+                else:  # raw dict: direct callers and old tooling
+                    slices, decode_us = payload, 0
                 backlogs: Dict[Hashable, int] = {}
                 frontiers: Dict[Hashable, Optional[int]] = {}
                 for group in sorted(engines):
@@ -347,7 +375,12 @@ def worker_main(conn: Any, spec: ShardWorkerSpec) -> None:
                     engine.run_to(watermark_us)
                     backlogs[group] = engine.backlog()
                     frontiers[group] = engine.frontier_bound()
-                conn.send(("ack", spec.worker_id, backlogs, frontiers))
+                # The echoed watermark returns the chunk's credit to
+                # the coordinator's pipelined window.
+                conn.send(
+                    ("ack", spec.worker_id, watermark_us, backlogs,
+                     frontiers, decode_us)
+                )
             elif kind == "dump":
                 _, group = message
                 engine = engines.pop(group)

@@ -1,0 +1,512 @@
+"""The pipelined shard data plane (``repro.shard.codec`` + coordinator).
+
+Covers the transport rebuild end to end: codec round-trips (columnar
+fast path, pickle-5 fallback, out-of-band buffers, a Hypothesis
+property over arbitrary payloads), credit-based pipelining
+(lockstep-vs-pipelined merged-trace equality at several in-flight
+depths and codecs, frontier-close clamping, mid-run migration under a
+deep window), adaptive chunk sizing, the columnar source fast path
+(``SourceActor.feed_columns``), dead-worker error surfacing in
+``ShardCoordinator._recv``, transport telemetry (trace events,
+engine counters, Prometheus export) and the CLI/manifest plumbing of
+the three new knobs.
+"""
+
+import pickle
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actors import SourceActor
+from repro.core.exceptions import ActorError, SimulationError
+from repro.harness.cli import main
+from repro.harness.configs import ExperimentConfig, SchedulerSpec
+from repro.harness.experiment import checkpoint_meta, config_from_meta
+from repro.linearroad.generator import (
+    LinearRoadWorkload,
+    US_PER_S,
+    WorkloadConfig,
+)
+from repro.linearroad.types import PositionReport
+from repro.linearroad.workflow import shard_key_fn
+from repro.observability import export_prometheus, RecordingTracer, use_tracer
+from repro.shard import (
+    AdaptiveChunker,
+    ColumnarBatch,
+    decode_chunk,
+    encode_chunk,
+    partition_arrivals,
+    run_sharded,
+    run_single_canonical,
+    ShardCoordinator,
+    ShardMigration,
+    ShardPlan,
+)
+
+
+def small_config(**overrides) -> ExperimentConfig:
+    """A fast 4-expressway workload that stays un-backlogged."""
+    workload = WorkloadConfig(
+        duration_s=60, peak_rate=80, seed=1, l_rating=4.0
+    )
+    return ExperimentConfig(
+        scheduler=SchedulerSpec(kind="FIFO"),
+        workload=workload,
+        seeds=(1,),
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return small_config()
+
+
+@pytest.fixture(scope="module")
+def single(config):
+    """Canonical traces of the single-process oracle run."""
+    return run_single_canonical(config, seed=1)
+
+
+def lr_chunk(config, count=400):
+    """A realistic per-worker chunk: LR report slices keyed by xway."""
+    workload = LinearRoadWorkload(replace(config.workload, seed=1))
+    slices = partition_arrivals(workload.arrivals(), shard_key_fn("xway"))
+    return {group: items[:count] for group, items in slices.items()}
+
+
+def normalize(decoded):
+    """Decoded payload -> row lists, whatever each group's encoding."""
+    return {
+        group: rows.rows() if isinstance(rows, ColumnarBatch) else rows
+        for group, rows in decoded.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Codec round-trips
+# ---------------------------------------------------------------------------
+class TestCodec:
+    def test_struct_roundtrips_lr_chunk_columnar(self, config):
+        chunk = lr_chunk(config)
+        decoded = decode_chunk(encode_chunk(chunk, "struct"))
+        # The homogeneous LR fast path decodes into columns, and the
+        # round trip is repr-exact (the merge key compares repr).
+        for group, rows in chunk.items():
+            batch = decoded[group]
+            assert isinstance(batch, ColumnarBatch)
+            assert batch.rows() == rows
+            assert list(map(repr, batch.values)) == [
+                repr(value) for _, value in rows
+            ]
+
+    def test_struct_beats_pickle_on_lr_chunks(self, config):
+        chunk = lr_chunk(config)
+        blob = encode_chunk(chunk, "struct")
+        assert len(blob) < len(pickle.dumps(chunk, protocol=5))
+
+    def test_pickle_codec_roundtrips(self, config):
+        chunk = lr_chunk(config, count=50)
+        assert decode_chunk(encode_chunk(chunk, "pickle")) == chunk
+
+    def test_empty_payloads(self):
+        for codec in ("struct", "pickle"):
+            assert decode_chunk(encode_chunk({}, codec)) == {}
+            assert normalize(
+                decode_chunk(encode_chunk({0: []}, codec))
+            ) == {0: []}
+
+    def test_mixed_chunk_takes_fallback_per_group(self, config):
+        report = lr_chunk(config, count=1)[0][0][1]
+        payload = {
+            0: [(1, report), (2, report)],  # homogeneous -> columnar
+            1: [(3, "late"), (4, None)],  # mixed -> pickled rows
+        }
+        decoded = decode_chunk(encode_chunk(payload, "struct"))
+        assert isinstance(decoded[0], ColumnarBatch)
+        assert isinstance(decoded[1], list)
+        assert normalize(decoded) == payload
+
+    def test_disorder_triples_roundtrip(self, config):
+        rows = lr_chunk(config, count=20)[0]
+        triples = [
+            (ts + 5, value, ts) for ts, value in rows
+        ]
+        decoded = decode_chunk(encode_chunk({2: triples}, "struct"))
+        assert decoded[2].event_ts is not None
+        assert decoded[2].rows() == triples
+
+    def test_int64_overflow_falls_back_to_pickle(self, config):
+        report = lr_chunk(config, count=1)[0][0][1]
+        payload = {0: [(2 ** 70, report)]}
+        decoded = decode_chunk(encode_chunk(payload, "struct"))
+        assert isinstance(decoded[0], list)
+        assert decoded[0] == payload[0]
+
+    def test_wide_report_field_falls_back(self):
+        report = PositionReport(
+            time=2 ** 40, car_id=1, speed=1.0, xway=0, lane=0,
+            direction=0, segment=0, position=0,
+        )
+        payload = {0: [(5, report)]}
+        assert normalize(
+            decode_chunk(encode_chunk(payload, "struct"))
+        ) == payload
+
+    def test_rejects_unknown_codec_and_garbage(self):
+        with pytest.raises(SimulationError):
+            encode_chunk({}, "zstd")
+        with pytest.raises(SimulationError):
+            decode_chunk(b"not a chunk blob")
+
+    def test_out_of_band_buffers_are_framed(self):
+        payload = {"blob": [(1, _BlobValue(b"\xab" * 4096))]}
+        for codec in ("struct", "pickle"):
+            decoded = normalize(decode_chunk(encode_chunk(payload, codec)))
+            assert decoded == payload
+
+
+class _BlobValue:
+    """A payload whose protocol-5 pickling exports out-of-band buffers."""
+
+    def __init__(self, data):
+        self.data = bytes(data)
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            return (_BlobValue, (pickle.PickleBuffer(self.data),))
+        return (_BlobValue, (self.data,))
+
+    def __eq__(self, other):
+        return isinstance(other, _BlobValue) and self.data == other.data
+
+    def __repr__(self):
+        return f"_BlobValue({len(self.data)}B)"
+
+
+_reports = st.builds(
+    PositionReport,
+    time=st.integers(),  # unbounded: exercises the int64/32 fallback
+    car_id=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    speed=st.floats(allow_nan=False),
+    xway=st.integers(min_value=0, max_value=10),
+    lane=st.integers(min_value=0, max_value=4),
+    direction=st.integers(min_value=0, max_value=1),
+    segment=st.integers(min_value=0, max_value=99),
+    position=st.integers(min_value=0, max_value=2 ** 30),
+)
+_values = st.one_of(
+    _reports,
+    st.integers(),
+    st.text(max_size=8),
+    st.binary(max_size=16),
+    st.none(),
+    st.tuples(st.integers(), st.text(max_size=4)),
+)
+_rows = st.one_of(
+    st.tuples(st.integers(min_value=0, max_value=2 ** 62), _values),
+    st.tuples(
+        st.integers(min_value=0, max_value=2 ** 62),
+        _values,
+        st.integers(min_value=0, max_value=2 ** 62),
+    ),
+)
+_payloads = st.dictionaries(
+    st.one_of(st.integers(min_value=-3, max_value=3), st.text(max_size=4)),
+    st.lists(_rows, max_size=12),
+    max_size=4,
+)
+
+
+class TestCodecProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(payload=_payloads, codec=st.sampled_from(["struct", "pickle"]))
+    def test_roundtrip_is_exact(self, payload, codec):
+        decoded = normalize(decode_chunk(encode_chunk(payload, codec)))
+        assert decoded == payload
+        # repr-exactness, group by group: the deterministic merge key
+        # is ``(ts, repr(payload))``, so value-equality is not enough.
+        for group, rows in payload.items():
+            assert list(map(repr, decoded[group])) == list(map(repr, rows))
+
+
+# ---------------------------------------------------------------------------
+# Credit-based pipelining: output identity
+# ---------------------------------------------------------------------------
+class TestPipelinedIdentity:
+    @pytest.mark.parametrize("inflight", [1, 2, 8])
+    def test_lockstep_vs_pipelined_merges_identically(
+        self, config, single, inflight
+    ):
+        result = run_sharded(
+            config, seed=1, shards=2, max_inflight=inflight
+        )
+        assert result.toll_trace == single["toll"]
+        assert result.accident_trace == single["accident"]
+        assert result.tolls > 0
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("inflight", [1, 4])
+    @pytest.mark.parametrize("codec", ["pickle", "struct"])
+    def test_identity_matrix(self, config, single, workers, inflight, codec):
+        result = run_sharded(
+            config,
+            seed=1,
+            shards=workers,
+            max_inflight=inflight,
+            codec=codec,
+        )
+        assert result.toll_trace == single["toll"]
+        assert result.accident_trace == single["accident"]
+
+    def test_migration_under_deep_window(self, config, single):
+        result = run_sharded(
+            config,
+            seed=1,
+            shards=2,
+            max_inflight=8,
+            migrations=[ShardMigration(at_s=20, group=1, to_worker=0)],
+        )
+        assert result.migrations == [(20 * US_PER_S, 1, 1, 0)]
+        assert result.toll_trace == single["toll"]
+        assert result.accident_trace == single["accident"]
+
+    def test_backlog_log_is_in_watermark_order(self, config):
+        result = run_sharded(config, seed=1, shards=2, max_inflight=8)
+        watermarks = [watermark for watermark, _ in result.backlog_log]
+        assert watermarks == sorted(watermarks)
+        assert len(watermarks) == len(set(watermarks))
+        assert watermarks, "pipelined runs must still log telemetry"
+
+    def test_rejects_bad_transport_knobs(self, config):
+        with pytest.raises(SimulationError):
+            ShardCoordinator(config, max_inflight=0)
+        with pytest.raises(SimulationError):
+            ShardCoordinator(config, codec="zstd")
+
+
+class TestFrontierClosePipelining:
+    def test_frontier_close_clamps_and_matches(self):
+        config = replace(
+            small_config(frontier="close"),
+            workload=WorkloadConfig(
+                duration_s=60, peak_rate=40, seed=1, l_rating=4.0,
+                disorder_s=3.0,
+            ),
+        )
+        oracle = run_sharded(config, seed=1, shards=1, max_inflight=1)
+        for inflight, codec in ((4, "struct"), (8, "pickle")):
+            result = run_sharded(
+                config, seed=1, shards=2,
+                max_inflight=inflight, codec=codec,
+            )
+            assert result.toll_trace == oracle.toll_trace
+            assert result.accident_trace == oracle.accident_trace
+            # The closure protocol needs round N's acks before chunk
+            # N+1, so the window clamps to lockstep: one chunk per
+            # worker in flight, whatever the requested depth.
+            assert (
+                result.transport["shard_peak_inflight"] <= result.workers
+            )
+            assert result.frontier_log == oracle.frontier_log
+
+
+# ---------------------------------------------------------------------------
+# Adaptive chunk sizing
+# ---------------------------------------------------------------------------
+class TestAdaptiveChunker:
+    def test_widens_when_keeping_up(self):
+        chunker = AdaptiveChunker(10)
+        assert chunker.update(0) == 20
+        assert chunker.update(0) == 40
+        assert chunker.update(0) == 40  # clamped at base*4
+        assert chunker.resizes == 2
+
+    def test_narrows_under_backlog(self):
+        chunker = AdaptiveChunker(10)
+        assert chunker.update(1000) == 5
+        assert chunker.update(1000) == 2
+        assert chunker.update(1000) == 2  # clamped at base//4
+        assert chunker.update(100) == 2  # between the watermarks: hold
+
+    def test_validates_bounds(self):
+        with pytest.raises(SimulationError):
+            AdaptiveChunker(10, min_s=20)
+        with pytest.raises(SimulationError):
+            AdaptiveChunker(10, low=5, high=5)
+
+    def test_adaptive_run_widens_grid_and_keeps_output(self, config, single):
+        fixed = run_sharded(config, seed=1, shards=2, max_inflight=1)
+        adaptive = run_sharded(
+            config, seed=1, shards=2, max_inflight=1, adaptive_chunk=True
+        )
+        assert adaptive.toll_trace == single["toll"]
+        assert adaptive.accident_trace == single["accident"]
+        # The un-backlogged workload lets the interval widen, so the
+        # run completes in fewer, bigger chunks than the fixed grid.
+        assert len(adaptive.backlog_log) < len(fixed.backlog_log)
+
+
+# ---------------------------------------------------------------------------
+# Columnar source feeding
+# ---------------------------------------------------------------------------
+class TestFeedColumns:
+    def test_feeds_without_row_lists(self):
+        source = SourceActor("src")
+        source.feed([(10, "a")])
+        source.feed_columns((20, 30), ("b", "c"))
+        assert source._pending == [(10, "a"), (20, "b"), (30, "c")]
+
+    def test_triple_columns_for_disorder_sources(self):
+        source = SourceActor("src", out_of_order=True, disorder_us=5)
+        source.feed_columns((20, 30), ("b", "c"), (18, 27))
+        assert source._pending == [(20, "b", 18), (30, "c", 27)]
+
+    def test_unsorted_batch_falls_back_to_feed(self):
+        source = SourceActor("src", out_of_order=True)
+        source.feed_columns((30, 10), ("b", "a"))
+        assert source._pending == [(10, "a"), (30, "b")]
+
+    def test_strict_source_still_rejects_regressions(self):
+        source = SourceActor("src")
+        source.feed([(50, "x")])
+        with pytest.raises(ActorError):
+            source.feed_columns((10, 20), ("a", "b"))
+
+    def test_empty_batch_is_a_noop(self):
+        source = SourceActor("src")
+        source.feed_columns((), ())
+        assert source._pending == []
+
+
+# ---------------------------------------------------------------------------
+# Dead-worker surfacing (the _recv bugfix)
+# ---------------------------------------------------------------------------
+class TestDeadWorker:
+    def test_killed_worker_raises_simulation_error(self, config):
+        coordinator = ShardCoordinator(config, seed=1, shards=2)
+        workload = LinearRoadWorkload(replace(config.workload, seed=1))
+        slices = partition_arrivals(
+            workload.arrivals(), shard_key_fn("xway")
+        )
+        plan = ShardPlan(slices.keys(), 2)
+        coordinator.plan = plan
+        try:
+            coordinator._spawn(plan)
+            victim = coordinator._procs[0]
+            victim.terminate()
+            victim.join(timeout=10)
+            with pytest.raises(SimulationError) as excinfo:
+                coordinator._recv(0, "ack")
+            message = str(excinfo.value)
+            assert "worker 0" in message
+            assert "exit code" in message
+        finally:
+            for conn in coordinator._conns:
+                try:
+                    conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for process in coordinator._procs:
+                process.join(timeout=10)
+                if process.is_alive():
+                    process.terminate()
+            for conn in coordinator._conns:
+                conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: trace events, counters, Prometheus
+# ---------------------------------------------------------------------------
+class TestTransportTelemetry:
+    def test_encode_decode_trace_events(self, config):
+        chunk = lr_chunk(config, count=10)
+        with use_tracer(RecordingTracer()) as tracer:
+            decode_chunk(encode_chunk(chunk, "struct", now_us=123))
+        names = [record.name for record in tracer.records()]
+        assert "shard.chunk.encode" in names
+        assert "shard.chunk.decode" in names
+        encode = next(
+            record for record in tracer.records()
+            if record.name == "shard.chunk.encode"
+        )
+        assert encode.ts == 123
+        assert encode.args["bytes"] > 0
+        assert encode.args["codec"] == "struct"
+
+    def test_coordinator_emits_encode_events(self, config):
+        coordinator = ShardCoordinator(config, seed=1, shards=2)
+        with use_tracer(RecordingTracer()) as tracer:
+            result = coordinator.run()
+        assert result.tolls > 0
+        assert any(
+            record.name == "shard.chunk.encode"
+            for record in tracer.records()
+        )
+
+    def test_counters_surface_via_snapshot_and_prometheus(self, config):
+        coordinator = ShardCoordinator(
+            config, seed=1, shards=2, max_inflight=4
+        )
+        result = coordinator.run()
+        engine = coordinator.statistics.snapshot(0)["__engine__"]
+        assert engine["shard_bytes_sent"] > 0
+        assert engine["shard_chunks_sent"] > 0
+        assert engine["shard_encode_us"] >= 0
+        assert engine["shard_peak_inflight"] >= 2
+        assert engine["shard_chunks_inflight"] == 0  # all drained
+        assert result.transport == engine
+        text = export_prometheus(coordinator.statistics, now_us=0)
+        assert "repro_engine_shard_bytes_sent" in text
+        assert "repro_engine_shard_chunks_inflight" in text
+        assert "repro_engine_shard_encode_us" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI + checkpoint-manifest plumbing
+# ---------------------------------------------------------------------------
+class TestPlumbing:
+    def test_manifest_roundtrips_transport_knobs(self):
+        config = small_config(
+            shard_inflight=8, shard_codec="pickle", shard_adaptive_chunk=True
+        )
+        meta = checkpoint_meta(config, seed=1)
+        rebuilt, seed = config_from_meta(meta)
+        assert seed == 1
+        assert rebuilt.shard_inflight == 8
+        assert rebuilt.shard_codec == "pickle"
+        assert rebuilt.shard_adaptive_chunk is True
+
+    def test_old_manifests_default_transport_knobs(self):
+        meta = checkpoint_meta(small_config(), seed=1)
+        for key in (
+            "shard_inflight", "shard_codec", "shard_adaptive_chunk"
+        ):
+            del meta[key]
+        rebuilt, _ = config_from_meta(meta)
+        assert rebuilt.shard_inflight == 4
+        assert rebuilt.shard_codec == "struct"
+        assert rebuilt.shard_adaptive_chunk is False
+
+    def test_cli_transport_flags(self, capsys):
+        code = main(
+            [
+                "--duration", "30", "--seeds", "1", "run", "fifo",
+                "--shards", "2", "--shard-inflight", "8",
+                "--shard-codec", "struct", "--shard-adaptive-chunk",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "transport:" in out
+        assert "window 8/worker" in out
+
+    def test_cli_rejects_bad_inflight(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--duration", "30", "--seeds", "1", "run", "fifo",
+                    "--shards", "2", "--shard-inflight", "0",
+                ]
+            )
